@@ -1,0 +1,84 @@
+// Command m4cli is an interactive shell over a database directory: it
+// accepts m4ql queries (Appendix A.1 syntax), EXPLAIN variants, and a few
+// meta commands.
+//
+//	m4cli -dir ./db
+//	m4> SELECT M4(*) FROM KOB WHERE time >= 0 AND time < 2000000000000 GROUP BY SPANS(10)
+//	m4> EXPLAIN SELECT M4(*) FROM KOB WHERE ... GROUP BY SPANS(1000) USING LSM
+//	m4> .series
+//	m4> .quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"m4lsm/internal/lsm"
+	"m4lsm/internal/m4ql"
+)
+
+func main() {
+	dir := flag.String("dir", "m4db", "database directory")
+	flag.Parse()
+	engine, err := lsm.Open(lsm.Options{Dir: *dir})
+	if err != nil {
+		log.Fatalf("m4cli: %v", err)
+	}
+	defer engine.Close()
+	fmt.Printf("m4cli: %s (%d series). Type .help for commands.\n",
+		*dir, len(engine.SeriesIDs()))
+	repl(engine, os.Stdin, os.Stdout)
+}
+
+func repl(engine *lsm.Engine, in io.Reader, out io.Writer) {
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Fprint(out, "m4> ")
+		if !scanner.Scan() {
+			fmt.Fprintln(out)
+			return
+		}
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "":
+			continue
+		case line == ".quit" || line == ".exit":
+			return
+		case line == ".help":
+			fmt.Fprintln(out, `commands:
+  SELECT M4(*) FROM <series> WHERE time >= a AND time < b GROUP BY SPANS(w) [USING LSM|UDF]
+  EXPLAIN SELECT ...   show the physical plan and measured cost
+  .series              list stored series
+  .info                storage statistics
+  .help                this message
+  .quit                exit`)
+		case line == ".series":
+			for _, id := range engine.SeriesIDs() {
+				fmt.Fprintln(out, id)
+			}
+		case line == ".info":
+			info := engine.Info()
+			fmt.Fprintf(out, "files=%d chunks=%d memtablePoints=%d deletes=%d nextVersion=%d\n",
+				info.Files, info.Chunks, info.MemtablePoints, info.Deletes, info.NextVersion)
+		case strings.HasPrefix(line, "."):
+			fmt.Fprintf(out, "unknown command %s (try .help)\n", line)
+		default:
+			res, explain, err := m4ql.RunAny(engine, line)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			if explain != "" {
+				fmt.Fprint(out, explain)
+				continue
+			}
+			fmt.Fprint(out, res.Text())
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"m4lsm/internal/lsm"
+	"m4lsm/internal/series"
+)
+
+func TestRepl(t *testing.T) {
+	e, err := lsm.Open(lsm.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for i := 0; i < 20; i++ {
+		e.Write("root.s", series.Point{T: int64(i * 10), V: float64(i % 4)})
+	}
+	e.Flush()
+
+	in := strings.NewReader(strings.Join([]string{
+		".help",
+		".series",
+		".info",
+		".unknown",
+		"SELECT M4(*) FROM root.s WHERE time >= 0 AND time < 200 GROUP BY SPANS(2)",
+		"EXPLAIN SELECT M4(*) FROM root.s WHERE time >= 0 AND time < 200 GROUP BY SPANS(2) USING UDF",
+		"SELECT garbage",
+		"",
+		".quit",
+	}, "\n"))
+	var out bytes.Buffer
+	repl(e, in, &out)
+	got := out.String()
+	for _, want := range []string{
+		"commands:",
+		"root.s",
+		"files=1",
+		"unknown command",
+		"FirstTime",
+		"M4-UDF",
+		"error:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("repl output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestReplEOF(t *testing.T) {
+	e, err := lsm.Open(lsm.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	var out bytes.Buffer
+	repl(e, strings.NewReader(""), &out) // EOF immediately: must return
+}

@@ -1,0 +1,41 @@
+// Command m4server serves a database directory over HTTP.
+//
+// Endpoints:
+//
+//	GET  /healthz                         engine status
+//	GET  /series                          stored series ids
+//	GET  /query?q=<m4ql>                  run an M4 query, JSON result
+//	POST /query {"query": "<m4ql>"}       same, query in the body
+//	GET  /render?series=&tqs=&tqe=&w=&h=  two-color PNG line chart
+//
+// Example:
+//
+//	m4server -dir ./db -addr :8086
+//	curl 'localhost:8086/query?q=SELECT+M4(*)+FROM+s+WHERE+time+>=+0+AND+time+<+1000+GROUP+BY+SPANS(100)'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"m4lsm/internal/lsm"
+	"m4lsm/internal/server"
+)
+
+func main() {
+	var (
+		dir  = flag.String("dir", "m4db", "database directory")
+		addr = flag.String("addr", ":8086", "listen address")
+	)
+	flag.Parse()
+	engine, err := lsm.Open(lsm.Options{Dir: *dir})
+	if err != nil {
+		log.Fatalf("m4server: %v", err)
+	}
+	defer engine.Close()
+	log.Printf("m4server: serving %s on %s", *dir, *addr)
+	if err := http.ListenAndServe(*addr, server.New(engine)); err != nil {
+		log.Fatalf("m4server: %v", err)
+	}
+}

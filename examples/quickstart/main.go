@@ -1,0 +1,73 @@
+// Quickstart: open a database, write a series (including out-of-order
+// points and a range delete), and run an M4 representation query with the
+// merge-free operator — both through the Go API and the SQL-ish surface.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"m4lsm"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "m4lsm-quickstart-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := m4lsm.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Write a minute of 1 Hz sensor data...
+	const seriesID = "root.demo.temperature"
+	var pts []m4lsm.Point
+	for i := 0; i < 60; i++ {
+		pts = append(pts, m4lsm.Point{Time: int64(i * 1000), Value: 20 + float64(i%7)})
+	}
+	if err := db.Write(seriesID, pts...); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	// ...then a late out-of-order correction (overwrites t=30s) and a
+	// range delete — the LSM states that make M4 hard.
+	if err := db.Write(seriesID, m4lsm.Point{Time: 30_000, Value: 99}); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Delete(seriesID, 10_000, 14_000); err != nil {
+		log.Fatal(err)
+	}
+
+	// Represent the minute in 6 pixel columns.
+	aggs, stats, err := db.M4(seriesID, 0, 60_000, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("span  first           last            bottom  top")
+	for i, a := range aggs {
+		if a.Empty {
+			fmt.Printf("%4d  (empty)\n", i)
+			continue
+		}
+		fmt.Printf("%4d  t=%-6d v=%-4g t=%-6d v=%-4g %-7g %g\n",
+			i, a.First.Time, a.First.Value, a.Last.Time, a.Last.Value,
+			a.Bottom.Value, a.Top.Value)
+	}
+	fmt.Printf("\ncost: %+v\n\n", stats)
+
+	// The same query through the SQL-ish surface of the paper's appendix.
+	res, err := db.Query(`SELECT M4(*) FROM root.demo.temperature
+		WHERE time >= 0 AND time < 60000 GROUP BY SPANS(6) USING LSM`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Text())
+}

@@ -1,0 +1,3 @@
+module m4lsm
+
+go 1.22

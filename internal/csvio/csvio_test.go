@@ -1,0 +1,114 @@
+package csvio
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"m4lsm/internal/series"
+)
+
+func TestRoundTrip(t *testing.T) {
+	s := series.Series{{T: 1, V: 1.5}, {T: 2, V: -3}, {T: 1000000000000, V: 0}}
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("got %v, want %v", got, s)
+	}
+}
+
+func TestReadHeaderOptional(t *testing.T) {
+	withHeader := "time,value\n1,2\n3,4\n"
+	without := "1,2\n3,4\n"
+	want := series.Series{{T: 1, V: 2}, {T: 3, V: 4}}
+	for _, in := range []string{withHeader, without} {
+		got, err := Read(strings.NewReader(in), false)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%q: got %v", in, got)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"time,value\n1\n",        // wrong field count
+		"time,value\n1,2\nx,3\n", // bad timestamp mid-file
+		"time,value\n1,zz\n",     // bad value
+		"time,value\n5,1\n3,2\n", // unsorted without sortDedup
+	}
+	for _, in := range cases {
+		if _, err := Read(strings.NewReader(in), false); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestReadSortDedup(t *testing.T) {
+	in := "time,value\n5,1\n3,2\n5,9\n"
+	got, err := Read(strings.NewReader(in), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := series.Series{{T: 3, V: 2}, {T: 5, V: 9}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	got, err := Read(strings.NewReader(""), false)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	got, err = Read(strings.NewReader("time,value\n"), false)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("header only: %v, %v", got, err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(deltas []uint16, vals []int32) bool {
+		n := len(deltas)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		s := make(series.Series, 0, n)
+		tt := int64(0)
+		for i := 0; i < n; i++ {
+			tt += int64(deltas[i]) + 1
+			s = append(s, series.Point{T: tt, V: float64(vals[i]) / 8})
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, s); err != nil {
+			return false
+		}
+		got, err := Read(&buf, false)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(s) {
+			return false
+		}
+		for i := range s {
+			if got[i] != s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+package encoding
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func sensorData(n int) ([]int64, []float64) {
+	rng := rand.New(rand.NewSource(5))
+	ts := make([]int64, n)
+	vs := make([]float64, n)
+	cur := int64(1_600_000_000_000)
+	val := 20.0
+	for i := 0; i < n; i++ {
+		cur += 1000
+		if rng.Intn(300) == 0 {
+			cur += int64(rng.Intn(50)) * 1000
+		}
+		val += math.Round(rng.NormFloat64()*4) / 4
+		ts[i] = cur
+		vs[i] = val
+	}
+	return ts, vs
+}
+
+func BenchmarkEncodeTimes(b *testing.B) {
+	ts, _ := sensorData(1000)
+	b.SetBytes(8000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EncodeTimes(nil, ts)
+	}
+}
+
+func BenchmarkDecodeTimes(b *testing.B) {
+	ts, _ := sensorData(1000)
+	enc := EncodeTimes(nil, ts)
+	b.SetBytes(8000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeTimes(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeValuesGorilla(b *testing.B) {
+	_, vs := sensorData(1000)
+	b.SetBytes(8000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EncodeValues(nil, vs)
+	}
+}
+
+func BenchmarkDecodeValuesGorilla(b *testing.B) {
+	_, vs := sensorData(1000)
+	enc := EncodeValues(nil, vs)
+	b.SetBytes(8000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeValues(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeValuesPlain(b *testing.B) {
+	_, vs := sensorData(1000)
+	enc := EncodeValuesPlain(nil, vs)
+	b.SetBytes(8000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeValuesPlain(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

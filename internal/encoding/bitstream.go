@@ -1,0 +1,84 @@
+// Package encoding implements the column codecs used inside chunk files:
+// zigzag varints, a delta-of-delta timestamp codec (the analogue of IoTDB's
+// TS_2DIFF), a Gorilla XOR codec for float64 values, and plain fallbacks.
+//
+// The decode cost of these codecs is part of what the paper's baseline pays
+// when it loads and merges whole chunks, so the codecs are real, not stubs.
+package encoding
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt reports a malformed encoded block.
+var ErrCorrupt = errors.New("encoding: corrupt block")
+
+func corruptf(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// bitWriter appends individual bits and bit fields to a byte buffer,
+// most-significant bit first.
+type bitWriter struct {
+	buf  []byte
+	nbit uint8 // bits already used in the last byte (0..7)
+}
+
+// writeBit appends a single bit.
+func (w *bitWriter) writeBit(bit uint64) {
+	if w.nbit == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if bit != 0 {
+		w.buf[len(w.buf)-1] |= 1 << (7 - w.nbit)
+	}
+	w.nbit = (w.nbit + 1) & 7
+}
+
+// writeBits appends the low n bits of v, most significant first. n ≤ 64.
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	for n > 0 {
+		n--
+		w.writeBit((v >> n) & 1)
+	}
+}
+
+// bytes returns the encoded buffer.
+func (w *bitWriter) bytes() []byte { return w.buf }
+
+// bitReader consumes bits written by bitWriter.
+type bitReader struct {
+	buf []byte
+	pos int   // byte position
+	bit uint8 // bit position within buf[pos]
+}
+
+func newBitReader(b []byte) *bitReader { return &bitReader{buf: b} }
+
+// readBit returns the next bit.
+func (r *bitReader) readBit() (uint64, error) {
+	if r.pos >= len(r.buf) {
+		return 0, corruptf("bit stream exhausted at byte %d", r.pos)
+	}
+	bit := uint64(r.buf[r.pos]>>(7-r.bit)) & 1
+	r.bit++
+	if r.bit == 8 {
+		r.bit = 0
+		r.pos++
+	}
+	return bit, nil
+}
+
+// readBits returns the next n bits as the low bits of a uint64.
+func (r *bitReader) readBits(n uint) (uint64, error) {
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		bit, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | bit
+	}
+	return v, nil
+}

@@ -1,0 +1,358 @@
+package encoding
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestZigZagRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 2, -2, 1 << 40, -(1 << 40), math.MaxInt64, math.MinInt64} {
+		if got := UnZigZag(ZigZag(v)); got != v {
+			t.Errorf("UnZigZag(ZigZag(%d)) = %d", v, got)
+		}
+	}
+}
+
+func TestZigZagSmallCodes(t *testing.T) {
+	// Small magnitudes must map to small codes for varint efficiency.
+	want := map[int64]uint64{0: 0, -1: 1, 1: 2, -2: 3, 2: 4}
+	for v, u := range want {
+		if got := ZigZag(v); got != u {
+			t.Errorf("ZigZag(%d) = %d, want %d", v, got, u)
+		}
+	}
+}
+
+func TestZigZagProperty(t *testing.T) {
+	f := func(v int64) bool { return UnZigZag(ZigZag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarintRoundTrip(t *testing.T) {
+	var buf []byte
+	vals := []int64{0, 5, -5, 1 << 50, -(1 << 50)}
+	for _, v := range vals {
+		buf = AppendVarint(buf, v)
+	}
+	b := buf
+	for _, want := range vals {
+		var got int64
+		var err error
+		got, b, err = Varint(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("Varint = %d, want %d", got, want)
+		}
+	}
+	if len(b) != 0 {
+		t.Errorf("leftover %d bytes", len(b))
+	}
+}
+
+func TestVarintCorrupt(t *testing.T) {
+	if _, _, err := Varint(nil); err == nil {
+		t.Error("empty buffer must error")
+	}
+	// A lone continuation byte is invalid.
+	if _, _, err := Uvarint([]byte{0x80}); err == nil {
+		t.Error("truncated uvarint must error")
+	}
+}
+
+func timesRoundTrip(t *testing.T, ts []int64) {
+	t.Helper()
+	enc := EncodeTimes(nil, ts)
+	got, rest, err := DecodeTimes(enc)
+	if err != nil {
+		t.Fatalf("DecodeTimes: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("leftover %d bytes", len(rest))
+	}
+	if len(got) != len(ts) {
+		t.Fatalf("len = %d, want %d", len(got), len(ts))
+	}
+	for i := range ts {
+		if got[i] != ts[i] {
+			t.Fatalf("ts[%d] = %d, want %d", i, got[i], ts[i])
+		}
+	}
+}
+
+func TestEncodeTimesBasic(t *testing.T) {
+	timesRoundTrip(t, nil)
+	timesRoundTrip(t, []int64{42})
+	timesRoundTrip(t, []int64{42, 43})
+	timesRoundTrip(t, []int64{0, 1000, 2000, 3000, 9000, 9001})
+	timesRoundTrip(t, []int64{-100, -50, 0, 77})
+}
+
+func TestEncodeTimesRegularIsTiny(t *testing.T) {
+	// 1000 perfectly regular timestamps: delta-of-delta is zero after the
+	// first two, so the block must be far below 8 bytes/point.
+	ts := make([]int64, 1000)
+	for i := range ts {
+		ts[i] = 1639966606000 + int64(i)*9000
+	}
+	enc := EncodeTimes(nil, ts)
+	if len(enc) > 1100 {
+		t.Errorf("regular block is %d bytes; want ~1 byte/point", len(enc))
+	}
+	timesRoundTrip(t, ts)
+}
+
+func TestEncodeTimesProperty(t *testing.T) {
+	f := func(deltas []uint16, start int64) bool {
+		ts := make([]int64, 0, len(deltas)+1)
+		cur := start % (1 << 40)
+		ts = append(ts, cur)
+		for _, d := range deltas {
+			cur += int64(d) + 1
+			ts = append(ts, cur)
+		}
+		enc := EncodeTimes(nil, ts)
+		got, rest, err := DecodeTimes(enc)
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		return reflect.DeepEqual(got, ts)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeTimesCorrupt(t *testing.T) {
+	enc := EncodeTimes(nil, []int64{1, 2, 3, 4})
+	for cut := 1; cut < len(enc); cut++ {
+		if _, _, err := DecodeTimes(enc[:cut]); err == nil {
+			t.Errorf("truncation at %d bytes decoded successfully", cut)
+		}
+	}
+}
+
+func valuesRoundTrip(t *testing.T, vs []float64) {
+	t.Helper()
+	enc := EncodeValues(nil, vs)
+	got, rest, err := DecodeValues(enc)
+	if err != nil {
+		t.Fatalf("DecodeValues: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("leftover %d bytes", len(rest))
+	}
+	if len(got) != len(vs) {
+		t.Fatalf("len = %d, want %d", len(got), len(vs))
+	}
+	for i := range vs {
+		if math.Float64bits(got[i]) != math.Float64bits(vs[i]) {
+			t.Fatalf("vs[%d] = %v, want %v", i, got[i], vs[i])
+		}
+	}
+}
+
+func TestEncodeValuesBasic(t *testing.T) {
+	valuesRoundTrip(t, nil)
+	valuesRoundTrip(t, []float64{3.14})
+	valuesRoundTrip(t, []float64{1, 1, 1, 1})
+	valuesRoundTrip(t, []float64{0, -0, 1.5, -1.5, math.MaxFloat64, math.SmallestNonzeroFloat64})
+	valuesRoundTrip(t, []float64{math.Inf(1), math.Inf(-1), 0})
+}
+
+func TestEncodeValuesConstantIsTiny(t *testing.T) {
+	vs := make([]float64, 1000)
+	for i := range vs {
+		vs[i] = 21.5
+	}
+	enc := EncodeValues(nil, vs)
+	if len(enc) > 200 {
+		t.Errorf("constant block is %d bytes; want ~1 bit/point", len(enc))
+	}
+	valuesRoundTrip(t, vs)
+}
+
+func TestEncodeValuesRandomWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vs := make([]float64, 5000)
+	cur := 100.0
+	for i := range vs {
+		cur += rng.NormFloat64()
+		vs[i] = cur
+	}
+	valuesRoundTrip(t, vs)
+}
+
+func TestEncodeValuesProperty(t *testing.T) {
+	f := func(bits []uint64) bool {
+		vs := make([]float64, len(bits))
+		for i, b := range bits {
+			v := math.Float64frombits(b)
+			if math.IsNaN(v) {
+				v = 0 // NaN payloads are rejected upstream by Validate
+			}
+			vs[i] = v
+		}
+		enc := EncodeValues(nil, vs)
+		got, rest, err := DecodeValues(enc)
+		if err != nil || len(rest) != 0 || len(got) != len(vs) {
+			return false
+		}
+		for i := range vs {
+			if math.Float64bits(got[i]) != math.Float64bits(vs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeValuesCorrupt(t *testing.T) {
+	enc := EncodeValues(nil, []float64{1.5, 2.5, 3.5, 2.5})
+	for cut := 1; cut < len(enc); cut++ {
+		got, rest, err := DecodeValues(enc[:cut])
+		if err == nil && len(rest) == 0 && len(got) == 4 {
+			t.Errorf("truncation at %d bytes decoded to a full block", cut)
+		}
+	}
+}
+
+func TestPlainRoundTrip(t *testing.T) {
+	ts := []int64{-5, 0, 7, 1 << 60}
+	vs := []float64{1.5, math.Inf(1), -0.0, 42}
+	gotTS, rest, err := DecodeTimesPlain(EncodeTimesPlain(nil, ts))
+	if err != nil || len(rest) != 0 || !reflect.DeepEqual(gotTS, ts) {
+		t.Fatalf("times: %v %v %v", gotTS, rest, err)
+	}
+	gotVS, rest, err := DecodeValuesPlain(EncodeValuesPlain(nil, vs))
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("values: %v %v", rest, err)
+	}
+	for i := range vs {
+		if math.Float64bits(gotVS[i]) != math.Float64bits(vs[i]) {
+			t.Fatalf("values[%d] = %v", i, gotVS[i])
+		}
+	}
+}
+
+func TestPlainCorrupt(t *testing.T) {
+	enc := EncodeTimesPlain(nil, []int64{1, 2})
+	if _, _, err := DecodeTimesPlain(enc[:len(enc)-1]); err == nil {
+		t.Error("short plain timestamp block decoded")
+	}
+	encV := EncodeValuesPlain(nil, []float64{1, 2})
+	if _, _, err := DecodeValuesPlain(encV[:len(encV)-1]); err == nil {
+		t.Error("short plain value block decoded")
+	}
+}
+
+func TestCodecDispatch(t *testing.T) {
+	ts := []int64{10, 20, 35}
+	vs := []float64{1, 2, 1}
+	for _, c := range []Codec{CodecGorilla, CodecPlain} {
+		if !c.Valid() {
+			t.Fatalf("%v not valid", c)
+		}
+		gt, rest, err := c.DecodeTimesWith(c.EncodeTimesWith(nil, ts))
+		if err != nil || len(rest) != 0 || !reflect.DeepEqual(gt, ts) {
+			t.Fatalf("%v times: %v %v %v", c, gt, rest, err)
+		}
+		gv, rest, err := c.DecodeValuesWith(c.EncodeValuesWith(nil, vs))
+		if err != nil || len(rest) != 0 || !reflect.DeepEqual(gv, vs) {
+			t.Fatalf("%v values: %v %v %v", c, gv, rest, err)
+		}
+	}
+	if Codec(9).Valid() {
+		t.Error("unknown codec reported valid")
+	}
+	if CodecGorilla.String() != "gorilla" || CodecPlain.String() != "plain" || Codec(9).String() != "unknown" {
+		t.Error("codec names wrong")
+	}
+}
+
+func TestBitStreamRoundTrip(t *testing.T) {
+	w := bitWriter{}
+	w.writeBit(1)
+	w.writeBits(0b1011, 4)
+	w.writeBits(0xDEADBEEF, 32)
+	w.writeBit(0)
+	r := newBitReader(w.bytes())
+	if b, _ := r.readBit(); b != 1 {
+		t.Fatal("bit 0")
+	}
+	if v, _ := r.readBits(4); v != 0b1011 {
+		t.Fatalf("bits = %b", v)
+	}
+	if v, _ := r.readBits(32); v != 0xDEADBEEF {
+		t.Fatalf("word = %x", v)
+	}
+	if b, _ := r.readBit(); b != 0 {
+		t.Fatal("trailing bit")
+	}
+}
+
+func TestBitReaderExhaustion(t *testing.T) {
+	r := newBitReader([]byte{0xFF})
+	if _, err := r.readBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.readBit(); err == nil {
+		t.Error("reading past end must error")
+	}
+}
+
+func TestBitStreamProperty(t *testing.T) {
+	f := func(fields []uint16) bool {
+		w := bitWriter{}
+		for _, v := range fields {
+			w.writeBits(uint64(v), 16)
+		}
+		r := newBitReader(w.bytes())
+		for _, v := range fields {
+			got, err := r.readBits(16)
+			if err != nil || got != uint64(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressionRatioOnSensorLikeData(t *testing.T) {
+	// Regular 9s cadence with occasional gaps and a slowly drifting value:
+	// the Gorilla codec must beat plain encoding by a wide margin.
+	rng := rand.New(rand.NewSource(3))
+	n := 4096
+	ts := make([]int64, n)
+	vs := make([]float64, n)
+	cur := int64(1639966606000)
+	val := 20.0
+	for i := 0; i < n; i++ {
+		cur += 9000
+		if rng.Intn(500) == 0 {
+			cur += int64(rng.Intn(100)) * 9000
+		}
+		val += math.Round(rng.NormFloat64()*8) / 8 // quantized sensor steps
+		ts[i] = cur
+		vs[i] = val
+	}
+	gor := len(EncodeTimes(nil, ts)) + len(EncodeValues(nil, vs))
+	plain := len(EncodeTimesPlain(nil, ts)) + len(EncodeValuesPlain(nil, vs))
+	if gor*2 >= plain {
+		t.Errorf("gorilla %dB vs plain %dB: expected >2x compression", gor, plain)
+	}
+	timesRoundTrip(t, ts)
+	valuesRoundTrip(t, vs)
+}

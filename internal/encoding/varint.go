@@ -1,0 +1,39 @@
+package encoding
+
+import "encoding/binary"
+
+// ZigZag maps signed integers to unsigned so that small magnitudes (of
+// either sign) get small codes: 0→0, -1→1, 1→2, -2→3, ...
+func ZigZag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// UnZigZag inverts ZigZag.
+func UnZigZag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// AppendUvarint appends u in LEB128 form.
+func AppendUvarint(dst []byte, u uint64) []byte {
+	return binary.AppendUvarint(dst, u)
+}
+
+// AppendVarint appends v zigzag-varint encoded.
+func AppendVarint(dst []byte, v int64) []byte {
+	return binary.AppendUvarint(dst, ZigZag(v))
+}
+
+// Uvarint decodes a LEB128 value and returns it with the remaining buffer.
+func Uvarint(b []byte) (uint64, []byte, error) {
+	u, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, corruptf("bad uvarint")
+	}
+	return u, b[n:], nil
+}
+
+// Varint decodes a zigzag-varint value and returns it with the remaining
+// buffer.
+func Varint(b []byte) (int64, []byte, error) {
+	u, rest, err := Uvarint(b)
+	if err != nil {
+		return 0, nil, err
+	}
+	return UnZigZag(u), rest, nil
+}

@@ -1,0 +1,68 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+
+	"m4lsm/internal/m4"
+	"m4lsm/internal/repr"
+	"m4lsm/internal/viz"
+)
+
+// PixelRow is one measurement of the Figure 1 reproduction: how many
+// pixels a reduction technique gets wrong relative to rendering the full
+// series.
+type PixelRow struct {
+	Dataset    string
+	Technique  string
+	PointsIn   int
+	PointsKept int
+	LitPixels  int // pixels lit by the full series
+	PixelError int // differing pixels vs. the full rendering
+}
+
+// RunFig1 reproduces the motivation of §1/§5.1: render each dataset at
+// 1000x500 pixels (Fig. 1's canvas) from the full series and from each
+// reduction, and count differing pixels. M4's error must be zero.
+func RunFig1(cfg Config) ([]PixelRow, error) {
+	cfg = cfg.withDefaults()
+	const width, height = 1000, 500
+	var out []PixelRow
+	for _, p := range cfg.Datasets {
+		n := int(float64(p.Points) * cfg.Scale)
+		if n < 10 {
+			n = 10
+		}
+		data := p.Generate(n, cfg.Seed)
+		q := m4.Query{Tqs: data[0].T, Tqe: data[len(data)-1].T + 1, W: width}
+		vp := viz.ViewportFor(data, q.Tqs, q.Tqe)
+		full := viz.Rasterize(data, vp, width, height)
+		for _, tech := range repr.Techniques() {
+			reduced, err := tech.Fn(q, data)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", p.Name, tech.Name, err)
+			}
+			canvas := viz.Rasterize(reduced, vp, width, height)
+			out = append(out, PixelRow{
+				Dataset:    p.Name,
+				Technique:  tech.Name,
+				PointsIn:   len(data),
+				PointsKept: len(reduced),
+				LitPixels:  full.Count(),
+				PixelError: viz.Diff(full, canvas),
+			})
+		}
+	}
+	return out, nil
+}
+
+// WriteFig1 renders the pixel-error comparison.
+func WriteFig1(w io.Writer, rows []PixelRow) {
+	fmt.Fprintln(w, "== Figure 1: pixel error of reductions at 1000x500 (0 = error-free) ==")
+	fmt.Fprintf(w, "%-12s %-10s %10s %10s %10s %12s\n",
+		"Dataset", "Technique", "points", "kept", "lit px", "pixel error")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %-10s %10d %10d %10d %12d\n",
+			r.Dataset, r.Technique, r.PointsIn, r.PointsKept, r.LitPixels, r.PixelError)
+	}
+}

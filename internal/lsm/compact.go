@@ -1,0 +1,138 @@
+package lsm
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"m4lsm/internal/mergeread"
+	"m4lsm/internal/series"
+	"m4lsm/internal/storage"
+	"m4lsm/internal/tsfile"
+)
+
+// Compact merges every flushed chunk of every series into fresh,
+// non-overlapping chunks, applying all deletes, and removes the old chunk
+// files and delete sidecar entries.
+//
+// The paper's experiments run with compaction disabled (Table 4,
+// NO_COMPACTION) because overlapping chunks are exactly the state M4-LSM
+// targets; Compact exists as the standard LSM maintenance operation that
+// bounds read amplification over time. After Compact, every chunk's
+// metadata is exact again (no pending deletes or overwrites), so M4-LSM
+// degenerates to its pure metadata fast path.
+func (e *Engine) Compact() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("lsm: engine closed")
+	}
+	// Memtable contents ride along: flush first so the merge sees them.
+	if err := e.flushLocked(); err != nil {
+		return err
+	}
+	ids := make([]string, 0, len(e.chunks))
+	for id := range e.chunks {
+		ids = append(ids, id)
+	}
+	merged := make(map[string]series.Series, len(ids))
+	everything := series.TimeRange{Start: -(1 << 62), End: 1 << 62}
+	for _, id := range ids {
+		snap := &storage.Snapshot{SeriesID: id}
+		for _, ce := range e.chunks[id] {
+			snap.Chunks = append(snap.Chunks, storage.NewChunkRef(ce.meta, ce.src, nil))
+		}
+		snap.Deletes = e.mods.ForSeries(id)
+		data, err := mergeread.Merge(snap, everything)
+		if err != nil {
+			return fmt.Errorf("lsm: compact %s: %w", id, err)
+		}
+		if len(data) > 0 {
+			merged[id] = data
+		}
+	}
+
+	// Write the compacted generation to a fresh file before touching the
+	// old ones; a crash between here and the cleanup below leaves both
+	// generations on disk, and duplicate points merge idempotently. The
+	// merged output is in order, so it belongs to the sequence space.
+	name := fmt.Sprintf("%06d.seq.tsf", e.fileSeq)
+	path := filepath.Join(e.opts.Dir, name)
+	var newReader *tsfile.Reader
+	if len(merged) > 0 {
+		w, err := tsfile.Create(path)
+		if err != nil {
+			return err
+		}
+		for _, id := range ids {
+			data := merged[id]
+			for len(data) > 0 {
+				n := len(data)
+				if n > e.opts.FlushThreshold {
+					n = e.opts.FlushThreshold
+				}
+				if _, err := w.WriteChunk(id, e.nextVer, e.opts.Codec, data[:n]); err != nil {
+					w.Abort()
+					return err
+				}
+				e.nextVer++
+				data = data[n:]
+			}
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		newReader, err = tsfile.Open(path)
+		if err != nil {
+			return fmt.Errorf("lsm: reopen compacted file: %w", err)
+		}
+		e.fileSeq++
+	}
+
+	// Retire the old generation. The files are unlinked but their
+	// handles stay open until engine Close, so snapshots taken before
+	// this compaction can still read the chunks they reference.
+	oldFiles := e.files
+	e.files = nil
+	e.chunks = make(map[string][]chunkEntry)
+	if newReader != nil {
+		e.files = append(e.files, newReader)
+		for _, m := range newReader.Metas() {
+			e.chunks[m.SeriesID] = append(e.chunks[m.SeriesID], chunkEntry{meta: m, src: e.sourceFor(newReader)})
+		}
+	}
+	for _, f := range oldFiles {
+		if err := os.Remove(f.Path()); err != nil {
+			return fmt.Errorf("lsm: remove pre-compaction file: %w", err)
+		}
+		e.retired = append(e.retired, f)
+	}
+	// The unsequence space is folded into the new sequence generation.
+	e.unseqFiles = 0
+	e.maxSeqTime = make(map[string]int64)
+	for id, data := range merged {
+		e.maxSeqTime[id] = data[len(data)-1].T
+	}
+	// Deletes are folded into the compacted chunks; reset the sidecar.
+	if err := e.resetModsLocked(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// resetModsLocked replaces the delete sidecar with an empty one.
+func (e *Engine) resetModsLocked() error {
+	path := filepath.Join(e.opts.Dir, "deletes.mods")
+	if err := e.mods.Close(); err != nil {
+		return fmt.Errorf("lsm: close mods: %w", err)
+	}
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("lsm: remove mods: %w", err)
+	}
+	mods, err := tsfile.OpenModLog(path)
+	if err != nil {
+		return fmt.Errorf("lsm: reopen mods: %w", err)
+	}
+	e.mods = mods
+	return nil
+}

@@ -1,0 +1,558 @@
+// Package lsm implements the write path of the storage engine: a WAL-backed
+// memtable that flushes read-only chunks into chunk files, a global version
+// counter ordering chunks and deletes (§2.2.1), and append-only range
+// deletes recorded in a mods sidecar (Definition 2.5).
+//
+// Mirroring the paper's experimental configuration (Table 4), there is no
+// compaction: chunks are immutable once flushed and out-of-order writes
+// produce chunks with overlapping time intervals, exactly the state the
+// M4-LSM operator is designed for. Queries obtain an immutable Snapshot of
+// chunk metadata plus deletes; the unflushed memtable is exposed to the
+// snapshot as an in-memory chunk with a version higher than any flushed
+// chunk.
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"m4lsm/internal/cache"
+	"m4lsm/internal/encoding"
+	"m4lsm/internal/series"
+	"m4lsm/internal/storage"
+	"m4lsm/internal/tsfile"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Dir is the database directory; it is created if missing.
+	Dir string
+	// FlushThreshold is the number of buffered points per series that
+	// triggers an automatic flush, and the maximum chunk size; it is the
+	// analogue of IoTDB's avg_series_point_number_threshold (Table 4
+	// sets it to 1000). Default 1000.
+	FlushThreshold int
+	// Codec selects the chunk encoding. Default CodecGorilla.
+	Codec encoding.Codec
+	// SyncWAL fsyncs the WAL on every write batch. Slower, durable.
+	SyncWAL bool
+	// DisableWAL skips write-ahead logging (used by bulk loaders that
+	// flush explicitly and can regenerate data).
+	DisableWAL bool
+	// ChunkCacheBytes bounds an LRU over decoded chunk columns shared by
+	// all queries. 0 (the default) disables caching — the paper's
+	// experiments run cold.
+	ChunkCacheBytes int64
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.FlushThreshold <= 0 {
+		out.FlushThreshold = 1000
+	}
+	if !out.Codec.Valid() {
+		out.Codec = encoding.CodecGorilla
+	}
+	return out
+}
+
+const (
+	walOpInsert byte = 1
+	walOpDelete byte = 2
+)
+
+// Engine is the LSM storage engine. All methods are safe for concurrent
+// use.
+type Engine struct {
+	opts Options
+
+	mu      sync.RWMutex
+	nextVer storage.Version
+	mem     map[string]series.Series // per-series unsorted write buffer
+	memPts  int
+	chunks  map[string][]chunkEntry // per-series flushed chunks
+	files   []*tsfile.Reader
+	retired []*tsfile.Reader // unlinked by compaction, kept open for live snapshots
+	fileSeq int
+	mods    *tsfile.ModLog
+	wal     *tsfile.RecordLog
+	cache   *cache.LRU // nil when caching is disabled
+	closed  bool
+
+	// Sequence/unsequence separation (reference [26]): per series, the
+	// largest timestamp flushed to the sequence space so far. Points at
+	// or before it are out-of-order and flush to unsequence files.
+	maxSeqTime map[string]int64
+	unseqFiles int
+}
+
+type chunkEntry struct {
+	meta storage.ChunkMeta
+	src  storage.ChunkSource
+}
+
+// Open opens (or creates) the database in opts.Dir, recovering state from
+// chunk files, the mods sidecar and the WAL.
+func Open(opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, errors.New("lsm: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lsm: %w", err)
+	}
+	e := &Engine{
+		opts:       opts,
+		nextVer:    1,
+		mem:        make(map[string]series.Series),
+		chunks:     make(map[string][]chunkEntry),
+		maxSeqTime: make(map[string]int64),
+	}
+	if opts.ChunkCacheBytes > 0 {
+		e.cache = cache.NewLRU(opts.ChunkCacheBytes)
+	}
+	if err := e.loadFiles(); err != nil {
+		return nil, err
+	}
+	mods, err := tsfile.OpenModLog(filepath.Join(opts.Dir, "deletes.mods"))
+	if err != nil {
+		return nil, fmt.Errorf("lsm: %w", err)
+	}
+	e.mods = mods
+	for _, d := range mods.All() {
+		if d.Version >= e.nextVer {
+			e.nextVer = d.Version + 1
+		}
+	}
+	if !opts.DisableWAL {
+		wal, recs, err := tsfile.OpenRecordLog(filepath.Join(opts.Dir, "wal"))
+		if err != nil {
+			mods.Close()
+			return nil, fmt.Errorf("lsm: %w", err)
+		}
+		e.wal = wal
+		for i, rec := range recs {
+			if err := e.replayWAL(rec); err != nil {
+				e.closeFiles()
+				mods.Close()
+				wal.Close()
+				return nil, fmt.Errorf("lsm: wal record %d: %w", i, err)
+			}
+		}
+	}
+	return e, nil
+}
+
+// loadFiles opens every readable chunk file in the directory. Files
+// without a valid footer (crash during flush) are renamed aside; their
+// contents are still in the WAL.
+func (e *Engine) loadFiles() error {
+	entries, err := os.ReadDir(e.opts.Dir)
+	if err != nil {
+		return fmt.Errorf("lsm: %w", err)
+	}
+	var names []string
+	for _, ent := range entries {
+		if !ent.IsDir() && strings.HasSuffix(ent.Name(), ".tsf") {
+			names = append(names, ent.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := filepath.Join(e.opts.Dir, name)
+		r, err := tsfile.Open(path)
+		if errors.Is(err, tsfile.ErrCorrupt) {
+			// Incomplete flush; set aside and rely on the WAL.
+			if rerr := os.Rename(path, path+".bad"); rerr != nil {
+				return fmt.Errorf("lsm: quarantine %s: %w", name, rerr)
+			}
+			continue
+		}
+		if err != nil {
+			e.closeFiles()
+			return fmt.Errorf("lsm: %w", err)
+		}
+		e.files = append(e.files, r)
+		if seq, ok := parseFileSeq(name); ok && seq >= e.fileSeq {
+			e.fileSeq = seq + 1
+		}
+		unseq := strings.HasSuffix(name, ".unseq.tsf")
+		if unseq {
+			e.unseqFiles++
+		}
+		for _, m := range r.Metas() {
+			e.chunks[m.SeriesID] = append(e.chunks[m.SeriesID], chunkEntry{meta: m, src: e.sourceFor(r)})
+			if m.Version >= e.nextVer {
+				e.nextVer = m.Version + 1
+			}
+			if !unseq {
+				if cur, ok := e.maxSeqTime[m.SeriesID]; !ok || m.Last.T > cur {
+					e.maxSeqTime[m.SeriesID] = m.Last.T
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func parseFileSeq(name string) (int, bool) {
+	base := strings.TrimSuffix(name, ".tsf")
+	base = strings.TrimSuffix(base, ".seq")
+	base = strings.TrimSuffix(base, ".unseq")
+	if base == "" {
+		return 0, false
+	}
+	seq := 0
+	for _, c := range base {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		seq = seq*10 + int(c-'0')
+	}
+	return seq, true
+}
+
+func (e *Engine) closeFiles() {
+	for _, f := range e.files {
+		f.Close()
+	}
+	e.files = nil
+	for _, f := range e.retired {
+		f.Close()
+	}
+	e.retired = nil
+}
+
+// Write buffers points for seriesID. Points may arrive in any order and may
+// overwrite earlier timestamps; the latest write for a timestamp wins. A
+// flush is triggered automatically when the buffer reaches FlushThreshold.
+func (e *Engine) Write(seriesID string, pts ...series.Point) error {
+	if len(pts) == 0 {
+		return nil
+	}
+	if seriesID == "" {
+		return errors.New("lsm: empty series id")
+	}
+	for _, p := range pts {
+		if math.IsNaN(p.V) {
+			return fmt.Errorf("lsm: NaN value at t=%d", p.T)
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return errors.New("lsm: engine closed")
+	}
+	if e.wal != nil {
+		if err := e.wal.Append(encodeInsert(seriesID, pts), e.opts.SyncWAL); err != nil {
+			return err
+		}
+	}
+	e.mem[seriesID] = append(e.mem[seriesID], pts...)
+	e.memPts += len(pts)
+	if len(e.mem[seriesID]) >= e.opts.FlushThreshold {
+		return e.flushLocked()
+	}
+	return nil
+}
+
+// Delete records an append-only range tombstone covering the closed range
+// [start, end] of seriesID (Definition 2.5). It applies to every chunk with
+// a smaller version and to the current memtable contents.
+func (e *Engine) Delete(seriesID string, start, end int64) error {
+	if end < start {
+		return fmt.Errorf("lsm: inverted delete range [%d,%d]", start, end)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return errors.New("lsm: engine closed")
+	}
+	d := storage.Delete{SeriesID: seriesID, Version: e.nextVer, Start: start, End: end}
+	e.nextVer++
+	if err := e.mods.Append(d); err != nil {
+		return err
+	}
+	if e.wal != nil {
+		if err := e.wal.Append(encodeDelete(d), e.opts.SyncWAL); err != nil {
+			return err
+		}
+	}
+	e.applyDeleteToMem(d)
+	return nil
+}
+
+// applyDeleteToMem removes covered points from the write buffer, so points
+// written before the delete die while later writes survive.
+func (e *Engine) applyDeleteToMem(d storage.Delete) {
+	buf := e.mem[d.SeriesID]
+	if len(buf) == 0 {
+		return
+	}
+	kept := buf[:0]
+	for _, p := range buf {
+		if !d.Covers(p.T) {
+			kept = append(kept, p)
+		}
+	}
+	e.memPts -= len(buf) - len(kept)
+	e.mem[d.SeriesID] = kept
+}
+
+// Flush persists the memtable as chunk files and clears the WAL.
+func (e *Engine) Flush() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return errors.New("lsm: engine closed")
+	}
+	return e.flushLocked()
+}
+
+// flushLocked persists the memtable, separating in-order data from
+// out-of-order arrivals the way IoTDB's sequence/unsequence spaces do
+// (reference [26] of the paper): per series, points later than everything
+// already flushed go to the sequence file (whose chunks never overlap
+// previously flushed ones), the rest to an unsequence file.
+func (e *Engine) flushLocked() error {
+	if e.memPts == 0 {
+		return nil
+	}
+	ids := make([]string, 0, len(e.mem))
+	for id, buf := range e.mem {
+		if len(buf) > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	seq := map[string]series.Series{}
+	unseq := map[string]series.Series{}
+	for _, id := range ids {
+		data := series.SortDedup(e.mem[id])
+		split := 0
+		if maxT, ok := e.maxSeqTime[id]; ok {
+			split = sort.Search(len(data), func(i int) bool { return data[i].T > maxT })
+		}
+		if split > 0 {
+			unseq[id] = data[:split]
+		}
+		if split < len(data) {
+			seq[id] = data[split:]
+			e.maxSeqTime[id] = data[len(data)-1].T
+		}
+	}
+	if err := e.writeSpaceFile(ids, unseq, "unseq"); err != nil {
+		return err
+	}
+	if err := e.writeSpaceFile(ids, seq, "seq"); err != nil {
+		return err
+	}
+	e.mem = make(map[string]series.Series)
+	e.memPts = 0
+	if e.wal != nil {
+		if err := e.wal.Reset(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSpaceFile flushes one space's per-series data as a chunk file and
+// registers its chunks. Chunks are split at FlushThreshold points so big
+// batches still yield paper-sized chunks.
+func (e *Engine) writeSpaceFile(ids []string, bySeries map[string]series.Series, space string) error {
+	if len(bySeries) == 0 {
+		return nil
+	}
+	name := fmt.Sprintf("%06d.%s.tsf", e.fileSeq, space)
+	path := filepath.Join(e.opts.Dir, name)
+	w, err := tsfile.Create(path)
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		data := bySeries[id]
+		for len(data) > 0 {
+			n := len(data)
+			if n > e.opts.FlushThreshold {
+				n = e.opts.FlushThreshold
+			}
+			if _, err := w.WriteChunk(id, e.nextVer, e.opts.Codec, data[:n]); err != nil {
+				w.Abort()
+				return err
+			}
+			e.nextVer++
+			data = data[n:]
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	r, err := tsfile.Open(path)
+	if err != nil {
+		return fmt.Errorf("lsm: reopen flushed file: %w", err)
+	}
+	e.files = append(e.files, r)
+	e.fileSeq++
+	if space == "unseq" {
+		e.unseqFiles++
+	}
+	for _, m := range r.Metas() {
+		e.chunks[m.SeriesID] = append(e.chunks[m.SeriesID], chunkEntry{meta: m, src: e.sourceFor(r)})
+	}
+	return nil
+}
+
+// Snapshot returns an immutable view of seriesID for the half-open query
+// range r: every chunk whose closed interval overlaps r plus every delete
+// intersecting it. The unflushed memtable appears as one in-memory chunk
+// with a version above all flushed chunks.
+func (e *Engine) Snapshot(seriesID string, r series.TimeRange) (*storage.Snapshot, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return nil, errors.New("lsm: engine closed")
+	}
+	stats := &storage.Stats{}
+	snap := &storage.Snapshot{SeriesID: seriesID, Stats: stats}
+	for _, ce := range e.chunks[seriesID] {
+		if ce.meta.OverlapsRange(r) {
+			snap.Chunks = append(snap.Chunks, storage.NewChunkRef(ce.meta, ce.src, stats))
+		}
+	}
+	if buf := e.mem[seriesID]; len(buf) > 0 {
+		data := series.SortDedup(buf.Clone())
+		memSrc := storage.NewMemSource()
+		meta, err := memSrc.AddChunk(seriesID, e.nextVer, data)
+		if err != nil {
+			return nil, fmt.Errorf("lsm: memtable snapshot: %w", err)
+		}
+		if meta.OverlapsRange(r) {
+			snap.Chunks = append(snap.Chunks, storage.NewChunkRef(meta, memSrc, stats))
+		}
+	}
+	for _, d := range e.mods.ForSeries(seriesID) {
+		if d.Start < r.End && d.End >= r.Start {
+			snap.Deletes = append(snap.Deletes, d)
+		}
+	}
+	return snap, nil
+}
+
+// SeriesIDs lists every series with buffered or flushed data, sorted.
+func (e *Engine) SeriesIDs() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	set := make(map[string]bool, len(e.chunks)+len(e.mem))
+	for id := range e.chunks {
+		set[id] = true
+	}
+	for id, buf := range e.mem {
+		if len(buf) > 0 {
+			set[id] = true
+		}
+	}
+	ids := make([]string, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Info summarizes engine state for tooling.
+type Info struct {
+	Files          int
+	UnseqFiles     int // files holding out-of-order (unsequence) data
+	Chunks         int
+	MemtablePoints int
+	NextVersion    storage.Version
+	Deletes        int
+}
+
+// Info returns a snapshot of engine statistics.
+func (e *Engine) Info() Info {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	n := 0
+	for _, cs := range e.chunks {
+		n += len(cs)
+	}
+	return Info{
+		Files:          len(e.files),
+		UnseqFiles:     e.unseqFiles,
+		Chunks:         n,
+		MemtablePoints: e.memPts,
+		NextVersion:    e.nextVer,
+		Deletes:        len(e.mods.All()),
+	}
+}
+
+// Close flushes the memtable and releases all file handles.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	err := e.flushLocked()
+	e.closed = true
+	e.closeFiles()
+	if e.mods != nil {
+		if cerr := e.mods.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if e.wal != nil {
+		if cerr := e.wal.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// replayWAL applies one recovered WAL record to the memtable.
+func (e *Engine) replayWAL(rec []byte) error {
+	if len(rec) == 0 {
+		return errors.New("empty record")
+	}
+	switch rec[0] {
+	case walOpInsert:
+		id, pts, err := decodeInsert(rec[1:])
+		if err != nil {
+			return err
+		}
+		e.mem[id] = append(e.mem[id], pts...)
+		e.memPts += len(pts)
+		return nil
+	case walOpDelete:
+		d, err := decodeWALDelete(rec[1:])
+		if err != nil {
+			return err
+		}
+		e.applyDeleteToMem(d)
+		return nil
+	default:
+		return fmt.Errorf("unknown wal op %d", rec[0])
+	}
+}
+
+// sourceFor wraps a chunk file reader with the engine's shared cache when
+// caching is enabled.
+func (e *Engine) sourceFor(r *tsfile.Reader) storage.ChunkSource {
+	if e.cache == nil {
+		return r
+	}
+	return cache.Wrap(r, e.cache)
+}
+
+// CacheStats reports chunk-cache effectiveness; zero when caching is off.
+func (e *Engine) CacheStats() cache.Stats {
+	return e.cache.Stats()
+}

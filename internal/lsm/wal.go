@@ -1,0 +1,101 @@
+package lsm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"m4lsm/internal/encoding"
+	"m4lsm/internal/series"
+	"m4lsm/internal/storage"
+)
+
+// WAL payloads. Record framing (length + CRC) is provided by
+// tsfile.RecordLog; these encode the payload bytes only.
+//
+//	insert: 0x01 | uvarint len(id) | id | uvarint n | n × (varint t, 8B v)
+//	delete: 0x02 | uvarint len(id) | id | uvarint version | varint start | varint end
+
+func encodeInsert(seriesID string, pts []series.Point) []byte {
+	buf := []byte{walOpInsert}
+	buf = encoding.AppendUvarint(buf, uint64(len(seriesID)))
+	buf = append(buf, seriesID...)
+	buf = encoding.AppendUvarint(buf, uint64(len(pts)))
+	for _, p := range pts {
+		buf = encoding.AppendVarint(buf, p.T)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.V))
+	}
+	return buf
+}
+
+func decodeInsert(b []byte) (string, []series.Point, error) {
+	idLen, b, err := encoding.Uvarint(b)
+	if err != nil {
+		return "", nil, err
+	}
+	if idLen > uint64(len(b)) {
+		return "", nil, fmt.Errorf("wal insert: id length %d", idLen)
+	}
+	id := string(b[:idLen])
+	b = b[idLen:]
+	n, b, err := encoding.Uvarint(b)
+	if err != nil {
+		return "", nil, err
+	}
+	pts := make([]series.Point, 0, n)
+	for i := uint64(0); i < n; i++ {
+		t, rest, err := encoding.Varint(b)
+		if err != nil {
+			return "", nil, err
+		}
+		b = rest
+		if len(b) < 8 {
+			return "", nil, fmt.Errorf("wal insert: truncated value %d", i)
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(b))
+		b = b[8:]
+		pts = append(pts, series.Point{T: t, V: v})
+	}
+	if len(b) != 0 {
+		return "", nil, fmt.Errorf("wal insert: %d trailing bytes", len(b))
+	}
+	return id, pts, nil
+}
+
+func encodeDelete(d storage.Delete) []byte {
+	buf := []byte{walOpDelete}
+	buf = encoding.AppendUvarint(buf, uint64(len(d.SeriesID)))
+	buf = append(buf, d.SeriesID...)
+	buf = encoding.AppendUvarint(buf, uint64(d.Version))
+	buf = encoding.AppendVarint(buf, d.Start)
+	buf = encoding.AppendVarint(buf, d.End)
+	return buf
+}
+
+func decodeWALDelete(b []byte) (storage.Delete, error) {
+	var d storage.Delete
+	idLen, b, err := encoding.Uvarint(b)
+	if err != nil {
+		return d, err
+	}
+	if idLen > uint64(len(b)) {
+		return d, fmt.Errorf("wal delete: id length %d", idLen)
+	}
+	d.SeriesID = string(b[:idLen])
+	b = b[idLen:]
+	ver, b, err := encoding.Uvarint(b)
+	if err != nil {
+		return d, err
+	}
+	d.Version = storage.Version(ver)
+	if d.Start, b, err = encoding.Varint(b); err != nil {
+		return d, err
+	}
+	if d.End, b, err = encoding.Varint(b); err != nil {
+		return d, err
+	}
+	if len(b) != 0 {
+		return d, fmt.Errorf("wal delete: %d trailing bytes", len(b))
+	}
+	return d, nil
+}

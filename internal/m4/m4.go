@@ -1,0 +1,191 @@
+// Package m4 defines the M4 representation of Definitions 2.1–2.3: the four
+// representation functions FirstPoint, LastPoint, BottomPoint and TopPoint,
+// the derivation of the w time spans of a query, and a streaming reference
+// implementation that computes the representation of an already-merged
+// series. The streaming implementation is both the M4-UDF building block
+// and the ground truth the M4-LSM operator is tested against.
+package m4
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"m4lsm/internal/series"
+)
+
+// Query is an M4 representation query (Definition 2.3): the half-open time
+// range [Tqs, Tqe) divided into W equal time spans, one per pixel column.
+type Query struct {
+	Tqs int64 // query start, inclusive
+	Tqe int64 // query end, exclusive
+	W   int   // number of time spans (pixel columns)
+}
+
+// Validate checks the query parameters.
+func (q Query) Validate() error {
+	if q.W <= 0 {
+		return fmt.Errorf("m4: w must be positive, got %d", q.W)
+	}
+	if q.Tqe <= q.Tqs {
+		return fmt.Errorf("m4: empty query range [%d, %d)", q.Tqs, q.Tqe)
+	}
+	return nil
+}
+
+// Range returns the whole query range.
+func (q Query) Range() series.TimeRange {
+	return series.TimeRange{Start: q.Tqs, End: q.Tqe}
+}
+
+// Span returns the i-th time span I_{i+1} (0-based i in [0, W)). Boundaries
+// use the integer form of the paper's SQL grouping (Appendix A.1): point t
+// belongs to span floor(W*(t-Tqs)/(Tqe-Tqs)), so span i covers
+// [Tqs+ceil(i*len/W), Tqs+ceil((i+1)*len/W)). With this formulation Span
+// and SpanIndex agree exactly with no floating-point drift.
+func (q Query) Span(i int) series.TimeRange {
+	length := q.Tqe - q.Tqs
+	return series.TimeRange{
+		Start: q.Tqs + ceilDiv(int64(i)*length, int64(q.W)),
+		End:   q.Tqs + ceilDiv(int64(i+1)*length, int64(q.W)),
+	}
+}
+
+// SpanIndex returns the 0-based span containing t, or -1 if t lies outside
+// the query range.
+func (q Query) SpanIndex(t int64) int {
+	if t < q.Tqs || t >= q.Tqe {
+		return -1
+	}
+	return int(int64(q.W) * (t - q.Tqs) / (q.Tqe - q.Tqs))
+}
+
+func ceilDiv(a, b int64) int64 {
+	d := a / b
+	if a%b != 0 && (a > 0) == (b > 0) {
+		d++
+	}
+	return d
+}
+
+// Aggregate is the result of the four representation functions on one time
+// span. When Empty is true the span contains no (latest) points and the
+// four points are meaningless.
+type Aggregate struct {
+	First  series.Point // FP(T_i)
+	Last   series.Point // LP(T_i)
+	Bottom series.Point // BP(T_i): any point with the minimal value
+	Top    series.Point // TP(T_i): any point with the maximal value
+	Empty  bool
+}
+
+// Observe folds one point into the aggregate. Points must arrive in
+// increasing time order; an Empty aggregate is initialized by its first
+// point.
+func (a *Aggregate) Observe(p series.Point) {
+	if a.Empty {
+		*a = Aggregate{First: p, Last: p, Bottom: p, Top: p}
+		return
+	}
+	a.Last = p
+	if p.V < a.Bottom.V {
+		a.Bottom = p
+	}
+	if p.V > a.Top.V {
+		a.Top = p
+	}
+}
+
+func (a Aggregate) String() string {
+	if a.Empty {
+		return "{empty}"
+	}
+	return fmt.Sprintf("{first=%v last=%v bottom=%v top=%v}", a.First, a.Last, a.Bottom, a.Top)
+}
+
+// Equivalent reports whether two aggregates are interchangeable for
+// visualization: FP and LP must match exactly (inter-column pixels depend
+// on their times and values), while BP and TP need only agree on value
+// (inner-column pixels depend on values alone; Definition 2.1 allows any
+// extremal point).
+func Equivalent(a, b Aggregate) bool {
+	if a.Empty != b.Empty {
+		return false
+	}
+	if a.Empty {
+		return true
+	}
+	return a.First == b.First && a.Last == b.Last &&
+		a.Bottom.V == b.Bottom.V && a.Top.V == b.Top.V
+}
+
+// ErrUnsorted reports out-of-order input to the streaming computation.
+var ErrUnsorted = errors.New("m4: input points not in increasing time order")
+
+// ComputeStream runs the M4 representation query over a stream of latest
+// points in strictly increasing time order (e.g. a mergeread.Iterator),
+// returning one aggregate per span. Spans without points are marked Empty.
+func ComputeStream(q Query, next func() (series.Point, bool)) ([]Aggregate, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]Aggregate, q.W)
+	for i := range out {
+		out[i].Empty = true
+	}
+	prevT := int64(0)
+	first := true
+	for {
+		p, ok := next()
+		if !ok {
+			break
+		}
+		if !first && p.T <= prevT {
+			return nil, fmt.Errorf("%w: t=%d after t=%d", ErrUnsorted, p.T, prevT)
+		}
+		first = false
+		prevT = p.T
+		i := q.SpanIndex(p.T)
+		if i < 0 {
+			continue
+		}
+		out[i].Observe(p)
+	}
+	return out, nil
+}
+
+// ComputeSeries runs the M4 representation query over an in-memory merged
+// series (the reference used by tests and by the pixel-error validation).
+func ComputeSeries(q Query, s series.Series) ([]Aggregate, error) {
+	i := 0
+	return ComputeStream(q, func() (series.Point, bool) {
+		if i >= len(s) {
+			return series.Point{}, false
+		}
+		p := s[i]
+		i++
+		return p, true
+	})
+}
+
+// Points flattens aggregates into the reduced series M4 renders: for every
+// non-empty span the first, bottom/top (in time order) and last points,
+// deduplicated and sorted by time. This is the series a client draws.
+func Points(aggs []Aggregate) series.Series {
+	out := make(series.Series, 0, 4*len(aggs))
+	for _, a := range aggs {
+		if a.Empty {
+			continue
+		}
+		out = append(out, a.First, a.Bottom, a.Top, a.Last)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].T < out[j].T })
+	dedup := out[:0]
+	for i, p := range out {
+		if i > 0 && p.T == dedup[len(dedup)-1].T {
+			continue // the same merged series cannot carry two values per t
+		}
+		dedup = append(dedup, p)
+	}
+	return dedup
+}

@@ -1,0 +1,668 @@
+// Package m4lsm implements the paper's contribution: the chunk-merge-free
+// M4 operator of §3 (Fig. 2(c), Algorithm 1). For every time span and every
+// representation function G ∈ {FP, LP, BP, TP} it iterates candidate
+// generation from chunk metadata (§3.2) and candidate verification
+// (§3.3/§3.4), loading chunk data only lazily:
+//
+//   - The span boundaries act as virtual deletes with infinite version
+//     (§3.1): a chunk fully inside the span keeps its metadata; a chunk
+//     split by the span keeps only bounds (its restricted FP/LP time is
+//     bounded by the span edge, its restricted BP/TP value is bounded by
+//     the chunk-wide extremum).
+//   - FP/LP candidates are verified against later deletes only
+//     (Proposition 3.1). A refuted candidate updates the chunk's time
+//     bound by the delete boundary without loading the chunk; if the
+//     bound stays competitive the chunk's timestamps are fetched (a
+//     partial load) and the chunk index finds the closest surviving
+//     timestamp (Table 1 case b), and the chunk data is loaded only if
+//     that timestamp actually wins the span.
+//   - BP/TP candidates are additionally verified against later chunks
+//     containing a point at the candidate's timestamp (Proposition 3.3),
+//     an existence probe on the later chunk's timestamps via the step-
+//     regression index (Table 1 case a) — again a partial load.
+//   - Only when a chunk's metadata can no longer answer (its extremum was
+//     deleted or overwritten, or the span splits it) is the chunk loaded
+//     and its metadata recalculated under deletes and known overwrites
+//     (Table 1 case c).
+//
+// The operator never merges chunks; its output is equivalent (in the sense
+// of m4.Equivalent) to running the original M4 over the merged series.
+package m4lsm
+
+import (
+	"fmt"
+	"sort"
+
+	"m4lsm/internal/m4"
+	"m4lsm/internal/series"
+	"m4lsm/internal/stepreg"
+	"m4lsm/internal/storage"
+)
+
+// Options tune the operator; the zero value is the paper's configuration.
+// The non-default settings exist for the ablation studies in DESIGN.md §6.
+type Options struct {
+	// DisableStepIndex replaces step-regression probes with plain binary
+	// search.
+	DisableStepIndex bool
+	// EagerLoad materializes every overlapping chunk up front instead of
+	// loading lazily.
+	EagerLoad bool
+	// DisablePartialLoad makes timestamp probes load full chunks instead
+	// of the timestamp block only.
+	DisablePartialLoad bool
+}
+
+// Compute runs the M4 representation query with default options.
+func Compute(snap *storage.Snapshot, q m4.Query) ([]m4.Aggregate, error) {
+	return ComputeWithOptions(snap, q, Options{})
+}
+
+// ComputeWithOptions runs the M4 representation query over the snapshot's
+// chunks and deletes without merging chunks.
+func ComputeWithOptions(snap *storage.Snapshot, q m4.Query, opts Options) ([]m4.Aggregate, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	op := &operator{snap: snap, q: q, opts: opts, stats: snap.Stats}
+	if op.stats == nil {
+		op.stats = &storage.Stats{}
+	}
+	// One shared state per chunk: loads and indexes are reused across
+	// spans and representation functions.
+	op.states = make([]*chunkState, len(snap.Chunks))
+	for i, ref := range snap.Chunks {
+		op.states[i] = &chunkState{ref: ref, meta: ref.Meta}
+	}
+	// Deletes sorted by version so bound-tightening chains terminate; the
+	// interval index answers per-point coverage checks during metadata
+	// recalculation in O(log D) (the delete-sort of reference [1]).
+	op.deletes = append([]storage.Delete(nil), snap.Deletes...)
+	sort.Slice(op.deletes, func(i, j int) bool { return op.deletes[i].Version < op.deletes[j].Version })
+	op.deleteIx = storage.NewDeleteIndex(op.deletes)
+
+	// Distribute chunks to spans by index interval instead of scanning
+	// all chunks per span.
+	perSpan := make([][]*chunkState, q.W)
+	for _, cs := range op.states {
+		lo := clampSpan(q, cs.meta.First.T)
+		hi := clampSpan(q, cs.meta.Last.T)
+		for i := lo; i <= hi; i++ {
+			// Guard against zero-width spans produced by W > range.
+			if s := q.Span(i); cs.meta.OverlapsRange(s) {
+				perSpan[i] = append(perSpan[i], cs)
+			}
+		}
+	}
+
+	out := make([]m4.Aggregate, q.W)
+	for i := 0; i < q.W; i++ {
+		agg, err := op.computeSpan(q.Span(i), perSpan[i])
+		if err != nil {
+			return nil, fmt.Errorf("m4lsm: span %d: %w", i, err)
+		}
+		out[i] = agg
+	}
+	for _, cs := range op.states {
+		if !cs.hasData && !cs.hasTimes {
+			op.stats.ChunksPruned++
+		}
+	}
+	return out, nil
+}
+
+func clampSpan(q m4.Query, t int64) int {
+	if t < q.Tqs {
+		t = q.Tqs
+	}
+	if t >= q.Tqe {
+		t = q.Tqe - 1
+	}
+	return q.SpanIndex(t)
+}
+
+type operator struct {
+	snap     *storage.Snapshot
+	q        m4.Query
+	opts     Options
+	stats    *storage.Stats
+	states   []*chunkState
+	deletes  []storage.Delete // sorted by version
+	deleteIx *storage.DeleteIndex
+}
+
+// chunkState caches per-chunk loads across spans and functions.
+type chunkState struct {
+	ref      storage.ChunkRef
+	meta     storage.ChunkMeta
+	data     series.Series
+	times    []int64
+	probe    stepreg.Probe
+	hasData  bool
+	hasTimes bool
+}
+
+func (op *operator) ensureTimes(cs *chunkState) error {
+	if cs.hasTimes {
+		return nil
+	}
+	if op.opts.DisablePartialLoad {
+		return op.ensureData(cs)
+	}
+	ts, err := cs.ref.LoadTimes()
+	if err != nil {
+		return err
+	}
+	cs.times = ts
+	cs.buildProbe(op.opts)
+	cs.hasTimes = true
+	return nil
+}
+
+func (op *operator) ensureData(cs *chunkState) error {
+	if cs.hasData {
+		return nil
+	}
+	data, err := cs.ref.Load()
+	if err != nil {
+		return err
+	}
+	cs.data = data
+	if !cs.hasTimes {
+		cs.times = data.Times()
+		cs.buildProbe(op.opts)
+		cs.hasTimes = true
+	}
+	cs.hasData = true
+	return nil
+}
+
+func (cs *chunkState) buildProbe(opts Options) {
+	if opts.DisableStepIndex {
+		cs.probe = stepreg.NewPlain(cs.times)
+	} else {
+		cs.probe = stepreg.Build(cs.times)
+	}
+}
+
+// exists probes whether the chunk contains a point at exactly t
+// (Table 1 case a).
+func (op *operator) exists(cs *chunkState, t int64) (bool, error) {
+	if err := op.ensureTimes(cs); err != nil {
+		return false, err
+	}
+	op.stats.IndexProbes++
+	op.stats.ExistProbes++
+	return cs.probe.Exists(t), nil
+}
+
+// gState tracks what a view knows about one representation point.
+type gState uint8
+
+const (
+	// stPoint: an actual chunk point from clean metadata; deletes not yet
+	// verified against it.
+	stPoint gState = iota
+	// stVerifiedPoint: a surviving point recomputed from loaded data
+	// under deletes and known overwrites.
+	stVerifiedPoint
+	// stBoundTime (FP/LP only): pt.T bounds the restricted time
+	// (true FP.t >= bound / true LP.t <= bound); the value is unknown.
+	stBoundTime
+	// stVerifiedTime (FP/LP only): pt.T is an exact surviving timestamp
+	// found by an index probe; the value is not loaded yet.
+	stVerifiedTime
+	// stBoundValue (BP/TP only): pt.V bounds the restricted extremum
+	// (true BP.v >= bound / true TP.v <= bound); the chunk is split by
+	// the span and its extremum lies outside it.
+	stBoundValue
+)
+
+type gSlot struct {
+	st gState
+	pt series.Point
+}
+
+// view is one chunk restricted to one span (an element of C” in §3.1).
+type view struct {
+	cs           *chunkState
+	ver          storage.Version
+	first        gSlot
+	last         gSlot
+	bottom       gSlot
+	top          gSlot
+	excluded     map[int64]bool // timestamps verified overwritten by later chunks
+	live         series.Series  // surviving span points, set by materialize
+	materialized bool
+	dead         bool // no surviving points in the span
+}
+
+// spanComputer runs the four candidate loops for one span.
+type spanComputer struct {
+	op    *operator
+	span  series.TimeRange
+	views []*view
+}
+
+func (op *operator) computeSpan(span series.TimeRange, chunks []*chunkState) (m4.Aggregate, error) {
+	if span.Empty() || len(chunks) == 0 {
+		return m4.Aggregate{Empty: true}, nil
+	}
+	sc := &spanComputer{op: op, span: span}
+	for _, cs := range chunks {
+		sc.views = append(sc.views, sc.newView(cs))
+	}
+	if op.opts.EagerLoad {
+		for _, v := range sc.views {
+			if err := sc.materialize(v); err != nil {
+				return m4.Aggregate{}, err
+			}
+		}
+	}
+	first, ok, err := sc.computeTimeExtreme(true)
+	if err != nil {
+		return m4.Aggregate{}, err
+	}
+	if !ok {
+		return m4.Aggregate{Empty: true}, nil
+	}
+	last, ok, err := sc.computeTimeExtreme(false)
+	if err != nil {
+		return m4.Aggregate{}, err
+	}
+	if !ok {
+		return m4.Aggregate{}, fmt.Errorf("internal: LP empty after FP found %v", first)
+	}
+	bottom, ok, err := sc.computeValueExtreme(true)
+	if err != nil {
+		return m4.Aggregate{}, err
+	}
+	if !ok {
+		return m4.Aggregate{}, fmt.Errorf("internal: BP empty after FP found %v", first)
+	}
+	top, ok, err := sc.computeValueExtreme(false)
+	if err != nil {
+		return m4.Aggregate{}, err
+	}
+	if !ok {
+		return m4.Aggregate{}, fmt.Errorf("internal: TP empty after FP found %v", first)
+	}
+	return m4.Aggregate{First: first, Last: last, Bottom: bottom, Top: top}, nil
+}
+
+// newView restricts chunk metadata to the span: the virtual deletes of
+// §3.1. Metadata points falling outside the span degrade to bounds.
+func (sc *spanComputer) newView(cs *chunkState) *view {
+	m := cs.meta
+	v := &view{cs: cs, ver: m.Version, excluded: map[int64]bool{}}
+	if m.First.T >= sc.span.Start {
+		v.first = gSlot{st: stPoint, pt: m.First}
+	} else {
+		v.first = gSlot{st: stBoundTime, pt: series.Point{T: sc.span.Start}}
+	}
+	if m.Last.T < sc.span.End {
+		v.last = gSlot{st: stPoint, pt: m.Last}
+	} else {
+		v.last = gSlot{st: stBoundTime, pt: series.Point{T: sc.span.End - 1}}
+	}
+	if sc.span.Contains(m.Bottom.T) {
+		v.bottom = gSlot{st: stPoint, pt: m.Bottom}
+	} else {
+		v.bottom = gSlot{st: stBoundValue, pt: series.Point{V: m.Bottom.V}}
+	}
+	if sc.span.Contains(m.Top.T) {
+		v.top = gSlot{st: stPoint, pt: m.Top}
+	} else {
+		v.top = gSlot{st: stBoundValue, pt: series.Point{V: m.Top.V}}
+	}
+	return v
+}
+
+// deletedLater returns a delete with a larger version than ver covering t,
+// i.e. the ⊨ test of Propositions 3.1/3.3.
+func (sc *spanComputer) deletedLater(t int64, ver storage.Version) (storage.Delete, bool) {
+	for _, d := range sc.op.deletes {
+		if d.Version > ver && d.Covers(t) {
+			return d, true
+		}
+	}
+	return storage.Delete{}, false
+}
+
+// overwrittenLater reports whether any later chunk in the span contains a
+// point at exactly t (the first condition of Proposition 3.3). Per
+// Definition 2.7 this holds regardless of whether that later point is
+// itself deleted.
+func (sc *spanComputer) overwrittenLater(t int64, ver storage.Version) (bool, error) {
+	for _, w := range sc.views {
+		if w.ver <= ver {
+			continue
+		}
+		if t < w.cs.meta.First.T || t > w.cs.meta.Last.T {
+			continue
+		}
+		ok, err := sc.op.exists(w.cs, t)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// materialize loads the chunk and recalculates the view's metadata under
+// the span, deletes and known overwrites (Table 1 case c).
+func (sc *spanComputer) materialize(v *view) error {
+	if err := sc.op.ensureData(v.cs); err != nil {
+		return err
+	}
+	v.materialized = true
+	sc.recompute(v)
+	return nil
+}
+
+// recompute refreshes a materialized view's slots from its surviving span
+// points.
+func (sc *spanComputer) recompute(v *view) {
+	base := v.cs.data.Slice(sc.span)
+	live := make(series.Series, 0, len(base))
+	for _, p := range base {
+		if v.excluded[p.T] {
+			continue
+		}
+		if sc.op.deleteIx.Covered(p.T, v.ver) {
+			continue
+		}
+		live = append(live, p)
+	}
+	v.live = live
+	if len(live) == 0 {
+		v.dead = true
+		return
+	}
+	first, last, bottom, top, _ := storage.ComputeMeta(live)
+	v.first = gSlot{st: stVerifiedPoint, pt: first}
+	v.last = gSlot{st: stVerifiedPoint, pt: last}
+	v.bottom = gSlot{st: stVerifiedPoint, pt: bottom}
+	v.top = gSlot{st: stVerifiedPoint, pt: top}
+}
+
+// timeSlot selects the FP or LP slot.
+func (v *view) timeSlot(isFirst bool) *gSlot {
+	if isFirst {
+		return &v.first
+	}
+	return &v.last
+}
+
+// valueSlot selects the BP or TP slot.
+func (v *view) valueSlot(isBottom bool) *gSlot {
+	if isBottom {
+		return &v.bottom
+	}
+	return &v.top
+}
+
+// computeTimeExtreme runs the FP (isFirst) or LP candidate loop of §3.3.
+func (sc *spanComputer) computeTimeExtreme(isFirst bool) (series.Point, bool, error) {
+	// better reports whether time a beats time b for this function.
+	better := func(a, b int64) bool {
+		if isFirst {
+			return a < b
+		}
+		return a > b
+	}
+	for {
+		sc.op.stats.CandidateRounds++
+		// Candidate generation (§3.2): the extreme time over all views,
+		// bounds included; among equal times the largest version.
+		var best *view
+		for _, v := range sc.views {
+			if v.dead {
+				continue
+			}
+			slot := v.timeSlot(isFirst)
+			if best == nil {
+				best = v
+				continue
+			}
+			bt := best.timeSlot(isFirst).pt.T
+			switch {
+			case better(slot.pt.T, bt):
+				best = v
+			case slot.pt.T == bt && preferred(slot.st, v.ver, best.timeSlot(isFirst).st, best.ver):
+				best = v
+			}
+		}
+		if best == nil {
+			return series.Point{}, false, nil
+		}
+		slot := best.timeSlot(isFirst)
+		switch slot.st {
+		case stBoundTime:
+			// The bound is competitive; tighten it to an actual
+			// surviving timestamp with a partial load and an index
+			// probe (Table 1 case b).
+			if err := sc.resolveTimeBound(best, isFirst); err != nil {
+				return series.Point{}, false, err
+			}
+		case stVerifiedTime:
+			// The winning timestamp needs its value: load the chunk.
+			if err := sc.materialize(best); err != nil {
+				return series.Point{}, false, err
+			}
+		case stPoint:
+			// Candidate verification (Proposition 3.1): only later
+			// deletes can refute an FP/LP candidate.
+			if d, ok := sc.deletedLater(slot.pt.T, best.ver); ok {
+				// Lazy load (§3.3): move the time bound to the delete
+				// boundary without touching chunk data.
+				sc.refuteTimeByDelete(best, isFirst, d)
+				continue
+			}
+			return slot.pt, true, nil
+		case stVerifiedPoint:
+			// Recomputed under deletes already; nothing can refute it
+			// (Proposition 3.1 again: overwrites cannot apply to the
+			// minimal/maximal surviving time with the largest version).
+			return slot.pt, true, nil
+		}
+	}
+}
+
+// preferred orders tied candidates: resolvable bounds first (they may hide
+// an earlier/later or same-time higher-version point), then timestamps
+// needing value loads, then actual points by descending version.
+func preferred(aSt gState, aVer storage.Version, bSt gState, bVer storage.Version) bool {
+	rank := func(st gState) int {
+		switch st {
+		case stBoundTime, stBoundValue:
+			return 2
+		case stVerifiedTime:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if ra, rb := rank(aSt), rank(bSt); ra != rb {
+		return ra > rb
+	}
+	return aVer > bVer
+}
+
+// preferredValue orders tied BP/TP candidates the other way around: a
+// verified point at the extreme value is already an acceptable answer
+// (Definition 2.1 allows any extremal point), so actual points beat bounds
+// and avoid loading the bound's chunk; among points the larger version is
+// more likely the latest.
+func preferredValue(aSt gState, aVer storage.Version, bSt gState, bVer storage.Version) bool {
+	aBound := aSt == stBoundValue
+	bBound := bSt == stBoundValue
+	if aBound != bBound {
+		return bBound
+	}
+	return aVer > bVer
+}
+
+// refuteTimeByDelete applies the §3.3 lazy-load rule: the candidate is
+// covered by delete d, so the view's restricted FP.t (or LP.t) moves to
+// the delete boundary. If the bound leaves the span or the chunk interval,
+// every span point of the chunk is deleted and the view dies.
+func (sc *spanComputer) refuteTimeByDelete(v *view, isFirst bool, d storage.Delete) {
+	if isFirst {
+		bound := d.End + 1
+		if bound > sc.span.End-1 || bound > v.cs.meta.Last.T {
+			v.dead = true
+			return
+		}
+		v.first = gSlot{st: stBoundTime, pt: series.Point{T: bound}}
+		return
+	}
+	bound := d.Start - 1
+	if bound < sc.span.Start || bound < v.cs.meta.First.T {
+		v.dead = true
+		return
+	}
+	v.last = gSlot{st: stBoundTime, pt: series.Point{T: bound}}
+}
+
+// resolveTimeBound turns a stBoundTime slot into a stVerifiedTime slot (or
+// kills the view): partial-load the timestamps, find the closest point
+// after/before the bound with the chunk index, and chain over deletes.
+func (sc *spanComputer) resolveTimeBound(v *view, isFirst bool) error {
+	if err := sc.op.ensureTimes(v.cs); err != nil {
+		return err
+	}
+	slot := v.timeSlot(isFirst)
+	bound := slot.pt.T
+	for {
+		var t int64
+		sc.op.stats.IndexProbes++
+		sc.op.stats.BoundaryProbes++
+		if isFirst {
+			pos, ok := v.cs.probe.FirstAfter(bound - 1) // closest t >= bound
+			if !ok {
+				v.dead = true
+				return nil
+			}
+			t = v.cs.times[pos]
+			if t > sc.span.End-1 {
+				v.dead = true
+				return nil
+			}
+		} else {
+			pos, ok := v.cs.probe.LastBefore(bound + 1) // closest t <= bound
+			if !ok {
+				v.dead = true
+				return nil
+			}
+			t = v.cs.times[pos]
+			if t < sc.span.Start {
+				v.dead = true
+				return nil
+			}
+		}
+		d, refuted := sc.deletedLater(t, v.ver)
+		if !refuted {
+			*slot = gSlot{st: stVerifiedTime, pt: series.Point{T: t}}
+			return nil
+		}
+		if isFirst {
+			bound = d.End + 1
+			if bound > sc.span.End-1 || bound > v.cs.meta.Last.T {
+				v.dead = true
+				return nil
+			}
+		} else {
+			bound = d.Start - 1
+			if bound < sc.span.Start || bound < v.cs.meta.First.T {
+				v.dead = true
+				return nil
+			}
+		}
+	}
+}
+
+// computeValueExtreme runs the BP (isBottom) or TP candidate loop of §3.4.
+func (sc *spanComputer) computeValueExtreme(isBottom bool) (series.Point, bool, error) {
+	better := func(a, b float64) bool {
+		if isBottom {
+			return a < b
+		}
+		return a > b
+	}
+	for {
+		sc.op.stats.CandidateRounds++
+		// Candidate generation: extreme value over all views, bounds
+		// included (a bound under-estimates BP / over-estimates TP, so
+		// it can hide the true extremum and must win ties for
+		// resolution); among equals the largest version.
+		var best *view
+		for _, v := range sc.views {
+			if v.dead {
+				continue
+			}
+			slot := v.valueSlot(isBottom)
+			if best == nil {
+				best = v
+				continue
+			}
+			bv := best.valueSlot(isBottom).pt.V
+			switch {
+			case better(slot.pt.V, bv):
+				best = v
+			case slot.pt.V == bv && preferredValue(slot.st, v.ver, best.valueSlot(isBottom).st, best.ver):
+				best = v
+			}
+		}
+		if best == nil {
+			return series.Point{}, false, nil
+		}
+		slot := best.valueSlot(isBottom)
+		switch slot.st {
+		case stBoundValue:
+			// The chunk-wide extremum lies outside the span but bounds
+			// the in-span extremum; the chunk is split by the span and
+			// must be loaded (§4.1's "chunks split by M4 time spans").
+			if err := sc.materialize(best); err != nil {
+				return series.Point{}, false, err
+			}
+		case stPoint, stVerifiedPoint:
+			p := slot.pt
+			// Candidate verification (Proposition 3.3): later deletes
+			// (skipped for recomputed slots, which already applied
+			// them) and overwrites by later chunks.
+			if slot.st == stPoint {
+				if _, ok := sc.deletedLater(p.T, best.ver); ok {
+					// The metadata extremum is deleted; recalculate
+					// under deletes (Table 1 case c).
+					if err := sc.materialize(best); err != nil {
+						return series.Point{}, false, err
+					}
+					continue
+				}
+			}
+			over, err := sc.overwrittenLater(p.T, best.ver)
+			if err != nil {
+				return series.Point{}, false, err
+			}
+			if over {
+				// Lazy load (§3.4): exclude the overwritten point and
+				// recalculate; remaining metadata candidates of other
+				// chunks stay in play automatically via the loop.
+				best.excluded[p.T] = true
+				if best.materialized {
+					sc.recompute(best)
+				} else if err := sc.materialize(best); err != nil {
+					return series.Point{}, false, err
+				}
+				continue
+			}
+			return p, true, nil
+		default:
+			return series.Point{}, false, fmt.Errorf("internal: value slot in state %d", slot.st)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package m4ql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"m4lsm/internal/groupby"
+	"m4lsm/internal/lsm"
+	"m4lsm/internal/m4"
+	"m4lsm/internal/m4lsm"
+	"m4lsm/internal/m4udf"
+	"m4lsm/internal/storage"
+)
+
+// Result is the tabular output of an executed M4 query. Rows are one per
+// non-empty span: the 0-based span index followed by the projected columns.
+// Timestamps are reported as float64 (epoch milliseconds fit exactly).
+type Result struct {
+	Columns []string    `json:"columns"`
+	Rows    [][]float64 `json:"rows"`
+
+	// Execution metadata.
+	Operator  string        `json:"operator"`
+	Elapsed   time.Duration `json:"elapsedNs"`
+	Stats     storage.Stats `json:"stats"`
+	SpanCount int           `json:"spanCount"`
+}
+
+// Text renders the result as an aligned table for CLI output.
+func (r *Result) Text() string {
+	var sb strings.Builder
+	widths := make([]int, len(r.Columns))
+	cells := make([][]string, 0, len(r.Rows)+1)
+	cells = append(cells, r.Columns)
+	for _, row := range r.Rows {
+		line := make([]string, len(row))
+		for i, v := range row {
+			line[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		cells = append(cells, line)
+	}
+	for _, line := range cells {
+		for i, c := range line {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, line := range cells {
+		for i, c := range line {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "-- %d of %d spans non-empty, %s, %v, %v\n",
+		len(r.Rows), r.SpanCount, r.Operator, r.Elapsed.Round(time.Microsecond), &r.Stats)
+	return sb.String()
+}
+
+// Execute runs a parsed statement against the engine.
+func Execute(e *lsm.Engine, stmt Statement) (*Result, error) {
+	if len(stmt.Aggregates) > 0 {
+		return executeGroupBy(e, stmt)
+	}
+	snap, err := e.Snapshot(stmt.SeriesID, stmt.Query.Range())
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	var aggs []m4.Aggregate
+	switch stmt.Operator {
+	case OpUDF:
+		aggs, err = m4udf.Compute(snap, stmt.Query)
+	default:
+		aggs, err = m4lsm.Compute(snap, stmt.Query)
+	}
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	res := &Result{
+		Columns:   append([]string{"span"}, columnStrings(stmt.Columns)...),
+		Operator:  stmt.Operator.String(),
+		Elapsed:   elapsed,
+		Stats:     *snap.Stats,
+		SpanCount: stmt.Query.W,
+	}
+	for i, a := range aggs {
+		if a.Empty {
+			continue
+		}
+		row := make([]float64, 0, len(stmt.Columns)+1)
+		row = append(row, float64(i))
+		for _, c := range stmt.Columns {
+			row = append(row, cell(a, c))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// executeGroupBy runs the aggregate form of the query: one row per
+// non-empty span with the requested scalar functions. Envelope-only
+// function sets (min/max/first/last) execute merge-free via the M4-LSM
+// machinery; count/sum/avg scan the merged stream (the USING clause is
+// informational only for this form).
+func executeGroupBy(e *lsm.Engine, stmt Statement) (*Result, error) {
+	snap, err := e.Snapshot(stmt.SeriesID, stmt.Query.Range())
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	rows, err := groupby.Compute(snap, stmt.Query, stmt.Aggregates)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Columns:   []string{"span"},
+		Operator:  stmt.Operator.String(),
+		Elapsed:   time.Since(start),
+		Stats:     *snap.Stats,
+		SpanCount: stmt.Query.W,
+	}
+	for _, f := range stmt.Aggregates {
+		res.Columns = append(res.Columns, f.String())
+	}
+	for _, r := range rows {
+		row := make([]float64, 0, len(r.Values)+1)
+		row = append(row, float64(r.Span))
+		row = append(row, r.Values...)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Run parses and executes a query in one step. EXPLAIN statements execute
+// the query and return the plan/cost summary as a single-column result.
+func Run(e *lsm.Engine, query string) (*Result, error) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if stmt.Explain {
+		return nil, fmt.Errorf("m4ql: use Explain for EXPLAIN statements")
+	}
+	return Execute(e, stmt)
+}
+
+// Explain executes the statement and renders the physical plan with its
+// measured cost, the shape a user inspects to see whether the merge-free
+// operator pruned chunks.
+func Explain(e *lsm.Engine, stmt Statement) (string, error) {
+	res, err := Execute(e, stmt)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	op := "M4-LSM (chunk merge free: metadata candidates + lazy loads)"
+	if stmt.Operator == OpUDF {
+		op = "M4-UDF (load all chunks, k-way merge, scan)"
+	}
+	fmt.Fprintf(&sb, "M4 representation query\n")
+	fmt.Fprintf(&sb, "  series:   %s\n", stmt.SeriesID)
+	fmt.Fprintf(&sb, "  range:    [%d, %d) in %d spans\n", stmt.Query.Tqs, stmt.Query.Tqe, stmt.Query.W)
+	fmt.Fprintf(&sb, "  operator: %s\n", op)
+	fmt.Fprintf(&sb, "  columns:  %s\n", strings.Join(columnStrings(stmt.Columns), ", "))
+	fmt.Fprintf(&sb, "executed in %v\n", res.Elapsed.Round(time.Microsecond))
+	s := res.Stats
+	fmt.Fprintf(&sb, "  chunks loaded:        %d (+%d timestamp-only)\n", s.ChunksLoaded, s.TimeBlocksLoaded)
+	fmt.Fprintf(&sb, "  chunks pruned:        %d (answered from metadata)\n", s.ChunksPruned)
+	fmt.Fprintf(&sb, "  bytes read:           %d\n", s.BytesRead)
+	fmt.Fprintf(&sb, "  points decoded:       %d\n", s.PointsDecoded)
+	fmt.Fprintf(&sb, "  candidate rounds:     %d\n", s.CandidateRounds)
+	fmt.Fprintf(&sb, "  index probes:         %d (%d existence, %d boundary)\n",
+		s.IndexProbes, s.ExistProbes, s.BoundaryProbes)
+	fmt.Fprintf(&sb, "  non-empty spans:      %d of %d\n", len(res.Rows), res.SpanCount)
+	return sb.String(), nil
+}
+
+// RunAny parses and executes either a plain query (returning a tabular
+// result) or an EXPLAIN statement (returning the plan text).
+func RunAny(e *lsm.Engine, query string) (res *Result, explain string, err error) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return nil, "", err
+	}
+	if stmt.Explain {
+		explain, err = Explain(e, stmt)
+		return nil, explain, err
+	}
+	res, err = Execute(e, stmt)
+	return res, "", err
+}
+
+func columnStrings(cols []Column) []string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = c.String()
+	}
+	return out
+}
+
+func cell(a m4.Aggregate, c Column) float64 {
+	switch c {
+	case ColFirstTime:
+		return float64(a.First.T)
+	case ColFirstValue:
+		return a.First.V
+	case ColLastTime:
+		return float64(a.Last.T)
+	case ColLastValue:
+		return a.Last.V
+	case ColBottomTime:
+		return float64(a.Bottom.T)
+	case ColBottomValue:
+		return a.Bottom.V
+	case ColTopTime:
+		return float64(a.Top.T)
+	default:
+		if c == ColTopValue {
+			return a.Top.V
+		}
+		return 0
+	}
+}

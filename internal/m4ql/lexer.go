@@ -1,0 +1,132 @@
+// Package m4ql implements the SQL-ish surface of the M4 representation
+// query (Appendix A.1 of the paper): a tokenizer, a recursive-descent
+// parser and an executor over the LSM engine.
+//
+// Two equivalent query forms are accepted (keywords are case-insensitive):
+//
+//	SELECT M4(*) FROM root.kob
+//	WHERE time >= 0 AND time < 1000000
+//	GROUP BY SPANS(1000) USING LSM
+//
+//	SELECT FirstTime(v), FirstValue(v), LastTime(v), LastValue(v),
+//	       BottomTime(v), BottomValue(v), TopTime(v), TopValue(v)
+//	FROM root.kob WHERE time >= 0 AND time < 1000000
+//	GROUP BY SPANS(1000)
+//
+// USING selects the operator: LSM (default, the paper's M4-LSM) or UDF
+// (the merge-everything baseline).
+package m4ql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokStar
+	tokGE // >=
+	tokLT // <
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex tokenizes the query.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '>':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{tokGE, ">=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("m4ql: position %d: expected >=, got lone >", i)
+			}
+		case c == '<':
+			if i+1 < len(input) && input[i+1] == '=' {
+				return nil, fmt.Errorf("m4ql: position %d: <= is not supported; the query range is half open, use <", i)
+			}
+			toks = append(toks, token{tokLT, "<", i})
+			i++
+		case c == '\'' || c == '"':
+			quote := byte(c)
+			j := i + 1
+			for j < len(input) && input[j] != quote {
+				j++
+			}
+			if j >= len(input) {
+				return nil, fmt.Errorf("m4ql: position %d: unterminated string", i)
+			}
+			toks = append(toks, token{tokString, input[i+1 : j], i})
+			i = j + 1
+		case c == '-' || unicode.IsDigit(c):
+			j := i + 1
+			for j < len(input) && (unicode.IsDigit(rune(input[j]))) {
+				j++
+			}
+			if j == i+1 && c == '-' {
+				return nil, fmt.Errorf("m4ql: position %d: lone -", i)
+			}
+			toks = append(toks, token{tokNumber, input[i:j], i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i + 1
+			for j < len(input) {
+				r := rune(input[j])
+				if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.' {
+					j++
+					continue
+				}
+				break
+			}
+			toks = append(toks, token{tokIdent, input[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("m4ql: position %d: unexpected character %q", i, c)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(input)})
+	return toks, nil
+}
+
+// keywordIs compares an identifier token to a keyword, case-insensitively.
+func keywordIs(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

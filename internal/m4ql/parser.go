@@ -1,0 +1,291 @@
+package m4ql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"m4lsm/internal/groupby"
+	"m4lsm/internal/m4"
+)
+
+// Column is one projected output column of the M4 SQL form (Appendix A.1).
+type Column uint8
+
+// The eight M4 output columns.
+const (
+	ColFirstTime Column = iota
+	ColFirstValue
+	ColLastTime
+	ColLastValue
+	ColBottomTime
+	ColBottomValue
+	ColTopTime
+	ColTopValue
+	numColumns
+)
+
+var columnNames = [numColumns]string{
+	"FirstTime", "FirstValue", "LastTime", "LastValue",
+	"BottomTime", "BottomValue", "TopTime", "TopValue",
+}
+
+// String returns the canonical column name.
+func (c Column) String() string {
+	if int(c) < len(columnNames) {
+		return columnNames[c]
+	}
+	return fmt.Sprintf("Column(%d)", int(c))
+}
+
+// AllColumns returns the eight columns in SQL order.
+func AllColumns() []Column {
+	cols := make([]Column, numColumns)
+	for i := range cols {
+		cols[i] = Column(i)
+	}
+	return cols
+}
+
+// Operator selects which physical operator executes the query.
+type Operator uint8
+
+// Available operators.
+const (
+	OpLSM Operator = iota // the paper's merge-free M4-LSM (default)
+	OpUDF                 // the merge-everything baseline
+)
+
+func (o Operator) String() string {
+	if o == OpUDF {
+		return "UDF"
+	}
+	return "LSM"
+}
+
+// Statement is a parsed M4 query.
+type Statement struct {
+	Columns  []Column // projected M4 columns, in order (M4 form)
+	SeriesID string
+	Query    m4.Query
+	Operator Operator
+	// Aggregates, when non-empty, selects the GroupBy form instead of the
+	// M4 form: SELECT COUNT(v), AVG(v), ... per span.
+	Aggregates []groupby.Func
+	// Explain requests the physical plan and cost summary instead of rows.
+	Explain bool
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, fmt.Errorf("m4ql: expected %s, got %s", what, t)
+	}
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if !keywordIs(t, kw) {
+		return fmt.Errorf("m4ql: expected %s, got %s", strings.ToUpper(kw), t)
+	}
+	return nil
+}
+
+// Parse parses one M4 query.
+func Parse(input string) (Statement, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return Statement{}, err
+	}
+	p := &parser{toks: toks}
+	var stmt Statement
+	if keywordIs(p.peek(), "explain") {
+		p.next()
+		stmt.Explain = true
+	}
+	if err := p.expectKeyword("select"); err != nil {
+		return Statement{}, err
+	}
+	if stmt.Columns, stmt.Aggregates, err = p.parseProjection(); err != nil {
+		return Statement{}, err
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return Statement{}, err
+	}
+	t := p.next()
+	if t.kind != tokIdent && t.kind != tokString {
+		return Statement{}, fmt.Errorf("m4ql: expected series id after FROM, got %s", t)
+	}
+	stmt.SeriesID = t.text
+
+	if err := p.expectKeyword("where"); err != nil {
+		return Statement{}, err
+	}
+	if stmt.Query.Tqs, stmt.Query.Tqe, err = p.parseTimeRange(); err != nil {
+		return Statement{}, err
+	}
+
+	if err := p.expectKeyword("group"); err != nil {
+		return Statement{}, err
+	}
+	if err := p.expectKeyword("by"); err != nil {
+		return Statement{}, err
+	}
+	if err := p.expectKeyword("spans"); err != nil {
+		return Statement{}, err
+	}
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return Statement{}, err
+	}
+	wTok, err := p.expect(tokNumber, "span count")
+	if err != nil {
+		return Statement{}, err
+	}
+	w, err := strconv.Atoi(wTok.text)
+	if err != nil {
+		return Statement{}, fmt.Errorf("m4ql: bad span count %q: %v", wTok.text, err)
+	}
+	stmt.Query.W = w
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return Statement{}, err
+	}
+
+	if keywordIs(p.peek(), "using") {
+		p.next()
+		t := p.next()
+		switch {
+		case keywordIs(t, "lsm"):
+			stmt.Operator = OpLSM
+		case keywordIs(t, "udf"):
+			stmt.Operator = OpUDF
+		default:
+			return Statement{}, fmt.Errorf("m4ql: unknown operator %s (want LSM or UDF)", t)
+		}
+	}
+	if t := p.next(); t.kind != tokEOF {
+		return Statement{}, fmt.Errorf("m4ql: trailing input at %s", t)
+	}
+	if err := stmt.Query.Validate(); err != nil {
+		return Statement{}, err
+	}
+	return stmt, nil
+}
+
+// parseProjection handles three projection families: `M4(*)`, a list of
+// the eight M4 column functions (FirstTime(v), ...), or a list of GroupBy
+// aggregate functions (COUNT(v), AVG(v), ...). The two lists may not mix:
+// M4 columns are points of the representation, aggregates are scalars.
+func (p *parser) parseProjection() ([]Column, []groupby.Func, error) {
+	if keywordIs(p.peek(), "m4") {
+		p.next()
+		if _, err := p.expect(tokLParen, "("); err != nil {
+			return nil, nil, err
+		}
+		if _, err := p.expect(tokStar, "*"); err != nil {
+			return nil, nil, err
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, nil, err
+		}
+		return AllColumns(), nil, nil
+	}
+	var cols []Column
+	var aggs []groupby.Func
+	for {
+		t := p.next()
+		if t.kind != tokIdent {
+			return nil, nil, fmt.Errorf("m4ql: expected column function, got %s", t)
+		}
+		col, isCol := columnByName(t.text)
+		agg, isAgg := groupby.ByName(t.text)
+		if !isCol && !isAgg {
+			return nil, nil, fmt.Errorf("m4ql: unknown function %q", t.text)
+		}
+		if _, err := p.expect(tokLParen, "("); err != nil {
+			return nil, nil, err
+		}
+		arg := p.next()
+		if arg.kind != tokIdent && arg.kind != tokString && arg.kind != tokStar {
+			return nil, nil, fmt.Errorf("m4ql: expected column argument, got %s", arg)
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, nil, err
+		}
+		if isCol {
+			cols = append(cols, col)
+		} else {
+			aggs = append(aggs, agg)
+		}
+		if len(cols) > 0 && len(aggs) > 0 {
+			return nil, nil, fmt.Errorf("m4ql: cannot mix M4 columns and aggregate functions")
+		}
+		if p.peek().kind != tokComma {
+			return cols, aggs, nil
+		}
+		p.next()
+	}
+}
+
+func columnByName(name string) (Column, bool) {
+	for i, n := range columnNames {
+		if strings.EqualFold(n, name) {
+			return Column(i), true
+		}
+	}
+	return 0, false
+}
+
+// parseTimeRange handles `time >= a AND time < b` (in either order).
+func (p *parser) parseTimeRange() (tqs, tqe int64, err error) {
+	var haveGE, haveLT bool
+	for i := 0; i < 2; i++ {
+		if err := p.expectKeyword("time"); err != nil {
+			return 0, 0, err
+		}
+		op := p.next()
+		num, err := p.expect(tokNumber, "timestamp")
+		if err != nil {
+			return 0, 0, err
+		}
+		v, err := strconv.ParseInt(num.text, 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("m4ql: bad timestamp %q: %v", num.text, err)
+		}
+		switch op.kind {
+		case tokGE:
+			if haveGE {
+				return 0, 0, fmt.Errorf("m4ql: duplicate time >= condition")
+			}
+			tqs, haveGE = v, true
+		case tokLT:
+			if haveLT {
+				return 0, 0, fmt.Errorf("m4ql: duplicate time < condition")
+			}
+			tqe, haveLT = v, true
+		default:
+			return 0, 0, fmt.Errorf("m4ql: expected >= or <, got %s", op)
+		}
+		if i == 0 {
+			if err := p.expectKeyword("and"); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	return tqs, tqe, nil
+}

@@ -1,0 +1,26 @@
+// Package m4udf is the baseline operator of Fig. 2(b): the original M4
+// algorithm implemented the way a user-defined function runs inside the
+// database. It reads the fully assembled time series from the merge reader
+// — loading every chunk, ordering points by time and applying deletes —
+// and streams the M4 representation over it. Chunk metadata is never
+// consulted (§A.5.2).
+package m4udf
+
+import (
+	"m4lsm/internal/m4"
+	"m4lsm/internal/mergeread"
+	"m4lsm/internal/storage"
+)
+
+// Compute runs the M4 representation query against a snapshot by merging
+// all chunks online and scanning the merged series.
+func Compute(snap *storage.Snapshot, q m4.Query) ([]m4.Aggregate, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	it, err := mergeread.NewIterator(snap, q.Range())
+	if err != nil {
+		return nil, err
+	}
+	return m4.ComputeStream(q, it.Next)
+}

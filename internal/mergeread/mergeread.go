@@ -1,0 +1,118 @@
+// Package mergeread implements the MergeReader of Fig. 15: it loads every
+// chunk of a snapshot and streams the merged ("latest") time series of
+// Definition 2.7 in time order, resolving overwrites by version number and
+// applying range deletes.
+//
+// This is exactly the work the M4-LSM operator avoids; the M4-UDF baseline
+// is built on top of this package.
+package mergeread
+
+import (
+	"container/heap"
+	"sort"
+
+	"m4lsm/internal/series"
+	"m4lsm/internal/storage"
+)
+
+// Iterator streams the merged series of a snapshot restricted to a
+// half-open time range. Chunks are loaded eagerly at construction, matching
+// the baseline's "load all chunks, order points by time" behaviour (§1.1).
+type Iterator struct {
+	h       cursorHeap
+	deletes *storage.DeleteIndex
+	end     int64
+}
+
+type cursor struct {
+	data series.Series
+	pos  int
+	ver  storage.Version
+}
+
+type cursorHeap []*cursor
+
+func (h cursorHeap) Len() int { return len(h) }
+func (h cursorHeap) Less(i, j int) bool {
+	ti, tj := h[i].data[h[i].pos].T, h[j].data[h[j].pos].T
+	if ti != tj {
+		return ti < tj
+	}
+	return h[i].ver > h[j].ver // larger version first among equal times
+}
+func (h cursorHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *cursorHeap) Push(x interface{}) {
+	*h = append(*h, x.(*cursor))
+}
+func (h *cursorHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}
+
+// NewIterator loads every chunk of the snapshot and positions the merge at
+// the first point inside r.
+func NewIterator(snap *storage.Snapshot, r series.TimeRange) (*Iterator, error) {
+	it := &Iterator{deletes: storage.NewDeleteIndex(snap.Deletes), end: r.End}
+	for _, c := range snap.Chunks {
+		data, err := c.Load()
+		if err != nil {
+			return nil, err
+		}
+		pos := sort.Search(len(data), func(i int) bool { return data[i].T >= r.Start })
+		if pos >= len(data) || data[pos].T >= r.End {
+			continue
+		}
+		it.h = append(it.h, &cursor{data: data, pos: pos, ver: c.Meta.Version})
+	}
+	heap.Init(&it.h)
+	return it, nil
+}
+
+// Next returns the next latest point in time order, and false when the
+// range is exhausted.
+func (it *Iterator) Next() (series.Point, bool) {
+	for len(it.h) > 0 {
+		t := it.h[0].data[it.h[0].pos].T
+		if t >= it.end {
+			return series.Point{}, false
+		}
+		// The heap orders equal timestamps by descending version, so the
+		// top cursor holds the latest write for t.
+		winner := it.h[0].data[it.h[0].pos]
+		winnerVer := it.h[0].ver
+		for len(it.h) > 0 && it.h[0].data[it.h[0].pos].T == t {
+			c := it.h[0]
+			c.pos++
+			if c.pos >= len(c.data) {
+				heap.Pop(&it.h)
+			} else {
+				heap.Fix(&it.h, 0)
+			}
+		}
+		if it.deletes.Covered(t, winnerVer) {
+			continue
+		}
+		return winner, true
+	}
+	return series.Point{}, false
+}
+
+// Merge materializes the merged series of Definition 2.7 restricted to r.
+// It is the reference implementation used by tests and the baseline.
+func Merge(snap *storage.Snapshot, r series.TimeRange) (series.Series, error) {
+	it, err := NewIterator(snap, r)
+	if err != nil {
+		return nil, err
+	}
+	var out series.Series
+	for {
+		p, ok := it.Next()
+		if !ok {
+			return out, nil
+		}
+		out = append(out, p)
+	}
+}

@@ -1,0 +1,113 @@
+// Package repr implements the alternative time-series reductions the paper
+// positions M4 against (§5.1): per-span MinMax, systematic sampling and
+// Piecewise Aggregate Approximation (PAA). They exist to reproduce the
+// motivating claim that M4 is the only one with zero pixel error in
+// two-color line charts (§1); the pixel-error experiment renders each
+// reduction and diffs it against the full series.
+package repr
+
+import (
+	"m4lsm/internal/m4"
+	"m4lsm/internal/series"
+)
+
+// Reduce is a reduction technique: given the span structure of a query
+// and the merged series, return the reduced point set to render.
+type Reduce func(q m4.Query, s series.Series) (series.Series, error)
+
+// M4 keeps the first/last/bottom/top points per span — at most 4w points,
+// error-free in two-color line charts.
+func M4(q m4.Query, s series.Series) (series.Series, error) {
+	aggs, err := m4.ComputeSeries(q, s)
+	if err != nil {
+		return nil, err
+	}
+	return m4.Points(aggs), nil
+}
+
+// MinMax keeps only the bottom and top points per span — at most 2w
+// points. It preserves the vertical extent of each pixel column but loses
+// the inter-column join pixels.
+func MinMax(q m4.Query, s series.Series) (series.Series, error) {
+	aggs, err := m4.ComputeSeries(q, s)
+	if err != nil {
+		return nil, err
+	}
+	var out series.Series
+	for _, a := range aggs {
+		if a.Empty {
+			continue
+		}
+		lo, hi := a.Bottom, a.Top
+		if lo.T > hi.T {
+			lo, hi = hi, lo
+		}
+		out = append(out, lo)
+		if hi.T != lo.T {
+			out = append(out, hi)
+		}
+	}
+	return out, nil
+}
+
+// Sample keeps the first point of each span (systematic sampling with one
+// point per pixel column, the classic dashboard downsampler).
+func Sample(q m4.Query, s series.Series) (series.Series, error) {
+	aggs, err := m4.ComputeSeries(q, s)
+	if err != nil {
+		return nil, err
+	}
+	var out series.Series
+	for _, a := range aggs {
+		if !a.Empty {
+			out = append(out, a.First)
+		}
+	}
+	return out, nil
+}
+
+// PAA replaces each span with its mean value placed at the span's first
+// timestamp (Piecewise Aggregate Approximation, Keogh et al.).
+func PAA(q m4.Query, s series.Series) (series.Series, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	sums := make([]float64, q.W)
+	counts := make([]int64, q.W)
+	firsts := make([]int64, q.W)
+	for _, p := range s {
+		i := q.SpanIndex(p.T)
+		if i < 0 {
+			continue
+		}
+		if counts[i] == 0 {
+			firsts[i] = p.T
+		}
+		sums[i] += p.V
+		counts[i]++
+	}
+	var out series.Series
+	for i := 0; i < q.W; i++ {
+		if counts[i] == 0 {
+			continue
+		}
+		out = append(out, series.Point{T: firsts[i], V: sums[i] / float64(counts[i])})
+	}
+	return out, nil
+}
+
+// Techniques returns the named reductions in presentation order.
+func Techniques() []struct {
+	Name string
+	Fn   Reduce
+} {
+	return []struct {
+		Name string
+		Fn   Reduce
+	}{
+		{"M4", M4},
+		{"MinMax", MinMax},
+		{"Sampling", Sample},
+		{"PAA", PAA},
+	}
+}

@@ -1,0 +1,198 @@
+// Package series defines the basic time-series data model shared by every
+// layer of the system: a point is a (timestamp, value) pair and a series is a
+// slice of points in strictly increasing time order.
+//
+// Timestamps are int64 milliseconds (the paper's datasets use epoch-millis);
+// values are float64. Within a single chunk timestamps are unique; across
+// chunks the same timestamp may occur, in which case the chunk with the
+// larger version number holds the latest value (see Definition 2.7 of the
+// paper and package mergeread).
+package series
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is a single time-value observation.
+type Point struct {
+	T int64   // timestamp, epoch milliseconds
+	V float64 // observed value
+}
+
+// String renders the point as "(t, v)".
+func (p Point) String() string { return fmt.Sprintf("(%d, %g)", p.T, p.V) }
+
+// Series is a sequence of points. Most code requires the strictly-increasing
+// time order enforced by Validate; construction helpers preserve it.
+type Series []Point
+
+// ErrUnsorted is returned by Validate for out-of-order or duplicate
+// timestamps.
+var ErrUnsorted = errors.New("series: timestamps not strictly increasing")
+
+// Validate checks that timestamps strictly increase and values are not NaN.
+func (s Series) Validate() error {
+	for i := range s {
+		if i > 0 && s[i].T <= s[i-1].T {
+			return fmt.Errorf("%w: index %d (t=%d after t=%d)", ErrUnsorted, i, s[i].T, s[i-1].T)
+		}
+		if math.IsNaN(s[i].V) {
+			return fmt.Errorf("series: NaN value at index %d (t=%d)", i, s[i].T)
+		}
+	}
+	return nil
+}
+
+// IsSorted reports whether timestamps strictly increase.
+func (s Series) IsSorted() bool {
+	for i := 1; i < len(s); i++ {
+		if s[i].T <= s[i-1].T {
+			return false
+		}
+	}
+	return true
+}
+
+// SortDedup sorts the series by time and keeps, for duplicate timestamps,
+// the point that appears last in the input (mirroring overwrite semantics
+// when a batch carries several values for one timestamp). It returns the
+// possibly shortened slice.
+func SortDedup(s Series) Series {
+	if len(s) < 2 {
+		return s
+	}
+	sort.SliceStable(s, func(i, j int) bool { return s[i].T < s[j].T })
+	out := s[:1]
+	for _, p := range s[1:] {
+		if p.T == out[len(out)-1].T {
+			out[len(out)-1] = p // later write wins
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Times returns the timestamps of the series as a fresh slice.
+func (s Series) Times() []int64 {
+	ts := make([]int64, len(s))
+	for i, p := range s {
+		ts[i] = p.T
+	}
+	return ts
+}
+
+// Values returns the values of the series as a fresh slice.
+func (s Series) Values() []float64 {
+	vs := make([]float64, len(s))
+	for i, p := range s {
+		vs[i] = p.V
+	}
+	return vs
+}
+
+// FromColumns zips parallel timestamp and value slices into a Series.
+// It panics if the lengths differ, as that is always a programming error.
+func FromColumns(ts []int64, vs []float64) Series {
+	if len(ts) != len(vs) {
+		panic(fmt.Sprintf("series: column length mismatch %d != %d", len(ts), len(vs)))
+	}
+	s := make(Series, len(ts))
+	for i := range ts {
+		s[i] = Point{T: ts[i], V: vs[i]}
+	}
+	return s
+}
+
+// Clone returns a deep copy of the series.
+func (s Series) Clone() Series {
+	out := make(Series, len(s))
+	copy(out, s)
+	return out
+}
+
+// TimeRange is a half-open interval [Start, End) over timestamps, the shape
+// used by M4 spans and query ranges (Definition 2.3).
+type TimeRange struct {
+	Start int64 // inclusive
+	End   int64 // exclusive
+}
+
+// Contains reports whether t falls inside the half-open range.
+func (r TimeRange) Contains(t int64) bool { return t >= r.Start && t < r.End }
+
+// Empty reports whether the range contains no timestamps.
+func (r TimeRange) Empty() bool { return r.End <= r.Start }
+
+// Overlaps reports whether two half-open ranges intersect.
+func (r TimeRange) Overlaps(o TimeRange) bool {
+	return r.Start < o.End && o.Start < r.End
+}
+
+// Intersect returns the overlap of two half-open ranges (possibly empty).
+func (r TimeRange) Intersect(o TimeRange) TimeRange {
+	out := TimeRange{Start: max64(r.Start, o.Start), End: min64(r.End, o.End)}
+	if out.End < out.Start {
+		out.End = out.Start
+	}
+	return out
+}
+
+func (r TimeRange) String() string { return fmt.Sprintf("[%d, %d)", r.Start, r.End) }
+
+// Slice returns the subsequence of s inside the half-open range, as a view
+// of the original backing array (no copy).
+func (s Series) Slice(r TimeRange) Series {
+	if r.Empty() || len(s) == 0 {
+		return nil
+	}
+	lo := sort.Search(len(s), func(i int) bool { return s[i].T >= r.Start })
+	hi := sort.Search(len(s), func(i int) bool { return s[i].T >= r.End })
+	if lo >= hi {
+		return nil
+	}
+	return s[lo:hi]
+}
+
+// IndexOf returns the position of timestamp t in the sorted series and
+// whether it is present.
+func (s Series) IndexOf(t int64) (int, bool) {
+	i := sort.Search(len(s), func(i int) bool { return s[i].T >= t })
+	if i < len(s) && s[i].T == t {
+		return i, true
+	}
+	return i, false
+}
+
+// First returns the earliest point. It panics on an empty series.
+func (s Series) First() Point { return s[0] }
+
+// Last returns the latest point. It panics on an empty series.
+func (s Series) Last() Point { return s[len(s)-1] }
+
+// Bounds returns the closed time interval covered by the series and false
+// if the series is empty.
+func (s Series) Bounds() (TimeRange, bool) {
+	if len(s) == 0 {
+		return TimeRange{}, false
+	}
+	// End is exclusive, so one past the last timestamp.
+	return TimeRange{Start: s[0].T, End: s[len(s)-1].T + 1}, true
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

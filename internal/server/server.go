@@ -1,0 +1,143 @@
+// Package server exposes the database over HTTP: m4ql queries as JSON, a
+// PNG line-chart renderer backed by the M4 operator (what a dashboard
+// would call), and introspection endpoints. cmd/m4server wires it to a
+// database directory.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"m4lsm/internal/lsm"
+	"m4lsm/internal/m4"
+	"m4lsm/internal/m4lsm"
+	"m4lsm/internal/m4ql"
+	"m4lsm/internal/viz"
+)
+
+// Handler serves the HTTP API for one engine.
+type Handler struct {
+	engine *lsm.Engine
+	mux    *http.ServeMux
+}
+
+// New builds the HTTP handler.
+func New(e *lsm.Engine) *Handler {
+	h := &Handler{engine: e, mux: http.NewServeMux()}
+	h.mux.HandleFunc("/", h.ui)
+	h.mux.HandleFunc("/healthz", h.health)
+	h.mux.HandleFunc("/series", h.series)
+	h.mux.HandleFunc("/query", h.query)
+	h.mux.HandleFunc("/render", h.render)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+func (h *Handler) health(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	info := h.engine.Info()
+	json.NewEncoder(w).Encode(map[string]interface{}{
+		"status": "ok",
+		"files":  info.Files,
+		"chunks": info.Chunks,
+	})
+}
+
+func (h *Handler) series(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(h.engine.SeriesIDs())
+}
+
+// query executes an m4ql statement. The statement comes from the "q" URL
+// parameter (GET) or a JSON body {"query": "..."} (POST).
+func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
+	var q string
+	switch r.Method {
+	case http.MethodGet:
+		q = r.URL.Query().Get("q")
+	case http.MethodPost:
+		var body struct {
+			Query string `json:"query"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		q = body.Query
+	default:
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or POST"))
+		return
+	}
+	if q == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing query"))
+		return
+	}
+	res, err := m4ql.Run(h.engine, q)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(res)
+}
+
+// render draws a two-color PNG line chart of a series over a time range.
+// Parameters: series, tqs, tqe, w (pixel columns = M4 spans), h (pixel
+// rows, default 400).
+func (h *Handler) render(w http.ResponseWriter, r *http.Request) {
+	params := r.URL.Query()
+	seriesID := params.Get("series")
+	if seriesID == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing series parameter"))
+		return
+	}
+	tqs, err1 := strconv.ParseInt(params.Get("tqs"), 10, 64)
+	tqe, err2 := strconv.ParseInt(params.Get("tqe"), 10, 64)
+	width, err3 := strconv.Atoi(params.Get("w"))
+	if err1 != nil || err2 != nil || err3 != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("tqs, tqe and w must be integers"))
+		return
+	}
+	height := 400
+	if hs := params.Get("h"); hs != "" {
+		var err error
+		if height, err = strconv.Atoi(hs); err != nil || height <= 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad h parameter"))
+			return
+		}
+	}
+	q := m4.Query{Tqs: tqs, Tqe: tqe, W: width}
+	if err := q.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	snap, err := h.engine.Snapshot(seriesID, q.Range())
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	aggs, err := m4lsm.Compute(snap, q)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	reduced := m4.Points(aggs)
+	vp := viz.ViewportFor(reduced, tqs, tqe)
+	canvas := viz.Rasterize(reduced, vp, width, height)
+	w.Header().Set("Content-Type", "image/png")
+	if err := canvas.WritePNG(w); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,190 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"image/png"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"m4lsm/internal/lsm"
+	"m4lsm/internal/series"
+)
+
+func newServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	e, err := lsm.Open(lsm.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		e.Write("root.s1", series.Point{T: int64(i * 10), V: float64((i * 7) % 50)})
+	}
+	e.Flush()
+	srv := httptest.NewServer(New(e))
+	t.Cleanup(func() {
+		srv.Close()
+		e.Close()
+	})
+	return srv
+}
+
+func getJSON(t *testing.T, url string, out interface{}) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHealth(t *testing.T) {
+	srv := newServer(t)
+	var body map[string]interface{}
+	if code := getJSON(t, srv.URL+"/healthz", &body); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if body["status"] != "ok" || body["chunks"].(float64) < 1 {
+		t.Errorf("body = %v", body)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	srv := newServer(t)
+	var ids []string
+	if code := getJSON(t, srv.URL+"/series", &ids); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(ids) != 1 || ids[0] != "root.s1" {
+		t.Errorf("ids = %v", ids)
+	}
+}
+
+func TestQueryGet(t *testing.T) {
+	srv := newServer(t)
+	q := "SELECT M4(*) FROM root.s1 WHERE time >= 0 AND time < 5000 GROUP BY SPANS(5) USING LSM"
+	var res struct {
+		Columns []string    `json:"columns"`
+		Rows    [][]float64 `json:"rows"`
+	}
+	code := getJSON(t, srv.URL+"/query?q="+strings.ReplaceAll(q, " ", "+"), &res)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(res.Rows) != 5 || len(res.Columns) != 9 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestQueryPost(t *testing.T) {
+	srv := newServer(t)
+	body, _ := json.Marshal(map[string]string{
+		"query": "SELECT M4(*) FROM root.s1 WHERE time >= 0 AND time < 5000 GROUP BY SPANS(2) USING UDF",
+	})
+	resp, err := http.Post(srv.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var res struct {
+		Operator string `json:"operator"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Operator != "UDF" {
+		t.Errorf("operator = %s", res.Operator)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	srv := newServer(t)
+	if code := getJSON(t, srv.URL+"/query?q=SELECT+garbage", nil); code != 400 {
+		t.Errorf("bad query status %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/query", nil); code != 400 {
+		t.Errorf("missing query status %d", code)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/query", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE status %d", resp.StatusCode)
+	}
+}
+
+func TestRender(t *testing.T) {
+	srv := newServer(t)
+	resp, err := http.Get(srv.URL + "/render?series=root.s1&tqs=0&tqe=5000&w=100&h=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	img, err := png.Decode(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 100 || img.Bounds().Dy() != 50 {
+		t.Errorf("bounds = %v", img.Bounds())
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	srv := newServer(t)
+	for _, u := range []string{
+		"/render",
+		"/render?series=root.s1",
+		"/render?series=root.s1&tqs=0&tqe=0&w=10",
+		"/render?series=root.s1&tqs=0&tqe=100&w=10&h=-5",
+	} {
+		if code := getJSON(t, srv.URL+u, nil); code != 400 {
+			t.Errorf("%s: status %d, want 400", u, code)
+		}
+	}
+}
+
+func TestUIPage(t *testing.T) {
+	srv := newServer(t)
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	body := new(bytes.Buffer)
+	body.ReadFrom(resp.Body)
+	got := body.String()
+	for _, want := range []string{"m4lsm", "root.s1", "/render?series=root.s1"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("ui missing %q", want)
+		}
+	}
+	// Unknown paths under / must 404, not render the UI.
+	resp2, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 404 {
+		t.Errorf("unknown path status %d", resp2.StatusCode)
+	}
+}

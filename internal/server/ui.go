@@ -1,0 +1,87 @@
+package server
+
+import (
+	"html/template"
+	"net/http"
+	"strconv"
+
+	"m4lsm/internal/series"
+)
+
+// uiTemplate is the built-in single-page chart browser: pick a series, get
+// the M4-rendered PNG from /render and the tabular result from /query.
+var uiTemplate = template.Must(template.New("ui").Parse(`<!DOCTYPE html>
+<html>
+<head>
+<title>m4lsm</title>
+<style>
+body { font-family: sans-serif; margin: 2rem; color: #222; }
+table { border-collapse: collapse; }
+td, th { padding: 2px 8px; border: 1px solid #ccc; font-size: 13px; }
+img { border: 1px solid #888; margin-top: 1rem; }
+code { background: #f2f2f2; padding: 1px 4px; }
+</style>
+</head>
+<body>
+<h1>m4lsm — M4 visualization queries</h1>
+<p>{{len .Series}} series stored. Charts are rendered by the merge-free
+M4-LSM operator at one time span per pixel column (error-free two-color
+line charts).</p>
+<table>
+<tr><th>series</th><th>time range (ms)</th><th>chart</th></tr>
+{{range .Series}}
+<tr>
+  <td><code>{{.ID}}</code></td>
+  <td>{{.Start}} – {{.End}}</td>
+  <td><a href="/render?series={{.ID}}&tqs={{.Start}}&tqe={{.End}}&w=800&h=300">render</a>
+      · <a href="/query?q={{.Query}}">m4 json</a></td>
+</tr>
+{{end}}
+</table>
+<p>API: <code>/series</code>, <code>/query?q=&lt;m4ql&gt;</code>,
+<code>/render?series=&amp;tqs=&amp;tqe=&amp;w=&amp;h=</code>,
+<code>/healthz</code></p>
+</body>
+</html>
+`))
+
+type uiSeries struct {
+	ID    string
+	Start int64
+	End   int64
+	Query string
+}
+
+// ui serves the chart browser at /.
+func (h *Handler) ui(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	var rows []uiSeries
+	for _, id := range h.engine.SeriesIDs() {
+		snap, err := h.engine.Snapshot(id, series.TimeRange{Start: -(1 << 62), End: 1 << 62})
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		lo, hi := int64(0), int64(1)
+		for i, c := range snap.Chunks {
+			if i == 0 || c.Meta.First.T < lo {
+				lo = c.Meta.First.T
+			}
+			if i == 0 || c.Meta.Last.T >= hi {
+				hi = c.Meta.Last.T + 1
+			}
+		}
+		rows = append(rows, uiSeries{ID: id, Start: lo, End: hi,
+			Query: "SELECT M4(*) FROM " + id +
+				" WHERE time >= " + strconv.FormatInt(lo, 10) +
+				" AND time < " + strconv.FormatInt(hi, 10) +
+				" GROUP BY SPANS(100)"})
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := uiTemplate.Execute(w, struct{ Series []uiSeries }{rows}); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+	}
+}

@@ -1,0 +1,49 @@
+package stepreg
+
+import "sort"
+
+// PlainIndex answers the same probes as Index with ordinary binary search
+// and no learned model. It is the ablation baseline (DESIGN.md §6) and the
+// reference implementation in tests.
+type PlainIndex struct {
+	ts []int64
+}
+
+// NewPlain wraps a strictly increasing timestamp slice.
+func NewPlain(ts []int64) *PlainIndex { return &PlainIndex{ts: ts} }
+
+func (px *PlainIndex) lowerBound(t int64) int {
+	return sort.Search(len(px.ts), func(i int) bool { return px.ts[i] >= t })
+}
+
+// Exists implements Probe.
+func (px *PlainIndex) Exists(t int64) bool {
+	pos := px.lowerBound(t)
+	return pos < len(px.ts) && px.ts[pos] == t
+}
+
+// FirstAfter implements Probe.
+func (px *PlainIndex) FirstAfter(t int64) (int, bool) {
+	pos := px.lowerBound(t)
+	if pos < len(px.ts) && px.ts[pos] == t {
+		pos++
+	}
+	if pos >= len(px.ts) {
+		return 0, false
+	}
+	return pos, true
+}
+
+// LastBefore implements Probe.
+func (px *PlainIndex) LastBefore(t int64) (int, bool) {
+	pos := px.lowerBound(t) - 1
+	if pos < 0 {
+		return 0, false
+	}
+	return pos, true
+}
+
+var (
+	_ Probe = (*Index)(nil)
+	_ Probe = (*PlainIndex)(nil)
+)

@@ -1,0 +1,199 @@
+// Package storage defines the LSM storage elements of §2.2 of the paper as
+// seen by query operators: read-only chunks described by metadata
+// (Definition 2.4), append-only range deletes (Definition 2.5), and the
+// snapshot a query runs against. It also owns the cost counters the
+// experiments report, so both operators account I/O and decode work the
+// same way.
+//
+// The package is deliberately independent of any file format; package
+// tsfile provides the on-disk implementation of ChunkSource and package
+// lsm assembles snapshots.
+package storage
+
+import (
+	"fmt"
+
+	"m4lsm/internal/encoding"
+	"m4lsm/internal/series"
+)
+
+// Version is the global incremental version number κ assigned to each chunk
+// or delete; larger versions apply later (§2.2.1).
+type Version uint64
+
+// InfiniteVersion is larger than any assigned version. The M4-LSM operator
+// uses it for the virtual deletes derived from span boundaries (§3.1).
+const InfiniteVersion Version = ^Version(0)
+
+// ChunkMeta is the precomputed per-chunk metadata: the four representation
+// points {G(C^κ)} plus addressing information. It is read from the chunk
+// file footer without touching chunk data.
+type ChunkMeta struct {
+	SeriesID string
+	Version  Version
+	Count    int64
+	Codec    encoding.Codec
+
+	First  series.Point // FP(C^κ)
+	Last   series.Point // LP(C^κ)
+	Bottom series.Point // BP(C^κ)
+	Top    series.Point // TP(C^κ)
+
+	// Addressing within the chunk file.
+	Offset    int64 // file offset of the chunk record
+	HeaderLen int64 // bytes of chunk header before the timestamp block
+	TimesLen  int64 // bytes of the encoded timestamp block
+	ValuesLen int64 // bytes of the encoded value block
+}
+
+// Interval returns the closed time interval [FP.t, LP.t] covered by the
+// chunk.
+func (m ChunkMeta) Interval() (start, end int64) { return m.First.T, m.Last.T }
+
+// OverlapsRange reports whether the chunk's closed interval intersects the
+// half-open query range r.
+func (m ChunkMeta) OverlapsRange(r series.TimeRange) bool {
+	return m.First.T < r.End && m.Last.T >= r.Start
+}
+
+func (m ChunkMeta) String() string {
+	return fmt.Sprintf("chunk{%s v%d n=%d [%d,%d] bottom=%g top=%g}",
+		m.SeriesID, m.Version, m.Count, m.First.T, m.Last.T, m.Bottom.V, m.Top.V)
+}
+
+// ComputeMeta derives the four representation points of a sorted series.
+// ok is false for an empty series.
+func ComputeMeta(data series.Series) (first, last, bottom, top series.Point, ok bool) {
+	if len(data) == 0 {
+		return
+	}
+	first, last = data[0], data[len(data)-1]
+	bottom, top = data[0], data[0]
+	for _, p := range data[1:] {
+		if p.V < bottom.V {
+			bottom = p
+		}
+		if p.V > top.V {
+			top = p
+		}
+	}
+	return first, last, bottom, top, true
+}
+
+// Delete is an append-only range tombstone D^κ deleting the closed time
+// range [Start, End] from all chunks with smaller versions (Definition 2.5).
+type Delete struct {
+	SeriesID string
+	Version  Version
+	Start    int64 // t_ds, inclusive
+	End      int64 // t_de, inclusive
+}
+
+// Covers reports t ⊨ D^κ: whether the delete covers timestamp t.
+func (d Delete) Covers(t int64) bool { return t >= d.Start && t <= d.End }
+
+func (d Delete) String() string {
+	return fmt.Sprintf("delete{%s v%d [%d,%d]}", d.SeriesID, d.Version, d.Start, d.End)
+}
+
+// ChunkSource reads chunk contents given their metadata. Implementations:
+// tsfile.Reader (disk) and MemSource (tests, memtable snapshots).
+type ChunkSource interface {
+	// ReadChunk decodes the full chunk (timestamps and values).
+	ReadChunk(meta ChunkMeta) (series.Series, error)
+	// ReadTimes decodes only the timestamp block. This is the partial
+	// load used by BP/TP candidate verification (§3.4): existence
+	// probes need timestamps only, at roughly half the I/O and decode
+	// cost of a full load.
+	ReadTimes(meta ChunkMeta) ([]int64, error)
+}
+
+// ChunkRef binds chunk metadata to its source and to the snapshot's cost
+// counters. Operators load chunk contents exclusively through ChunkRef so
+// every experiment accounts cost identically.
+type ChunkRef struct {
+	Meta   ChunkMeta
+	source ChunkSource
+	stats  *Stats
+}
+
+// NewChunkRef builds a reference; stats may be nil.
+func NewChunkRef(meta ChunkMeta, src ChunkSource, stats *Stats) ChunkRef {
+	return ChunkRef{Meta: meta, source: src, stats: stats}
+}
+
+// Load reads and decodes the full chunk.
+func (c ChunkRef) Load() (series.Series, error) {
+	data, err := c.source.ReadChunk(c.Meta)
+	if err != nil {
+		return nil, fmt.Errorf("load %v: %w", c.Meta, err)
+	}
+	if c.stats != nil {
+		c.stats.ChunksLoaded++
+		c.stats.BytesRead += c.Meta.HeaderLen + c.Meta.TimesLen + c.Meta.ValuesLen
+		c.stats.PointsDecoded += c.Meta.Count
+	}
+	return data, nil
+}
+
+// LoadTimes reads and decodes only the timestamp block.
+func (c ChunkRef) LoadTimes() ([]int64, error) {
+	ts, err := c.source.ReadTimes(c.Meta)
+	if err != nil {
+		return nil, fmt.Errorf("load times %v: %w", c.Meta, err)
+	}
+	if c.stats != nil {
+		c.stats.TimeBlocksLoaded++
+		c.stats.BytesRead += c.Meta.HeaderLen + c.Meta.TimesLen
+		c.stats.PointsDecoded += c.Meta.Count
+	}
+	return ts, nil
+}
+
+// Snapshot is the immutable view of one series a query executes against:
+// every chunk overlapping the query plus every delete, with shared cost
+// counters.
+type Snapshot struct {
+	SeriesID string
+	Chunks   []ChunkRef
+	Deletes  []Delete
+	Stats    *Stats
+}
+
+// Stats accumulates the I/O and decode work of a query. The experiment
+// harness resets it per query and reports it next to wall-clock latency.
+type Stats struct {
+	ChunksLoaded     int64 // full chunk loads
+	TimeBlocksLoaded int64 // timestamp-only partial loads
+	BytesRead        int64 // encoded bytes fetched from the source
+	PointsDecoded    int64 // points passed through a codec
+
+	// Operator-level counters (filled by m4lsm).
+	CandidateRounds int64 // candidate generation/verification iterations
+	IndexProbes     int64 // chunk-index probes (Table 1 cases a and b)
+	ExistProbes     int64 // Table 1 case a: existence checks for BP/TP verification
+	BoundaryProbes  int64 // Table 1 case b: closest-point probes for FP/LP recalculation
+	ChunksPruned    int64 // chunks answered purely from metadata
+}
+
+// Reset zeroes every counter.
+func (s *Stats) Reset() { *s = Stats{} }
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.ChunksLoaded += o.ChunksLoaded
+	s.TimeBlocksLoaded += o.TimeBlocksLoaded
+	s.BytesRead += o.BytesRead
+	s.PointsDecoded += o.PointsDecoded
+	s.CandidateRounds += o.CandidateRounds
+	s.IndexProbes += o.IndexProbes
+	s.ExistProbes += o.ExistProbes
+	s.BoundaryProbes += o.BoundaryProbes
+	s.ChunksPruned += o.ChunksPruned
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("loads=%d timeLoads=%d bytes=%d decoded=%d rounds=%d probes=%d pruned=%d",
+		s.ChunksLoaded, s.TimeBlocksLoaded, s.BytesRead, s.PointsDecoded,
+		s.CandidateRounds, s.IndexProbes, s.ChunksPruned)
+}

@@ -1,0 +1,179 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+
+	"m4lsm/internal/series"
+)
+
+func TestComputeMeta(t *testing.T) {
+	data := series.Series{{T: 10, V: 5}, {T: 20, V: -1}, {T: 30, V: 9}, {T: 40, V: 2}}
+	first, last, bottom, top, ok := ComputeMeta(data)
+	if !ok {
+		t.Fatal("ok = false")
+	}
+	if first != (series.Point{T: 10, V: 5}) || last != (series.Point{T: 40, V: 2}) {
+		t.Errorf("first/last = %v/%v", first, last)
+	}
+	if bottom != (series.Point{T: 20, V: -1}) || top != (series.Point{T: 30, V: 9}) {
+		t.Errorf("bottom/top = %v/%v", bottom, top)
+	}
+	if _, _, _, _, ok := ComputeMeta(nil); ok {
+		t.Error("empty series reported ok")
+	}
+}
+
+func TestComputeMetaTiesKeepEarliest(t *testing.T) {
+	// Definition 2.1 allows any extremal point; ComputeMeta keeps the
+	// earliest so the choice is deterministic.
+	data := series.Series{{T: 10, V: 5}, {T: 20, V: 5}, {T: 30, V: 1}, {T: 40, V: 1}}
+	_, _, bottom, top, _ := ComputeMeta(data)
+	if bottom.T != 30 {
+		t.Errorf("bottom.T = %d, want 30", bottom.T)
+	}
+	if top.T != 10 {
+		t.Errorf("top.T = %d, want 10", top.T)
+	}
+}
+
+func TestChunkMetaOverlaps(t *testing.T) {
+	m := ChunkMeta{First: series.Point{T: 100}, Last: series.Point{T: 200}}
+	tests := []struct {
+		r    series.TimeRange
+		want bool
+	}{
+		{series.TimeRange{Start: 0, End: 100}, false},  // ends before chunk
+		{series.TimeRange{Start: 0, End: 101}, true},   // touches first point
+		{series.TimeRange{Start: 200, End: 300}, true}, // starts on last point (closed)
+		{series.TimeRange{Start: 201, End: 300}, false},
+		{series.TimeRange{Start: 150, End: 160}, true},
+	}
+	for _, tc := range tests {
+		if got := m.OverlapsRange(tc.r); got != tc.want {
+			t.Errorf("OverlapsRange(%v) = %v, want %v", tc.r, got, tc.want)
+		}
+	}
+}
+
+func TestDeleteCovers(t *testing.T) {
+	d := Delete{Start: 10, End: 20}
+	for _, tc := range []struct {
+		t    int64
+		want bool
+	}{{9, false}, {10, true}, {15, true}, {20, true}, {21, false}} {
+		if got := d.Covers(tc.t); got != tc.want {
+			t.Errorf("Covers(%d) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestMemSourceRoundTrip(t *testing.T) {
+	src := NewMemSource()
+	data := series.Series{{T: 1, V: 1}, {T: 2, V: 4}, {T: 3, V: 0}}
+	meta, err := src.AddChunk("s1", 7, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Version != 7 || meta.Count != 3 || meta.Bottom.V != 0 || meta.Top.V != 4 {
+		t.Errorf("meta = %+v", meta)
+	}
+	got, err := src.ReadChunk(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[1] != data[1] {
+		t.Errorf("ReadChunk = %v", got)
+	}
+	ts, err := src.ReadTimes(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 3 || ts[2] != 3 {
+		t.Errorf("ReadTimes = %v", ts)
+	}
+}
+
+func TestMemSourceErrors(t *testing.T) {
+	src := NewMemSource()
+	if _, err := src.AddChunk("s", 1, series.Series{{T: 2, V: 0}, {T: 1, V: 0}}); err == nil {
+		t.Error("unsorted chunk accepted")
+	}
+	if _, err := src.AddChunk("s", 1, nil); err == nil {
+		t.Error("empty chunk accepted")
+	}
+	if _, err := src.ReadChunk(ChunkMeta{SeriesID: "nope", Version: 1}); err == nil {
+		t.Error("missing chunk read succeeded")
+	}
+}
+
+func TestChunkRefCountsCost(t *testing.T) {
+	src := NewMemSource()
+	data := series.Series{{T: 1, V: 1}, {T: 2, V: 2}}
+	meta, err := src.AddChunk("s", 1, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	ref := NewChunkRef(meta, src, &stats)
+	if _, err := ref.Load(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.ChunksLoaded != 1 || stats.PointsDecoded != 2 || stats.BytesRead != 32 {
+		t.Errorf("after Load: %v", &stats)
+	}
+	if _, err := ref.LoadTimes(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.TimeBlocksLoaded != 1 || stats.PointsDecoded != 4 || stats.BytesRead != 48 {
+		t.Errorf("after LoadTimes: %v", &stats)
+	}
+}
+
+func TestChunkRefNilStats(t *testing.T) {
+	src := NewMemSource()
+	meta, _ := src.AddChunk("s", 1, series.Series{{T: 1, V: 1}})
+	ref := NewChunkRef(meta, src, nil)
+	if _, err := ref.Load(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.LoadTimes(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAddReset(t *testing.T) {
+	a := Stats{ChunksLoaded: 1, BytesRead: 10, IndexProbes: 3}
+	b := Stats{ChunksLoaded: 2, PointsDecoded: 5, ChunksPruned: 1}
+	a.Add(b)
+	if a.ChunksLoaded != 3 || a.BytesRead != 10 || a.PointsDecoded != 5 || a.ChunksPruned != 1 || a.IndexProbes != 3 {
+		t.Errorf("Add = %+v", a)
+	}
+	a.Reset()
+	if a != (Stats{}) {
+		t.Errorf("Reset = %+v", a)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	m := ChunkMeta{SeriesID: "s", Version: 2, Count: 5,
+		First: series.Point{T: 1, V: 0}, Last: series.Point{T: 9, V: 0},
+		Bottom: series.Point{T: 3, V: -1}, Top: series.Point{T: 4, V: 7}}
+	if s := m.String(); !strings.Contains(s, "v2") || !strings.Contains(s, "[1,9]") {
+		t.Errorf("ChunkMeta.String = %q", s)
+	}
+	d := Delete{SeriesID: "s", Version: 3, Start: 1, End: 2}
+	if s := d.String(); !strings.Contains(s, "v3") {
+		t.Errorf("Delete.String = %q", s)
+	}
+	var st Stats
+	if st.String() == "" {
+		t.Error("Stats.String empty")
+	}
+}
+
+func TestInfiniteVersionIsLargest(t *testing.T) {
+	if InfiniteVersion <= Version(1<<62) {
+		t.Error("InfiniteVersion not larger than realistic versions")
+	}
+}

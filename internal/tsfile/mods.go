@@ -1,0 +1,102 @@
+package tsfile
+
+import (
+	"fmt"
+
+	"m4lsm/internal/encoding"
+	"m4lsm/internal/storage"
+)
+
+// ModLog is the delete sidecar (the TsFile.mods of Fig. 15): an append-only
+// log of range tombstones. Deletes are never applied to chunk data on disk;
+// queries read them alongside chunk metadata (Definition 2.5).
+type ModLog struct {
+	log  *RecordLog
+	mods []storage.Delete
+}
+
+// OpenModLog opens (or creates) the sidecar at path and recovers the
+// deletes recorded so far.
+func OpenModLog(path string) (*ModLog, error) {
+	log, recs, err := OpenRecordLog(path)
+	if err != nil {
+		return nil, fmt.Errorf("mods: %w", err)
+	}
+	m := &ModLog{log: log}
+	for i, rec := range recs {
+		d, err := parseDelete(rec)
+		if err != nil {
+			log.Close()
+			return nil, fmt.Errorf("mods: record %d: %w", i, err)
+		}
+		m.mods = append(m.mods, d)
+	}
+	return m, nil
+}
+
+// Append records one delete durably.
+func (m *ModLog) Append(d storage.Delete) error {
+	if d.End < d.Start {
+		return fmt.Errorf("mods: inverted delete range [%d,%d]", d.Start, d.End)
+	}
+	if err := m.log.Append(appendDelete(nil, d), true); err != nil {
+		return err
+	}
+	m.mods = append(m.mods, d)
+	return nil
+}
+
+// All returns every recorded delete in append order. The caller must not
+// modify the returned slice.
+func (m *ModLog) All() []storage.Delete { return m.mods }
+
+// ForSeries returns the deletes of one series in append order.
+func (m *ModLog) ForSeries(seriesID string) []storage.Delete {
+	var out []storage.Delete
+	for _, d := range m.mods {
+		if d.SeriesID == seriesID {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Close releases the sidecar file handle.
+func (m *ModLog) Close() error { return m.log.Close() }
+
+func appendDelete(dst []byte, d storage.Delete) []byte {
+	dst = encoding.AppendUvarint(dst, uint64(len(d.SeriesID)))
+	dst = append(dst, d.SeriesID...)
+	dst = encoding.AppendUvarint(dst, uint64(d.Version))
+	dst = encoding.AppendVarint(dst, d.Start)
+	dst = encoding.AppendVarint(dst, d.End)
+	return dst
+}
+
+func parseDelete(b []byte) (storage.Delete, error) {
+	var d storage.Delete
+	idLen, b, err := encoding.Uvarint(b)
+	if err != nil {
+		return d, err
+	}
+	if idLen > uint64(len(b)) {
+		return d, fmt.Errorf("%w: delete series id length %d", ErrCorrupt, idLen)
+	}
+	d.SeriesID = string(b[:idLen])
+	b = b[idLen:]
+	ver, b, err := encoding.Uvarint(b)
+	if err != nil {
+		return d, err
+	}
+	d.Version = storage.Version(ver)
+	if d.Start, b, err = encoding.Varint(b); err != nil {
+		return d, err
+	}
+	if d.End, b, err = encoding.Varint(b); err != nil {
+		return d, err
+	}
+	if len(b) != 0 {
+		return d, fmt.Errorf("%w: %d trailing delete bytes", ErrCorrupt, len(b))
+	}
+	return d, nil
+}

@@ -1,0 +1,435 @@
+package tsfile
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"m4lsm/internal/encoding"
+	"m4lsm/internal/series"
+	"m4lsm/internal/storage"
+)
+
+func genSeries(n int, seed int64) series.Series {
+	rng := rand.New(rand.NewSource(seed))
+	s := make(series.Series, n)
+	t := int64(1_600_000_000_000)
+	v := 50.0
+	for i := 0; i < n; i++ {
+		t += int64(1 + rng.Intn(2000))
+		v += rng.NormFloat64()
+		s[i] = series.Point{T: t, V: v}
+	}
+	return s
+}
+
+func writeFile(t *testing.T, path string, chunks map[string][]series.Series) []storage.ChunkMeta {
+	t.Helper()
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metas []storage.ChunkMeta
+	ver := storage.Version(1)
+	for id, datas := range chunks {
+		for _, data := range datas {
+			m, err := w.WriteChunk(id, ver, encoding.CodecGorilla, data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			metas = append(metas, m)
+			ver++
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return metas
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.tsf")
+	s1 := genSeries(500, 1)
+	s2 := genSeries(3, 2)
+	writeFile(t, path, map[string][]series.Series{"root.sg.s1": {s1}, "root.sg.s2": {s2}})
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if len(r.Metas()) != 2 {
+		t.Fatalf("metas = %d", len(r.Metas()))
+	}
+	for _, m := range r.Metas() {
+		want := s1
+		if m.SeriesID == "root.sg.s2" {
+			want = s2
+		}
+		got, err := r.ReadChunk(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("chunk %s: %d pts, want %d", m.SeriesID, len(got), len(want))
+		}
+		ts, err := r.ReadTimes(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ts, want.Times()) {
+			t.Fatalf("times %s mismatch", m.SeriesID)
+		}
+		// Metadata must match ComputeMeta of the data.
+		f, l, b, tp, _ := storage.ComputeMeta(want)
+		if m.First != f || m.Last != l || m.Bottom != b || m.Top != tp {
+			t.Fatalf("meta points mismatch: %+v", m)
+		}
+		if m.Count != int64(len(want)) {
+			t.Fatalf("count = %d", m.Count)
+		}
+	}
+}
+
+func TestBothCodecs(t *testing.T) {
+	dir := t.TempDir()
+	data := genSeries(256, 3)
+	for _, codec := range []encoding.Codec{encoding.CodecGorilla, encoding.CodecPlain} {
+		path := filepath.Join(dir, codec.String()+".tsf")
+		w, err := Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.WriteChunk("s", 1, codec, data); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.ReadChunk(r.Metas()[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, data) {
+			t.Fatalf("%v: data mismatch", codec)
+		}
+		r.Close()
+	}
+}
+
+func TestWriterRejectsBadChunks(t *testing.T) {
+	w, err := Create(filepath.Join(t.TempDir(), "x.tsf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Abort()
+	if _, err := w.WriteChunk("s", 1, encoding.CodecGorilla, nil); err == nil {
+		t.Error("empty chunk accepted")
+	}
+	if _, err := w.WriteChunk("s", 1, encoding.CodecGorilla, series.Series{{T: 2, V: 0}, {T: 1, V: 0}}); err == nil {
+		t.Error("unsorted chunk accepted")
+	}
+	if _, err := w.WriteChunk("s", 1, encoding.Codec(9), series.Series{{T: 1, V: 0}}); err == nil {
+		t.Error("bad codec accepted")
+	}
+}
+
+func TestWriteAfterClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.tsf")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WriteChunk("s", 1, encoding.CodecGorilla, series.Series{{T: 1, V: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WriteChunk("s", 2, encoding.CodecGorilla, series.Series{{T: 2, V: 0}}); err == nil {
+		t.Error("write after close accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Error("second close must be a no-op:", err)
+	}
+}
+
+func TestAbortLeavesNoFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.tsf")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WriteChunk("s", 1, encoding.CodecGorilla, series.Series{{T: 1, V: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("aborted file still exists")
+	}
+}
+
+func TestOpenRejectsUnclosedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.tsf")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WriteChunk("s", 1, encoding.CodecGorilla, genSeries(100, 4)); err != nil {
+		t.Fatal(err)
+	}
+	w.w.Flush() // simulate crash before footer
+	w.f.Close()
+	if _, err := Open(path); err == nil {
+		t.Fatal("unclosed file opened successfully")
+	}
+}
+
+func TestOpenRejectsCorruptFooter(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.tsf")
+	writeFile(t, path, map[string][]series.Series{"s": {genSeries(100, 5)}})
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-20] ^= 0xFF // inside footer
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("corrupt footer accepted")
+	}
+}
+
+func TestReadDetectsCorruptChunkData(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.tsf")
+	metas := writeFile(t, path, map[string][]series.Series{"s": {genSeries(200, 6)}})
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := metas[0]
+	raw[m.Offset+m.HeaderLen+2] ^= 0xFF // inside timestamp block
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path) // footer is intact
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.ReadChunk(r.Metas()[0]); err == nil {
+		t.Error("corrupt timestamp block read successfully")
+	}
+	if _, err := r.ReadTimes(r.Metas()[0]); err == nil {
+		t.Error("corrupt timestamp block (times path) read successfully")
+	}
+}
+
+func TestReadDetectsCorruptValueBlockOnly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.tsf")
+	metas := writeFile(t, path, map[string][]series.Series{"s": {genSeries(200, 7)}})
+	raw, _ := os.ReadFile(path)
+	m := metas[0]
+	raw[m.Offset+m.HeaderLen+m.TimesLen+2] ^= 0xFF // inside value block
+	os.WriteFile(path, raw, 0o644)
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.ReadChunk(r.Metas()[0]); err == nil {
+		t.Error("corrupt value block read successfully")
+	}
+	// Timestamp-only read must still succeed: the corruption is confined
+	// to the value block, which partial loads never touch.
+	if _, err := r.ReadTimes(r.Metas()[0]); err != nil {
+		t.Errorf("ReadTimes failed on value-block corruption: %v", err)
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "missing.tsf")); err == nil {
+		t.Fatal("missing file opened")
+	}
+}
+
+func TestManyChunksOffsets(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "many.tsf")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []series.Series
+	for i := 0; i < 50; i++ {
+		data := genSeries(20+i, int64(i))
+		want = append(want, data)
+		if _, err := w.WriteChunk("s", storage.Version(i+1), encoding.CodecGorilla, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i, m := range r.Metas() {
+		got, err := r.ReadChunk(m)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want[i]) {
+			t.Fatalf("chunk %d mismatch", i)
+		}
+	}
+}
+
+func TestRecordLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	log, recs, err := OpenRecordLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh log has %d records", len(recs))
+	}
+	payloads := [][]byte{[]byte("a"), []byte("bb"), {}, []byte("dddd")}
+	for _, p := range payloads {
+		if err := log.Append(p, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log.Close()
+	_, recs, err = OpenRecordLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(payloads) {
+		t.Fatalf("recovered %d records, want %d", len(recs), len(payloads))
+	}
+	for i := range payloads {
+		if string(recs[i]) != string(payloads[i]) {
+			t.Errorf("record %d = %q", i, recs[i])
+		}
+	}
+}
+
+func TestRecordLogTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	log, _, err := OpenRecordLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Append([]byte("complete"), true)
+	log.Append([]byte("torn-record"), true)
+	log.Close()
+	raw, _ := os.ReadFile(path)
+	os.WriteFile(path, raw[:len(raw)-3], 0o644) // crash mid-append
+	log2, recs, err := OpenRecordLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0]) != "complete" {
+		t.Fatalf("recovered %q", recs)
+	}
+	// The log must be appendable after truncation.
+	if err := log2.Append([]byte("after"), true); err != nil {
+		t.Fatal(err)
+	}
+	log2.Close()
+	_, recs, err = OpenRecordLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || string(recs[1]) != "after" {
+		t.Fatalf("after re-append: %q", recs)
+	}
+}
+
+func TestRecordLogReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	log, _, err := OpenRecordLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Append([]byte("x"), false)
+	if err := log.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	log.Append([]byte("y"), true)
+	log.Close()
+	_, recs, err := OpenRecordLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0]) != "y" {
+		t.Fatalf("after reset: %q", recs)
+	}
+}
+
+func TestModLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.mods")
+	m, err := OpenModLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dels := []storage.Delete{
+		{SeriesID: "s1", Version: 3, Start: 10, End: 20},
+		{SeriesID: "s2", Version: 4, Start: -5, End: 5},
+		{SeriesID: "s1", Version: 9, Start: 100, End: 100},
+	}
+	for _, d := range dels {
+		if err := m.Append(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.ForSeries("s1"); len(got) != 2 || got[1].Version != 9 {
+		t.Fatalf("ForSeries = %v", got)
+	}
+	m.Close()
+	m2, err := OpenModLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if !reflect.DeepEqual(m2.All(), dels) {
+		t.Fatalf("recovered %v, want %v", m2.All(), dels)
+	}
+}
+
+func TestModLogRejectsInvertedRange(t *testing.T) {
+	m, err := OpenModLog(filepath.Join(t.TempDir(), "db.mods"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Append(storage.Delete{SeriesID: "s", Version: 1, Start: 10, End: 5}); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestReadTimesCheaperThanReadChunk(t *testing.T) {
+	// The partial load contract: ReadTimes must touch fewer bytes. We
+	// verify via the meta lengths, which ChunkRef uses for accounting.
+	path := filepath.Join(t.TempDir(), "x.tsf")
+	metas := writeFile(t, path, map[string][]series.Series{"s": {genSeries(1000, 8)}})
+	m := metas[0]
+	if m.TimesLen <= 0 || m.ValuesLen <= 0 {
+		t.Fatalf("bad lengths: %+v", m)
+	}
+	if m.HeaderLen+m.TimesLen >= m.HeaderLen+m.TimesLen+m.ValuesLen {
+		t.Fatal("times read not cheaper than full read")
+	}
+}

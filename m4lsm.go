@@ -1,0 +1,291 @@
+// Package m4lsm is an LSM-based time-series store with a database-native
+// M4 visualization operator, a Go reproduction of "Time Series
+// Representation for Visualization in Apache IoTDB" (SIGMOD 2024).
+//
+// A DB stores time series as write-once chunks with per-chunk metadata
+// (first/last/bottom/top points) plus append-only range deletes, exactly
+// the storage shape of the paper's §2.2. The M4 method computes, for each
+// of w time spans, the four representation points that render a pixel-
+// perfect two-color line chart. Two operators are available:
+//
+//   - OperatorLSM (default): the paper's chunk-merge-free M4-LSM, which
+//     answers from chunk metadata, verifies candidates against deletes and
+//     overwrites, and loads chunk data only when unavoidable.
+//   - OperatorUDF: the baseline that merges every chunk online and scans
+//     the assembled series.
+//
+// Basic usage:
+//
+//	db, err := m4lsm.Open(dir)
+//	db.Write("root.sensor", m4lsm.Point{Time: 1000, Value: 21.5})
+//	aggs, stats, err := db.M4("root.sensor", 0, 10_000, 1000)
+//
+// or through the SQL-ish surface of the paper's Appendix A.1:
+//
+//	res, err := db.Query(`SELECT M4(*) FROM root.sensor
+//	    WHERE time >= 0 AND time < 10000 GROUP BY SPANS(1000)`)
+package m4lsm
+
+import (
+	"fmt"
+
+	"m4lsm/internal/encoding"
+	"m4lsm/internal/lsm"
+	"m4lsm/internal/m4"
+	intm4lsm "m4lsm/internal/m4lsm"
+	"m4lsm/internal/m4ql"
+	"m4lsm/internal/m4udf"
+	"m4lsm/internal/series"
+	"m4lsm/internal/storage"
+)
+
+// Point is a single time-value observation; Time is in epoch milliseconds.
+type Point struct {
+	Time  int64
+	Value float64
+}
+
+// Aggregate holds the four M4 representation points of one time span. When
+// Empty is true the span contains no points.
+type Aggregate struct {
+	First  Point
+	Last   Point
+	Bottom Point
+	Top    Point
+	Empty  bool
+}
+
+// Stats reports the I/O and compute work of one query.
+type Stats struct {
+	ChunksLoaded     int64 // full chunk loads
+	TimeBlocksLoaded int64 // timestamp-only partial loads
+	BytesRead        int64 // encoded bytes read
+	PointsDecoded    int64 // points passed through a codec
+	CandidateRounds  int64 // M4-LSM candidate generation/verification rounds
+	IndexProbes      int64 // chunk-index probes (ExistProbes + BoundaryProbes)
+	ExistProbes      int64 // existence checks verifying BP/TP candidates (Table 1 case a)
+	BoundaryProbes   int64 // closest-point probes recalculating FP/LP under deletes (Table 1 case b)
+	ChunksPruned     int64 // chunks answered purely from metadata
+}
+
+// Operator selects the physical M4 operator.
+type Operator int
+
+// Available operators.
+const (
+	// OperatorLSM is the paper's chunk-merge-free operator (default).
+	OperatorLSM Operator = iota
+	// OperatorUDF is the merge-everything baseline.
+	OperatorUDF
+)
+
+// Option configures Open.
+type Option func(*config)
+
+type config struct {
+	flushThreshold int
+	plainEncoding  bool
+	syncWAL        bool
+	disableWAL     bool
+	cacheBytes     int64
+}
+
+// WithFlushThreshold sets the number of buffered points per series that
+// triggers a flush and bounds chunk size (default 1000, the paper's
+// avg_series_point_number_threshold).
+func WithFlushThreshold(n int) Option {
+	return func(c *config) { c.flushThreshold = n }
+}
+
+// WithPlainEncoding disables the Gorilla/delta codecs and stores chunks
+// uncompressed.
+func WithPlainEncoding() Option {
+	return func(c *config) { c.plainEncoding = true }
+}
+
+// WithSyncWAL fsyncs the write-ahead log on every write batch.
+func WithSyncWAL() Option {
+	return func(c *config) { c.syncWAL = true }
+}
+
+// WithoutWAL disables write-ahead logging; unflushed writes are lost on a
+// crash. Meant for bulk loading.
+func WithoutWAL() Option {
+	return func(c *config) { c.disableWAL = true }
+}
+
+// WithChunkCache bounds an LRU over decoded chunk columns shared by all
+// queries (useful for interactive pan/zoom, which re-reads chunks). Off by
+// default: the paper's experiments run cold.
+func WithChunkCache(bytes int64) Option {
+	return func(c *config) { c.cacheBytes = bytes }
+}
+
+// DB is an LSM time-series store rooted at a directory. All methods are
+// safe for concurrent use.
+type DB struct {
+	engine *lsm.Engine
+}
+
+// Open opens (or creates) a database directory, recovering state from
+// chunk files, the delete sidecar and the WAL.
+func Open(dir string, opts ...Option) (*DB, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	codec := encoding.CodecGorilla
+	if cfg.plainEncoding {
+		codec = encoding.CodecPlain
+	}
+	e, err := lsm.Open(lsm.Options{
+		Dir:             dir,
+		FlushThreshold:  cfg.flushThreshold,
+		Codec:           codec,
+		SyncWAL:         cfg.syncWAL,
+		DisableWAL:      cfg.disableWAL,
+		ChunkCacheBytes: cfg.cacheBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{engine: e}, nil
+}
+
+// Write buffers points for a series. Points may arrive out of order and
+// may overwrite earlier timestamps (the latest write wins).
+func (db *DB) Write(seriesID string, pts ...Point) error {
+	internal := make([]series.Point, len(pts))
+	for i, p := range pts {
+		internal[i] = series.Point{T: p.Time, V: p.Value}
+	}
+	return db.engine.Write(seriesID, internal...)
+}
+
+// Delete records a range tombstone over the closed time range [start, end]
+// of a series.
+func (db *DB) Delete(seriesID string, start, end int64) error {
+	return db.engine.Delete(seriesID, start, end)
+}
+
+// Flush persists buffered writes as chunks.
+func (db *DB) Flush() error { return db.engine.Flush() }
+
+// Compact merges all chunks of all series into fresh non-overlapping
+// chunks with deletes applied — the standard LSM maintenance operation.
+// The paper's experiments run without compaction (its storage states are
+// exactly what M4-LSM targets); after Compact, M4 queries hit the pure
+// metadata fast path.
+func (db *DB) Compact() error { return db.engine.Compact() }
+
+// Close flushes and releases all resources.
+func (db *DB) Close() error { return db.engine.Close() }
+
+// SeriesIDs lists every stored series, sorted.
+func (db *DB) SeriesIDs() []string { return db.engine.SeriesIDs() }
+
+// M4 runs an M4 representation query with the default operator (M4-LSM):
+// the half-open time range [tqs, tqe) is divided into w spans and the
+// first/last/bottom/top points of each are returned.
+func (db *DB) M4(seriesID string, tqs, tqe int64, w int) ([]Aggregate, Stats, error) {
+	return db.M4With(seriesID, tqs, tqe, w, OperatorLSM)
+}
+
+// M4With runs an M4 representation query with an explicit operator.
+func (db *DB) M4With(seriesID string, tqs, tqe int64, w int, op Operator) ([]Aggregate, Stats, error) {
+	q := m4.Query{Tqs: tqs, Tqe: tqe, W: w}
+	if err := q.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	snap, err := db.engine.Snapshot(seriesID, q.Range())
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var aggs []m4.Aggregate
+	switch op {
+	case OperatorLSM:
+		aggs, err = intm4lsm.Compute(snap, q)
+	case OperatorUDF:
+		aggs, err = m4udf.Compute(snap, q)
+	default:
+		return nil, Stats{}, fmt.Errorf("m4lsm: unknown operator %d", op)
+	}
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return publicAggregates(aggs), publicStats(*snap.Stats), nil
+}
+
+// Query parses and executes a query in the SQL-ish form of the paper's
+// Appendix A.1, e.g.
+//
+//	SELECT M4(*) FROM root.kob WHERE time >= 0 AND time < 1000000
+//	GROUP BY SPANS(1000) USING LSM
+func (db *DB) Query(query string) (*QueryResult, error) {
+	res, err := m4ql.Run(db.engine, query)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResult{Result: res}, nil
+}
+
+// QueryResult is the tabular output of DB.Query. It embeds the m4ql result
+// (columns, one row per non-empty span, timing and cost stats) and renders
+// with Text.
+type QueryResult struct {
+	*m4ql.Result
+}
+
+// Info summarizes storage state.
+type Info struct {
+	Files          int
+	UnseqFiles     int // files holding out-of-order (unsequence) data
+	Chunks         int
+	MemtablePoints int
+	Deletes        int
+}
+
+// Info returns storage statistics.
+func (db *DB) Info() Info {
+	i := db.engine.Info()
+	return Info{
+		Files:          i.Files,
+		UnseqFiles:     i.UnseqFiles,
+		Chunks:         i.Chunks,
+		MemtablePoints: i.MemtablePoints,
+		Deletes:        i.Deletes,
+	}
+}
+
+func publicPoint(p series.Point) Point { return Point{Time: p.T, Value: p.V} }
+
+func publicAggregates(in []m4.Aggregate) []Aggregate {
+	out := make([]Aggregate, len(in))
+	for i, a := range in {
+		if a.Empty {
+			out[i] = Aggregate{Empty: true}
+			continue
+		}
+		out[i] = Aggregate{
+			First:  publicPoint(a.First),
+			Last:   publicPoint(a.Last),
+			Bottom: publicPoint(a.Bottom),
+			Top:    publicPoint(a.Top),
+		}
+	}
+	return out
+}
+
+func publicStats(s storage.Stats) Stats {
+	return Stats{
+		ChunksLoaded:     s.ChunksLoaded,
+		TimeBlocksLoaded: s.TimeBlocksLoaded,
+		BytesRead:        s.BytesRead,
+		PointsDecoded:    s.PointsDecoded,
+		CandidateRounds:  s.CandidateRounds,
+		IndexProbes:      s.IndexProbes,
+		ExistProbes:      s.ExistProbes,
+		BoundaryProbes:   s.BoundaryProbes,
+		ChunksPruned:     s.ChunksPruned,
+	}
+}

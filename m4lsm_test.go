@@ -1,0 +1,198 @@
+package m4lsm
+
+import (
+	"testing"
+)
+
+func openDB(t *testing.T, opts ...Option) *DB {
+	t.Helper()
+	db, err := Open(t.TempDir(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	db := openDB(t)
+	pts := []Point{{Time: 10, Value: 3}, {Time: 20, Value: 8}, {Time: 30, Value: 1}}
+	if err := db.Write("root.s", pts...); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	aggs, stats, err := db.M4("root.s", 0, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aggs) != 1 || aggs[0].Empty {
+		t.Fatalf("aggs = %v", aggs)
+	}
+	a := aggs[0]
+	if a.First != (Point{Time: 10, Value: 3}) || a.Last != (Point{Time: 30, Value: 1}) {
+		t.Errorf("first/last = %v/%v", a.First, a.Last)
+	}
+	if a.Bottom.Value != 1 || a.Top.Value != 8 {
+		t.Errorf("bottom/top = %v/%v", a.Bottom, a.Top)
+	}
+	if stats.ChunksPruned != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestPublicOperatorsAgree(t *testing.T) {
+	db := openDB(t, WithFlushThreshold(50))
+	for i := 199; i >= 0; i-- { // out of order
+		db.Write("s", Point{Time: int64(i * 3), Value: float64((i * 11) % 23)})
+	}
+	db.Flush()
+	db.Delete("s", 100, 140)
+	lsmAggs, _, err := db.M4With("s", 0, 600, 9, OperatorLSM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	udfAggs, _, err := db.M4With("s", 0, 600, 9, OperatorUDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lsmAggs {
+		l, u := lsmAggs[i], udfAggs[i]
+		if l.Empty != u.Empty {
+			t.Fatalf("span %d emptiness: %v vs %v", i, l, u)
+		}
+		if l.Empty {
+			continue
+		}
+		if l.First != u.First || l.Last != u.Last || l.Bottom.Value != u.Bottom.Value || l.Top.Value != u.Top.Value {
+			t.Fatalf("span %d: %v vs %v", i, l, u)
+		}
+	}
+}
+
+func TestPublicQuery(t *testing.T) {
+	db := openDB(t)
+	db.Write("root.s", Point{Time: 5, Value: 2}, Point{Time: 15, Value: 4})
+	db.Flush()
+	res, err := db.Query(`SELECT M4(*) FROM root.s WHERE time >= 0 AND time < 20 GROUP BY SPANS(2)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Text() == "" {
+		t.Error("empty text")
+	}
+	if _, err := db.Query(`SELECT garbage`); err == nil {
+		t.Error("bad query accepted")
+	}
+}
+
+func TestPublicValidation(t *testing.T) {
+	db := openDB(t)
+	if _, _, err := db.M4("s", 10, 5, 3); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, _, err := db.M4With("s", 0, 10, 1, Operator(9)); err == nil {
+		t.Error("unknown operator accepted")
+	}
+}
+
+func TestPublicPersistence(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, WithSyncWAL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Write("s", Point{Time: 1, Value: 9})
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	ids := db2.SeriesIDs()
+	if len(ids) != 1 || ids[0] != "s" {
+		t.Fatalf("series = %v", ids)
+	}
+	aggs, _, err := db2.M4("s", 0, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aggs[0].Empty || aggs[0].First.Value != 9 {
+		t.Fatalf("aggs = %v", aggs)
+	}
+	info := db2.Info()
+	if info.Chunks != 1 {
+		t.Errorf("info = %+v", info)
+	}
+}
+
+func TestPublicOptions(t *testing.T) {
+	db := openDB(t, WithPlainEncoding(), WithoutWAL(), WithFlushThreshold(10))
+	for i := 0; i < 25; i++ {
+		db.Write("s", Point{Time: int64(i), Value: 1})
+	}
+	if db.Info().Files != 2 {
+		t.Errorf("files = %d, want 2 auto-flushes at threshold 10", db.Info().Files)
+	}
+}
+
+func TestPublicCompact(t *testing.T) {
+	db := openDB(t, WithFlushThreshold(4))
+	db.Write("s", Point{Time: 10, Value: 1}, Point{Time: 30, Value: 3}, Point{Time: 50, Value: 5}, Point{Time: 70, Value: 7})
+	db.Write("s", Point{Time: 20, Value: 2}, Point{Time: 40, Value: 4}, Point{Time: 60, Value: 6}, Point{Time: 80, Value: 8})
+	db.Delete("s", 40, 45)
+	before, _, err := db.M4("s", 0, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, _, err := db.M4("s", 0, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if before[i].First != after[i].First || before[i].Last != after[i].Last ||
+			before[i].Bottom.Value != after[i].Bottom.Value || before[i].Top.Value != after[i].Top.Value {
+			t.Fatalf("span %d changed by compaction: %v vs %v", i, before[i], after[i])
+		}
+	}
+	info := db.Info()
+	if info.Deletes != 0 || info.Files != 1 {
+		t.Errorf("after compaction: %+v, want deletes folded into one file", info)
+	}
+}
+
+func TestPublicEmptySeries(t *testing.T) {
+	db := openDB(t)
+	aggs, _, err := db.M4("missing", 0, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range aggs {
+		if !a.Empty {
+			t.Fatalf("aggs = %v", aggs)
+		}
+	}
+}
+
+func TestPublicChunkCacheOption(t *testing.T) {
+	db := openDB(t, WithChunkCache(1<<20), WithFlushThreshold(8))
+	for i := 0; i < 32; i++ {
+		db.Write("s", Point{Time: int64(i), Value: float64(i)})
+	}
+	db.Flush()
+	// Force loads: w larger than chunk count splits everything.
+	for i := 0; i < 2; i++ {
+		if _, _, err := db.M4("s", 0, 32, 16); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

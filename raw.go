@@ -1,0 +1,106 @@
+package m4lsm
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"m4lsm/internal/m4"
+	intm4lsm "m4lsm/internal/m4lsm"
+	"m4lsm/internal/mergeread"
+	"m4lsm/internal/series"
+	"m4lsm/internal/viz"
+)
+
+// Raw returns the merged ("latest") points of a series in the half-open
+// time range [tqs, tqe), in time order: overwrites resolved by version,
+// deletes applied. This is the full-resolution read path that M4 queries
+// avoid scanning.
+func (db *DB) Raw(seriesID string, tqs, tqe int64) ([]Point, error) {
+	if tqe <= tqs {
+		return nil, fmt.Errorf("m4lsm: empty range [%d, %d)", tqs, tqe)
+	}
+	r := series.TimeRange{Start: tqs, End: tqe}
+	snap, err := db.engine.Snapshot(seriesID, r)
+	if err != nil {
+		return nil, err
+	}
+	merged, err := mergeread.Merge(snap, r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Point, len(merged))
+	for i, p := range merged {
+		out[i] = Point{Time: p.T, Value: p.V}
+	}
+	return out, nil
+}
+
+// M4Multi runs the same M4 representation query over several series
+// concurrently — the dashboard pattern, where one screen draws many
+// aligned charts. Results are keyed by series id; an error on any series
+// fails the call.
+func (db *DB) M4Multi(seriesIDs []string, tqs, tqe int64, w int) (map[string][]Aggregate, error) {
+	q := m4.Query{Tqs: tqs, Tqe: tqe, W: w}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+		out      = make(map[string][]Aggregate, len(seriesIDs))
+	)
+	for _, id := range seriesIDs {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			aggs, _, err := db.M4(id, tqs, tqe, w)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("m4lsm: series %s: %w", id, err)
+				}
+				return
+			}
+			out[id] = aggs
+		}(id)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Render draws the series over [tqs, tqe) as a two-color PNG line chart of
+// w×h pixels and returns the encoded image. The chart is computed with the
+// M4-LSM operator at w spans, so it is pixel-identical to rendering the
+// full series (the paper's error-free guarantee) at a fraction of the
+// read cost.
+func (db *DB) Render(seriesID string, tqs, tqe int64, w, h int) ([]byte, error) {
+	q := m4.Query{Tqs: tqs, Tqe: tqe, W: w}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if h <= 0 {
+		return nil, fmt.Errorf("m4lsm: height must be positive, got %d", h)
+	}
+	snap, err := db.engine.Snapshot(seriesID, q.Range())
+	if err != nil {
+		return nil, err
+	}
+	aggs, err := intm4lsm.Compute(snap, q)
+	if err != nil {
+		return nil, err
+	}
+	reduced := m4.Points(aggs)
+	vp := viz.ViewportFor(reduced, tqs, tqe)
+	canvas := viz.Rasterize(reduced, vp, w, h)
+	var buf bytes.Buffer
+	if err := canvas.WritePNG(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
