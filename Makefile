@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test race vet check bench bench-parallel
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the standard gate for this repo: static analysis plus the full
+# suite under the race detector (the parallel operator makes -race
+# mandatory, not optional).
+check: vet race
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 10x .
+
+# bench-parallel regenerates the worker-scaling numbers of BENCH_parallel.json.
+bench-parallel:
+	$(GO) test -run '^$$' -bench 'BenchmarkM4LSMParallel|BenchmarkM4UDFParallel' -benchtime 30x .

@@ -171,6 +171,49 @@ func BenchmarkFig14VaryDeleteRange(b *testing.B) {
 	}
 }
 
+// BenchmarkM4LSMParallel sweeps the worker count of the parallel M4-LSM
+// operator on an overlap-and-delete-heavy state with w=1000 (the shape
+// where the span×G task fan-out has real work per task). Speedup over the
+// parallelism=1 run is bounded by GOMAXPROCS; results are byte-identical
+// and ChunksLoaded is constant across the sweep (singleflight dedupe).
+func BenchmarkM4LSMParallel(b *testing.B) {
+	nChunks := benchPoints / benchChunkSize
+	db := buildBenchDB(b, workload.KOB(), benchPoints, benchChunkSize, 0.3,
+		workload.DeleteOptions{Count: nChunks / 5, RangeMillis: 60_000, Seed: 7},
+		encoding.CodecGorilla)
+	q := m4.Query{Tqs: db.tqs, Tqe: db.tqe, W: 1000}
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			db.query(b, q, true, intm4lsm.Options{Parallelism: par})
+		})
+	}
+}
+
+// BenchmarkM4UDFParallel is the same sweep for the baseline's per-span-block
+// parallel scan.
+func BenchmarkM4UDFParallel(b *testing.B) {
+	nChunks := benchPoints / benchChunkSize
+	db := buildBenchDB(b, workload.KOB(), benchPoints, benchChunkSize, 0.3,
+		workload.DeleteOptions{Count: nChunks / 5, RangeMillis: 60_000, Seed: 7},
+		encoding.CodecGorilla)
+	q := m4.Query{Tqs: db.tqs, Tqe: db.tqe, W: 1000}
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				snap, err := db.engine.Snapshot(db.id, q.Range())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := m4udf.ComputeWithOptions(snap, q, m4udf.Options{Parallelism: par}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationIndex compares step-regression probes against plain
 // binary search inside the operator (DESIGN.md §6).
 func BenchmarkAblationIndex(b *testing.B) {

@@ -31,13 +31,14 @@ func main() {
 		chunk    = flag.Int("chunk", 1000, "points per chunk (paper: 1000)")
 		w        = flag.Int("w", 1000, "time spans for the non-w experiments (paper: 1000)")
 		reps     = flag.Int("reps", 3, "repetitions per query; minimum latency reported")
+		par      = flag.Int("parallel", 0, "worker goroutines per query (0 = GOMAXPROCS); the scaling experiment sweeps its own values")
 		seed     = flag.Int64("seed", 42, "generator seed")
 		markdown = flag.Bool("markdown", false, "emit Markdown tables instead of text")
 		datasets = flag.String("datasets", "", "comma-separated dataset filter (e.g. MF03,KOB); empty = all")
 	)
 	flag.Parse()
 
-	cfg := exper.Config{Scale: *scale, ChunkSize: *chunk, W: *w, Reps: *reps, Seed: *seed}
+	cfg := exper.Config{Scale: *scale, ChunkSize: *chunk, W: *w, Reps: *reps, Seed: *seed, Parallelism: *par}
 	if *datasets != "" {
 		want := map[string]bool{}
 		for _, name := range strings.Split(*datasets, ",") {
@@ -87,11 +88,12 @@ func run(out io.Writer, name string, cfg exper.Config, markdown bool) error {
 	case "fig8":
 		exper.WriteFig8(out, exper.RunFig8(cfg))
 		return nil
-	case "fig10", "fig11", "fig12", "fig13", "fig14":
+	case "fig10", "fig11", "fig12", "fig13", "fig14", "scaling":
 		var (
 			ms  []exper.Measurement
 			err error
 		)
+		title := exper.Titles[name]
 		switch name {
 		case "fig10":
 			ms, err = exper.RunFig10(cfg)
@@ -103,14 +105,17 @@ func run(out io.Writer, name string, cfg exper.Config, markdown bool) error {
 			ms, err = exper.RunFig13(cfg)
 		case "fig14":
 			ms, err = exper.RunFig14(cfg)
+		case "scaling":
+			ms, err = exper.RunScaling(cfg)
+			title = exper.ScalingTitle()
 		}
 		if err != nil {
 			return err
 		}
 		if markdown {
-			exper.WriteMarkdown(out, exper.Titles[name], ms)
+			exper.WriteMarkdown(out, title, ms)
 		} else {
-			exper.WriteTable(out, exper.Titles[name], ms)
+			exper.WriteTable(out, title, ms)
 		}
 		return nil
 	default:

@@ -73,7 +73,7 @@ func RunAblations(cfg Config) ([]AblationRow, error) {
 				}
 				if d := time.Since(start); d < best.Latency {
 					best.Latency = d
-					best.Stats = *snap.Stats
+					best.Stats = snap.Stats.Load()
 				}
 			}
 			out = append(out, best)

@@ -42,6 +42,9 @@ type Config struct {
 	// Dir is the working directory for database files; a temporary
 	// directory is used when empty.
 	Dir string
+	// Parallelism is passed to both operators (0 = GOMAXPROCS, 1 =
+	// sequential). The scaling experiment overrides it per measurement.
+	Parallelism int
 	// Datasets to run; defaults to the four Table 2 presets.
 	Datasets []workload.Preset
 }
@@ -140,13 +143,13 @@ func measure(cfg Config, b *builtDataset, name string, q m4.Query) (Measurement,
 			return m, err
 		}
 		start := time.Now()
-		udfAggs, err := m4udf.Compute(snap, q)
+		udfAggs, err := m4udf.ComputeWithOptions(snap, q, m4udf.Options{Parallelism: cfg.Parallelism})
 		if err != nil {
 			return m, err
 		}
 		if d := time.Since(start); d < m.UDFLatency {
 			m.UDFLatency = d
-			m.UDFStats = *snap.Stats
+			m.UDFStats = snap.Stats.Load()
 		}
 
 		snap, err = b.engine.Snapshot(name, q.Range())
@@ -154,13 +157,13 @@ func measure(cfg Config, b *builtDataset, name string, q m4.Query) (Measurement,
 			return m, err
 		}
 		start = time.Now()
-		lsmAggs, err := m4lsm.Compute(snap, q)
+		lsmAggs, err := m4lsm.ComputeWithOptions(snap, q, m4lsm.Options{Parallelism: cfg.Parallelism})
 		if err != nil {
 			return m, err
 		}
 		if d := time.Since(start); d < m.LSMLatency {
 			m.LSMLatency = d
-			m.LSMStats = *snap.Stats
+			m.LSMStats = snap.Stats.Load()
 		}
 
 		// Sanity: the operators must agree on every span.

@@ -156,10 +156,11 @@ var Titles = map[string]string{
 	"fig12":     "Figure 12: varying chunk overlap percentage",
 	"fig13":     "Figure 13: varying delete percentage",
 	"fig14":     "Figure 14: varying delete time range",
+	"scaling":   "Scaling: varying worker parallelism",
 	"ablations": "Ablations: M4-LSM design choices",
 }
 
 // ExpNames lists the experiments in presentation order.
 func ExpNames() []string {
-	return []string{"table2", "fig1", "fig8", "fig10", "fig11", "fig12", "fig13", "fig14", "ablations"}
+	return []string{"table2", "fig1", "fig8", "fig10", "fig11", "fig12", "fig13", "fig14", "scaling", "ablations"}
 }

@@ -31,7 +31,10 @@ package m4lsm
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"m4lsm/internal/m4"
 	"m4lsm/internal/series"
@@ -39,9 +42,17 @@ import (
 	"m4lsm/internal/storage"
 )
 
-// Options tune the operator; the zero value is the paper's configuration.
-// The non-default settings exist for the ablation studies in DESIGN.md §6.
+// Options tune the operator; the zero value is the paper's configuration
+// (run on every available core). The non-default settings exist for the
+// ablation studies in DESIGN.md §6.
 type Options struct {
+	// Parallelism bounds the worker goroutines that evaluate the 4·w
+	// (span, G) tasks: 0 uses GOMAXPROCS, 1 runs single-threaded on the
+	// calling goroutine. The result is byte-identical at every setting —
+	// tasks are independent and write disjoint output slots — and full
+	// chunk loads are deduplicated by a per-chunk singleflight gate, so
+	// Stats.ChunksLoaded does not depend on the worker count either.
+	Parallelism int
 	// DisableStepIndex replaces step-regression probes with plain binary
 	// search.
 	DisableStepIndex bool
@@ -95,20 +106,191 @@ func ComputeWithOptions(snap *storage.Snapshot, q m4.Query, opts Options) ([]m4.
 		}
 	}
 
+	// The (span, G) tasks are independent: each gets its own views (the
+	// per-span restriction of chunk metadata) and only shares the
+	// read-only snapshot, the delete index and the singleflight-gated
+	// chunk states. Tasks run in two waves so the paper's lazy-load
+	// guarantees survive the fan-out: FP tasks first — FP proves span
+	// emptiness by chaining delete bounds without loading — then LP/BP/TP
+	// only for spans FP found non-empty (a BP/TP task on an all-deleted
+	// span would load its chunks just to discover there is nothing left).
+	// Spans with no overlapping chunks answer Empty without any task.
+	// The decomposition is identical at every parallelism level, so the
+	// output is byte-identical whatever the worker count.
 	out := make([]m4.Aggregate, q.W)
+	work := make([]int, 0, q.W) // span indexes with at least one chunk
 	for i := 0; i < q.W; i++ {
-		agg, err := op.computeSpan(q.Span(i), perSpan[i])
-		if err != nil {
+		if q.Span(i).Empty() || len(perSpan[i]) == 0 {
+			out[i] = m4.Aggregate{Empty: true}
+			continue
+		}
+		work = append(work, i)
+	}
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+
+	firsts := make([]gResult, len(work))
+	runPool(par, len(work), func(t int) error {
+		span := work[t]
+		pt, ok, err := op.computeG(q.Span(span), perSpan[span], gFP)
+		firsts[t] = gResult{pt: pt, ok: ok, err: err}
+		return err
+	})
+	live := make([]int, 0, len(work)) // indexes into work with surviving points
+	for k, i := range work {
+		if err := firsts[k].err; err != nil {
 			return nil, fmt.Errorf("m4lsm: span %d: %w", i, err)
 		}
-		out[i] = agg
-	}
-	for _, cs := range op.states {
-		if !cs.hasData && !cs.hasTimes {
-			op.stats.ChunksPruned++
+		if firsts[k].ok {
+			live = append(live, k)
+		} else {
+			out[i] = m4.Aggregate{Empty: true}
 		}
 	}
+
+	const restCount = gCount - 1 // LP, BP, TP
+	rests := make([]gResult, restCount*len(live))
+	runPool(par, len(rests), func(t int) error {
+		span := work[live[t/restCount]]
+		pt, ok, err := op.computeG(q.Span(span), perSpan[span], gLP+gKind(t%restCount))
+		rests[t] = gResult{pt: pt, ok: ok, err: err}
+		return err
+	})
+	// Report the first error in span order before assembling: after a
+	// failure the pool stops early, leaving later tasks with zero results
+	// that must not be mistaken for empty spans.
+	for j, k := range live {
+		i := work[k]
+		for _, r := range rests[restCount*j : restCount*j+restCount] {
+			if r.err != nil {
+				return nil, fmt.Errorf("m4lsm: span %d: %w", i, r.err)
+			}
+		}
+	}
+	for j, k := range live {
+		i := work[k]
+		g := rests[restCount*j : restCount*j+restCount]
+		for kind, r := range g {
+			if !r.ok {
+				return nil, fmt.Errorf("internal: span %d: %v empty after FP found %v", i, gLP+gKind(kind), firsts[k].pt)
+			}
+		}
+		out[i] = m4.Aggregate{First: firsts[k].pt, Last: g[0].pt, Bottom: g[1].pt, Top: g[2].pt}
+	}
+	// Workers have joined; the chunk-state flags are safe to read plainly.
+	pruned := int64(0)
+	for _, cs := range op.states {
+		if !cs.hasData && !cs.hasTimes {
+			pruned++
+		}
+	}
+	atomic.AddInt64(&op.stats.ChunksPruned, pruned)
 	return out, nil
+}
+
+// runPool executes tasks 0..n-1 across at most par worker goroutines,
+// pulling task indexes off a shared atomic counter. par <= 1 runs inline
+// on the calling goroutine with zero scheduling overhead. A task error
+// stops the pool early; callers inspect per-task results for the error.
+func runPool(par, n int, run func(int) error) {
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for t := 0; t < n; t++ {
+			if run(t) != nil {
+				return
+			}
+		}
+		return
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= n || failed.Load() {
+					return
+				}
+				if run(t) != nil {
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// gKind names the four representation functions as task coordinates.
+type gKind uint8
+
+const (
+	gFP gKind = iota // FirstPoint
+	gLP              // LastPoint
+	gBP              // BottomPoint
+	gTP              // TopPoint
+)
+
+// gCount is the number of representation functions (tasks per span).
+const gCount = int(gTP) + 1
+
+func (g gKind) String() string {
+	switch g {
+	case gFP:
+		return "FP"
+	case gLP:
+		return "LP"
+	case gBP:
+		return "BP"
+	default:
+		return "TP"
+	}
+}
+
+// gResult is one task's output: the representation point of one function
+// over one span, ok=false when the span has no surviving points.
+type gResult struct {
+	pt  series.Point
+	ok  bool
+	err error
+}
+
+// computeG evaluates one representation function over one span: the unit
+// of work the pool schedules. Views are task-local, so concurrent tasks on
+// the same span never share mutable state; per-task counters flush into
+// the shared stats with one atomic Add on the way out.
+func (op *operator) computeG(span series.TimeRange, chunks []*chunkState, g gKind) (series.Point, bool, error) {
+	sc := &spanComputer{op: op, span: span, views: make([]*view, len(chunks))}
+	defer func() { op.stats.Add(sc.local) }()
+	for i, cs := range chunks {
+		sc.views[i] = sc.newView(cs)
+	}
+	if op.opts.EagerLoad {
+		for _, v := range sc.views {
+			if err := sc.materialize(v); err != nil {
+				return series.Point{}, false, err
+			}
+		}
+	}
+	switch g {
+	case gFP:
+		return sc.computeTimeExtreme(true)
+	case gLP:
+		return sc.computeTimeExtreme(false)
+	case gBP:
+		return sc.computeValueExtreme(true)
+	default:
+		return sc.computeValueExtreme(false)
+	}
 }
 
 func clampSpan(q m4.Query, t int64) int {
@@ -131,26 +313,40 @@ type operator struct {
 	deleteIx *storage.DeleteIndex
 }
 
-// chunkState caches per-chunk loads across spans and functions.
+// chunkState caches per-chunk loads across spans and functions. The mutex
+// is the singleflight gate: N workers racing to materialize the same chunk
+// serialize on it, the first performs the LoadTimes/Load I/O, and the rest
+// find the columns already present — exactly one load per chunk per query
+// regardless of parallelism. The loaded columns are written once under the
+// lock and never mutated, so post-ensure reads outside the lock are safe.
 type chunkState struct {
-	ref      storage.ChunkRef
-	meta     storage.ChunkMeta
+	ref  storage.ChunkRef
+	meta storage.ChunkMeta
+
+	mu       sync.Mutex
 	data     series.Series
 	times    []int64
 	probe    stepreg.Probe
 	hasData  bool
 	hasTimes bool
+	loadErr  error // sticky: a failed load is not retried per worker
 }
 
 func (op *operator) ensureTimes(cs *chunkState) error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.loadErr != nil {
+		return cs.loadErr
+	}
 	if cs.hasTimes {
 		return nil
 	}
 	if op.opts.DisablePartialLoad {
-		return op.ensureData(cs)
+		return op.ensureDataLocked(cs)
 	}
 	ts, err := cs.ref.LoadTimes()
 	if err != nil {
+		cs.loadErr = err
 		return err
 	}
 	cs.times = ts
@@ -160,11 +356,21 @@ func (op *operator) ensureTimes(cs *chunkState) error {
 }
 
 func (op *operator) ensureData(cs *chunkState) error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return op.ensureDataLocked(cs)
+}
+
+func (op *operator) ensureDataLocked(cs *chunkState) error {
+	if cs.loadErr != nil {
+		return cs.loadErr
+	}
 	if cs.hasData {
 		return nil
 	}
 	data, err := cs.ref.Load()
 	if err != nil {
+		cs.loadErr = err
 		return err
 	}
 	cs.data = data
@@ -187,12 +393,12 @@ func (cs *chunkState) buildProbe(opts Options) {
 
 // exists probes whether the chunk contains a point at exactly t
 // (Table 1 case a).
-func (op *operator) exists(cs *chunkState, t int64) (bool, error) {
-	if err := op.ensureTimes(cs); err != nil {
+func (sc *spanComputer) exists(cs *chunkState, t int64) (bool, error) {
+	if err := sc.op.ensureTimes(cs); err != nil {
 		return false, err
 	}
-	op.stats.IndexProbes++
-	op.stats.ExistProbes++
+	sc.local.IndexProbes++
+	sc.local.ExistProbes++
 	return cs.probe.Exists(t), nil
 }
 
@@ -231,70 +437,28 @@ type view struct {
 	last         gSlot
 	bottom       gSlot
 	top          gSlot
-	excluded     map[int64]bool // timestamps verified overwritten by later chunks
+	excluded     map[int64]bool // timestamps verified overwritten by later chunks (lazily allocated)
 	live         series.Series  // surviving span points, set by materialize
 	materialized bool
 	dead         bool // no surviving points in the span
 }
 
-// spanComputer runs the four candidate loops for one span.
+// spanComputer runs one candidate loop for one span. It is task-local:
+// its views (and their slots, exclusion sets and live series) belong to a
+// single goroutine, and operator counters accumulate in local before one
+// atomic flush when the task finishes.
 type spanComputer struct {
 	op    *operator
 	span  series.TimeRange
 	views []*view
-}
-
-func (op *operator) computeSpan(span series.TimeRange, chunks []*chunkState) (m4.Aggregate, error) {
-	if span.Empty() || len(chunks) == 0 {
-		return m4.Aggregate{Empty: true}, nil
-	}
-	sc := &spanComputer{op: op, span: span}
-	for _, cs := range chunks {
-		sc.views = append(sc.views, sc.newView(cs))
-	}
-	if op.opts.EagerLoad {
-		for _, v := range sc.views {
-			if err := sc.materialize(v); err != nil {
-				return m4.Aggregate{}, err
-			}
-		}
-	}
-	first, ok, err := sc.computeTimeExtreme(true)
-	if err != nil {
-		return m4.Aggregate{}, err
-	}
-	if !ok {
-		return m4.Aggregate{Empty: true}, nil
-	}
-	last, ok, err := sc.computeTimeExtreme(false)
-	if err != nil {
-		return m4.Aggregate{}, err
-	}
-	if !ok {
-		return m4.Aggregate{}, fmt.Errorf("internal: LP empty after FP found %v", first)
-	}
-	bottom, ok, err := sc.computeValueExtreme(true)
-	if err != nil {
-		return m4.Aggregate{}, err
-	}
-	if !ok {
-		return m4.Aggregate{}, fmt.Errorf("internal: BP empty after FP found %v", first)
-	}
-	top, ok, err := sc.computeValueExtreme(false)
-	if err != nil {
-		return m4.Aggregate{}, err
-	}
-	if !ok {
-		return m4.Aggregate{}, fmt.Errorf("internal: TP empty after FP found %v", first)
-	}
-	return m4.Aggregate{First: first, Last: last, Bottom: bottom, Top: top}, nil
+	local storage.Stats
 }
 
 // newView restricts chunk metadata to the span: the virtual deletes of
 // §3.1. Metadata points falling outside the span degrade to bounds.
 func (sc *spanComputer) newView(cs *chunkState) *view {
 	m := cs.meta
-	v := &view{cs: cs, ver: m.Version, excluded: map[int64]bool{}}
+	v := &view{cs: cs, ver: m.Version}
 	if m.First.T >= sc.span.Start {
 		v.first = gSlot{st: stPoint, pt: m.First}
 	} else {
@@ -341,7 +505,7 @@ func (sc *spanComputer) overwrittenLater(t int64, ver storage.Version) (bool, er
 		if t < w.cs.meta.First.T || t > w.cs.meta.Last.T {
 			continue
 		}
-		ok, err := sc.op.exists(w.cs, t)
+		ok, err := sc.exists(w.cs, t)
 		if err != nil {
 			return false, err
 		}
@@ -415,7 +579,7 @@ func (sc *spanComputer) computeTimeExtreme(isFirst bool) (series.Point, bool, er
 		return a > b
 	}
 	for {
-		sc.op.stats.CandidateRounds++
+		sc.local.CandidateRounds++
 		// Candidate generation (§3.2): the extreme time over all views,
 		// bounds included; among equal times the largest version.
 		var best *view
@@ -539,8 +703,8 @@ func (sc *spanComputer) resolveTimeBound(v *view, isFirst bool) error {
 	bound := slot.pt.T
 	for {
 		var t int64
-		sc.op.stats.IndexProbes++
-		sc.op.stats.BoundaryProbes++
+		sc.local.IndexProbes++
+		sc.local.BoundaryProbes++
 		if isFirst {
 			pos, ok := v.cs.probe.FirstAfter(bound - 1) // closest t >= bound
 			if !ok {
@@ -594,7 +758,7 @@ func (sc *spanComputer) computeValueExtreme(isBottom bool) (series.Point, bool, 
 		return a > b
 	}
 	for {
-		sc.op.stats.CandidateRounds++
+		sc.local.CandidateRounds++
 		// Candidate generation: extreme value over all views, bounds
 		// included (a bound under-estimates BP / over-estimates TP, so
 		// it can hide the true extremum and must win ties for
@@ -652,6 +816,9 @@ func (sc *spanComputer) computeValueExtreme(isBottom bool) (series.Point, bool, 
 				// Lazy load (§3.4): exclude the overwritten point and
 				// recalculate; remaining metadata candidates of other
 				// chunks stay in play automatically via the loop.
+				if best.excluded == nil {
+					best.excluded = map[int64]bool{}
+				}
 				best.excluded[p.T] = true
 				if best.materialized {
 					sc.recompute(best)

@@ -1,0 +1,105 @@
+package m4lsm
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"m4lsm/internal/m4"
+	"m4lsm/internal/storage"
+	"m4lsm/internal/testutil"
+)
+
+// snapshotAt rebuilds the identical random state for a seed, so sequential
+// and parallel runs see independent snapshots (fresh chunk states, fresh
+// stats) over byte-identical storage.
+func snapshotAt(seed int64) *storage.Snapshot {
+	rng := rand.New(rand.NewSource(seed))
+	return testutil.RandomSnapshot(rng, testutil.DefaultGenConfig)
+}
+
+// TestParallelMatchesSequential is the concurrency equivalence check: on
+// randomized out-of-order/overwrite/delete states, ComputeWithOptions must
+// return byte-identical aggregates at every parallelism, and the
+// singleflight load gate must keep ChunksLoaded independent of the worker
+// count. Run under -race this also exercises the chunkState sharing.
+func TestParallelMatchesSequential(t *testing.T) {
+	queryRng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		seed := int64(iter)
+		horizon := testutil.DefaultGenConfig.TimeHorizon
+		tqs := queryRng.Int63n(horizon)
+		tqe := tqs + 1 + queryRng.Int63n(horizon-tqs)
+		q := m4.Query{Tqs: tqs, Tqe: tqe, W: 1 + queryRng.Intn(12)}
+
+		ref := snapshotAt(seed)
+		want, err := ComputeWithOptions(ref, q, Options{Parallelism: 1})
+		if err != nil {
+			t.Fatalf("seed %d: sequential: %v", seed, err)
+		}
+		wantLoads := ref.Stats.Load().ChunksLoaded
+
+		for _, par := range []int{2, 4, 8} {
+			snap := snapshotAt(seed)
+			got, err := ComputeWithOptions(snap, q, Options{Parallelism: par})
+			if err != nil {
+				t.Fatalf("seed %d par %d: %v", seed, par, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d par %d: aggregates diverge from sequential\nq=%+v\nseq: %v\npar: %v",
+					seed, par, q, want, got)
+			}
+			if loads := snap.Stats.Load().ChunksLoaded; loads != wantLoads {
+				t.Fatalf("seed %d par %d: ChunksLoaded = %d, sequential loaded %d (singleflight must dedupe)",
+					seed, par, loads, wantLoads)
+			}
+		}
+	}
+}
+
+// TestParallelEagerLoad checks the equivalence holds with EagerLoad, where
+// every task materializes every chunk and the load gate is hit hardest.
+func TestParallelEagerLoad(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		seed := int64(1000 + iter)
+		horizon := testutil.DefaultGenConfig.TimeHorizon
+		q := m4.Query{Tqs: 0, Tqe: horizon, W: 8}
+
+		ref := snapshotAt(seed)
+		want, err := ComputeWithOptions(ref, q, Options{EagerLoad: true, Parallelism: 1})
+		if err != nil {
+			t.Fatalf("seed %d: sequential: %v", seed, err)
+		}
+		wantLoads := ref.Stats.Load().ChunksLoaded
+
+		snap := snapshotAt(seed)
+		got, err := ComputeWithOptions(snap, q, Options{EagerLoad: true, Parallelism: 8})
+		if err != nil {
+			t.Fatalf("seed %d: parallel: %v", seed, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: eager aggregates diverge\nseq: %v\npar: %v", seed, want, got)
+		}
+		if loads := snap.Stats.Load().ChunksLoaded; loads != wantLoads {
+			t.Fatalf("seed %d: eager ChunksLoaded = %d, want %d", seed, loads, wantLoads)
+		}
+	}
+}
+
+// TestRunPool covers the pool helper directly: full coverage of the task
+// index space, inline execution at par<=1, and early stop on error.
+func TestRunPool(t *testing.T) {
+	for _, par := range []int{0, 1, 2, 4, 16} {
+		const n = 100
+		hits := make([]int32, n)
+		runPool(par, n, func(i int) error {
+			hits[i]++
+			return nil
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("par %d: task %d ran %d times", par, i, h)
+			}
+		}
+	}
+}

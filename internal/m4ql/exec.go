@@ -75,9 +75,9 @@ func Execute(e *lsm.Engine, stmt Statement) (*Result, error) {
 	var aggs []m4.Aggregate
 	switch stmt.Operator {
 	case OpUDF:
-		aggs, err = m4udf.Compute(snap, stmt.Query)
+		aggs, err = m4udf.ComputeWithOptions(snap, stmt.Query, m4udf.Options{Parallelism: stmt.Parallelism})
 	default:
-		aggs, err = m4lsm.Compute(snap, stmt.Query)
+		aggs, err = m4lsm.ComputeWithOptions(snap, stmt.Query, m4lsm.Options{Parallelism: stmt.Parallelism})
 	}
 	if err != nil {
 		return nil, err
@@ -88,7 +88,7 @@ func Execute(e *lsm.Engine, stmt Statement) (*Result, error) {
 		Columns:   append([]string{"span"}, columnStrings(stmt.Columns)...),
 		Operator:  stmt.Operator.String(),
 		Elapsed:   elapsed,
-		Stats:     *snap.Stats,
+		Stats:     snap.Stats.Load(),
 		SpanCount: stmt.Query.W,
 	}
 	for i, a := range aggs {
@@ -124,7 +124,7 @@ func executeGroupBy(e *lsm.Engine, stmt Statement) (*Result, error) {
 		Columns:   []string{"span"},
 		Operator:  stmt.Operator.String(),
 		Elapsed:   time.Since(start),
-		Stats:     *snap.Stats,
+		Stats:     snap.Stats.Load(),
 		SpanCount: stmt.Query.W,
 	}
 	for _, f := range stmt.Aggregates {
@@ -169,6 +169,11 @@ func Explain(e *lsm.Engine, stmt Statement) (string, error) {
 	fmt.Fprintf(&sb, "  series:   %s\n", stmt.SeriesID)
 	fmt.Fprintf(&sb, "  range:    [%d, %d) in %d spans\n", stmt.Query.Tqs, stmt.Query.Tqe, stmt.Query.W)
 	fmt.Fprintf(&sb, "  operator: %s\n", op)
+	if stmt.Parallelism > 0 {
+		fmt.Fprintf(&sb, "  parallel: %d workers\n", stmt.Parallelism)
+	} else {
+		fmt.Fprintf(&sb, "  parallel: GOMAXPROCS\n")
+	}
 	fmt.Fprintf(&sb, "  columns:  %s\n", strings.Join(columnStrings(stmt.Columns), ", "))
 	fmt.Fprintf(&sb, "executed in %v\n", res.Elapsed.Round(time.Microsecond))
 	s := res.Stats

@@ -69,6 +69,10 @@ type Statement struct {
 	SeriesID string
 	Query    m4.Query
 	Operator Operator
+	// Parallelism is the PARALLEL n clause: worker goroutines for the
+	// operator. 0 (clause absent) lets the operator default to GOMAXPROCS;
+	// PARALLEL 1 forces a sequential run.
+	Parallelism int
 	// Aggregates, when non-empty, selects the GroupBy form instead of the
 	// M4 form: SELECT COUNT(v), AVG(v), ... per span.
 	Aggregates []groupby.Func
@@ -166,17 +170,45 @@ func Parse(input string) (Statement, error) {
 		return Statement{}, err
 	}
 
-	if keywordIs(p.peek(), "using") {
-		p.next()
-		t := p.next()
+	// Trailing clauses: USING <op> and PARALLEL <n>, each at most once,
+	// in either order.
+	var haveUsing, haveParallel bool
+	for {
 		switch {
-		case keywordIs(t, "lsm"):
-			stmt.Operator = OpLSM
-		case keywordIs(t, "udf"):
-			stmt.Operator = OpUDF
-		default:
-			return Statement{}, fmt.Errorf("m4ql: unknown operator %s (want LSM or UDF)", t)
+		case keywordIs(p.peek(), "using"):
+			if haveUsing {
+				return Statement{}, fmt.Errorf("m4ql: duplicate USING clause")
+			}
+			haveUsing = true
+			p.next()
+			t := p.next()
+			switch {
+			case keywordIs(t, "lsm"):
+				stmt.Operator = OpLSM
+			case keywordIs(t, "udf"):
+				stmt.Operator = OpUDF
+			default:
+				return Statement{}, fmt.Errorf("m4ql: unknown operator %s (want LSM or UDF)", t)
+			}
+			continue
+		case keywordIs(p.peek(), "parallel"):
+			if haveParallel {
+				return Statement{}, fmt.Errorf("m4ql: duplicate PARALLEL clause")
+			}
+			haveParallel = true
+			p.next()
+			nTok, err := p.expect(tokNumber, "parallelism")
+			if err != nil {
+				return Statement{}, err
+			}
+			n, err := strconv.Atoi(nTok.text)
+			if err != nil || n < 1 {
+				return Statement{}, fmt.Errorf("m4ql: PARALLEL wants a positive worker count, got %q", nTok.text)
+			}
+			stmt.Parallelism = n
+			continue
 		}
+		break
 	}
 	if t := p.next(); t.kind != tokEOF {
 		return Statement{}, fmt.Errorf("m4ql: trailing input at %s", t)

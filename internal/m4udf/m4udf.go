@@ -4,23 +4,111 @@
 // — loading every chunk, ordering points by time and applying deletes —
 // and streams the M4 representation over it. Chunk metadata is never
 // consulted (§A.5.2).
+//
+// The scan parallelizes per span block: chunks are decoded once (the loads
+// themselves fanned across workers), then the w spans are partitioned into
+// contiguous blocks and each worker runs its own k-way merge restricted to
+// its block's time range. Every point belongs to exactly one span, so the
+// blocks write disjoint output slots and the result is byte-identical to
+// the sequential scan.
 package m4udf
 
 import (
+	"fmt"
+	"runtime"
+	"sync"
+
 	"m4lsm/internal/m4"
 	"m4lsm/internal/mergeread"
+	"m4lsm/internal/series"
 	"m4lsm/internal/storage"
 )
+
+// Options tune the baseline's execution; the algorithm is unchanged.
+type Options struct {
+	// Parallelism bounds the goroutines that load chunks and scan span
+	// blocks: 0 uses GOMAXPROCS, 1 is the fully sequential baseline.
+	// Chunks are decoded exactly once at any setting, so the cost
+	// counters stay comparable across the scaling curve.
+	Parallelism int
+}
 
 // Compute runs the M4 representation query against a snapshot by merging
 // all chunks online and scanning the merged series.
 func Compute(snap *storage.Snapshot, q m4.Query) ([]m4.Aggregate, error) {
+	return ComputeWithOptions(snap, q, Options{})
+}
+
+// ComputeWithOptions runs the baseline with an explicit parallelism.
+func ComputeWithOptions(snap *storage.Snapshot, q m4.Query, opts Options) ([]m4.Aggregate, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	it, err := mergeread.NewIterator(snap, q.Range())
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	loaded, err := mergeread.Load(snap, par)
 	if err != nil {
 		return nil, err
 	}
-	return m4.ComputeStream(q, it.Next)
+	if par > q.W {
+		par = q.W
+	}
+	if par <= 1 {
+		it := loaded.Iterator(q.Range())
+		return m4.ComputeStream(q, it.Next)
+	}
+
+	out := make([]m4.Aggregate, q.W)
+	for i := range out {
+		out[i].Empty = true
+	}
+	errs := make([]error, par)
+	var wg sync.WaitGroup
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		// Block w covers spans [w*W/par, (w+1)*W/par): contiguous, and
+		// span boundaries are exact (m4.Span and m4.SpanIndex agree), so
+		// an iterator over the block's time range yields exactly the
+		// points of those spans.
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := w*q.W/par, (w+1)*q.W/par
+			if lo >= hi {
+				return
+			}
+			r := series.TimeRange{Start: q.Span(lo).Start, End: q.Span(hi - 1).End}
+			errs[w] = scanSpans(q, out, loaded.Iterator(r).Next)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// scanSpans streams one block's merged points into the shared output,
+// mirroring m4.ComputeStream (including its order check) but folding into
+// pre-initialized span slots.
+func scanSpans(q m4.Query, out []m4.Aggregate, next func() (series.Point, bool)) error {
+	prevT := int64(0)
+	first := true
+	for {
+		p, ok := next()
+		if !ok {
+			return nil
+		}
+		if !first && p.T <= prevT {
+			return fmt.Errorf("%w: t=%d after t=%d", m4.ErrUnsorted, p.T, prevT)
+		}
+		first = false
+		prevT = p.T
+		if i := q.SpanIndex(p.T); i >= 0 {
+			out[i].Observe(p)
+		}
+	}
 }

@@ -10,10 +10,94 @@ package mergeread
 import (
 	"container/heap"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"m4lsm/internal/series"
 	"m4lsm/internal/storage"
 )
+
+// Loaded holds every chunk of a snapshot decoded exactly once, ready to
+// feed any number of iterators. Splitting the load from the merge lets the
+// parallel baseline fan per-span scans across goroutines without loading
+// (and counting) each chunk once per worker.
+type Loaded struct {
+	chunks  []loadedChunk
+	deletes *storage.DeleteIndex
+}
+
+type loadedChunk struct {
+	data series.Series
+	ver  storage.Version
+}
+
+// Load decodes every chunk of the snapshot, fanning the loads across at
+// most parallelism goroutines (<= 1 loads sequentially). Each chunk is
+// read exactly once, so Stats.ChunksLoaded is independent of parallelism.
+func Load(snap *storage.Snapshot, parallelism int) (*Loaded, error) {
+	l := &Loaded{
+		chunks:  make([]loadedChunk, len(snap.Chunks)),
+		deletes: storage.NewDeleteIndex(snap.Deletes),
+	}
+	errs := make([]error, len(snap.Chunks))
+	load := func(i int) {
+		data, err := snap.Chunks[i].Load()
+		l.chunks[i] = loadedChunk{data: data, ver: snap.Chunks[i].Meta.Version}
+		errs[i] = err
+	}
+	if parallelism > len(snap.Chunks) {
+		parallelism = len(snap.Chunks)
+	}
+	if parallelism <= 1 {
+		for i := range snap.Chunks {
+			if load(i); errs[i] != nil {
+				return nil, errs[i]
+			}
+		}
+	} else {
+		var (
+			next atomic.Int64
+			wg   sync.WaitGroup
+		)
+		wg.Add(parallelism)
+		for w := 0; w < parallelism; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(snap.Chunks) {
+						return
+					}
+					load(i)
+				}
+			}()
+		}
+		wg.Wait()
+		// First error by chunk index, deterministic across schedules.
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return l, nil
+}
+
+// Iterator positions a merge over the loaded chunks restricted to the
+// half-open range r. Iterators are independent: many goroutines may each
+// run their own over the same Loaded.
+func (l *Loaded) Iterator(r series.TimeRange) *Iterator {
+	it := &Iterator{deletes: l.deletes, end: r.End}
+	for _, c := range l.chunks {
+		pos := sort.Search(len(c.data), func(i int) bool { return c.data[i].T >= r.Start })
+		if pos >= len(c.data) || c.data[pos].T >= r.End {
+			continue
+		}
+		it.h = append(it.h, &cursor{data: c.data, pos: pos, ver: c.ver})
+	}
+	heap.Init(&it.h)
+	return it
+}
 
 // Iterator streams the merged series of a snapshot restricted to a
 // half-open time range. Chunks are loaded eagerly at construction, matching
@@ -55,20 +139,11 @@ func (h *cursorHeap) Pop() interface{} {
 // NewIterator loads every chunk of the snapshot and positions the merge at
 // the first point inside r.
 func NewIterator(snap *storage.Snapshot, r series.TimeRange) (*Iterator, error) {
-	it := &Iterator{deletes: storage.NewDeleteIndex(snap.Deletes), end: r.End}
-	for _, c := range snap.Chunks {
-		data, err := c.Load()
-		if err != nil {
-			return nil, err
-		}
-		pos := sort.Search(len(data), func(i int) bool { return data[i].T >= r.Start })
-		if pos >= len(data) || data[pos].T >= r.End {
-			continue
-		}
-		it.h = append(it.h, &cursor{data: data, pos: pos, ver: c.Meta.Version})
+	l, err := Load(snap, 1)
+	if err != nil {
+		return nil, err
 	}
-	heap.Init(&it.h)
-	return it, nil
+	return l.Iterator(r), nil
 }
 
 // Next returns the next latest point in time order, and false when the

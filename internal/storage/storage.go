@@ -12,6 +12,7 @@ package storage
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"m4lsm/internal/encoding"
 	"m4lsm/internal/series"
@@ -129,9 +130,9 @@ func (c ChunkRef) Load() (series.Series, error) {
 		return nil, fmt.Errorf("load %v: %w", c.Meta, err)
 	}
 	if c.stats != nil {
-		c.stats.ChunksLoaded++
-		c.stats.BytesRead += c.Meta.HeaderLen + c.Meta.TimesLen + c.Meta.ValuesLen
-		c.stats.PointsDecoded += c.Meta.Count
+		atomic.AddInt64(&c.stats.ChunksLoaded, 1)
+		atomic.AddInt64(&c.stats.BytesRead, c.Meta.HeaderLen+c.Meta.TimesLen+c.Meta.ValuesLen)
+		atomic.AddInt64(&c.stats.PointsDecoded, c.Meta.Count)
 	}
 	return data, nil
 }
@@ -143,9 +144,9 @@ func (c ChunkRef) LoadTimes() ([]int64, error) {
 		return nil, fmt.Errorf("load times %v: %w", c.Meta, err)
 	}
 	if c.stats != nil {
-		c.stats.TimeBlocksLoaded++
-		c.stats.BytesRead += c.Meta.HeaderLen + c.Meta.TimesLen
-		c.stats.PointsDecoded += c.Meta.Count
+		atomic.AddInt64(&c.stats.TimeBlocksLoaded, 1)
+		atomic.AddInt64(&c.stats.BytesRead, c.Meta.HeaderLen+c.Meta.TimesLen)
+		atomic.AddInt64(&c.stats.PointsDecoded, c.Meta.Count)
 	}
 	return ts, nil
 }
@@ -162,6 +163,13 @@ type Snapshot struct {
 
 // Stats accumulates the I/O and decode work of a query. The experiment
 // harness resets it per query and reports it next to wall-clock latency.
+//
+// A Stats pointer is shared by every ChunkRef of a snapshot and, under the
+// parallel operators, by every worker goroutine: all mutations go through
+// sync/atomic, so counting is race-free without a lock. Readers that may
+// observe the struct while a query is still running must use Load (or the
+// atomic-reading String); plain field reads are safe only after the query
+// has returned.
 type Stats struct {
 	ChunksLoaded     int64 // full chunk loads
 	TimeBlocksLoaded int64 // timestamp-only partial loads
@@ -176,24 +184,47 @@ type Stats struct {
 	ChunksPruned    int64 // chunks answered purely from metadata
 }
 
-// Reset zeroes every counter.
-func (s *Stats) Reset() { *s = Stats{} }
+// fields lists every counter address, shared by the atomic accessors.
+func (s *Stats) fields() [9]*int64 {
+	return [9]*int64{
+		&s.ChunksLoaded, &s.TimeBlocksLoaded, &s.BytesRead, &s.PointsDecoded,
+		&s.CandidateRounds, &s.IndexProbes, &s.ExistProbes, &s.BoundaryProbes,
+		&s.ChunksPruned,
+	}
+}
 
-// Add accumulates o into s.
+// Reset zeroes every counter atomically.
+func (s *Stats) Reset() {
+	for _, f := range s.fields() {
+		atomic.StoreInt64(f, 0)
+	}
+}
+
+// Add accumulates o into s atomically. o is taken by value and read with
+// plain loads: callers pass either a literal or a worker-local Stats no
+// other goroutine is mutating.
 func (s *Stats) Add(o Stats) {
-	s.ChunksLoaded += o.ChunksLoaded
-	s.TimeBlocksLoaded += o.TimeBlocksLoaded
-	s.BytesRead += o.BytesRead
-	s.PointsDecoded += o.PointsDecoded
-	s.CandidateRounds += o.CandidateRounds
-	s.IndexProbes += o.IndexProbes
-	s.ExistProbes += o.ExistProbes
-	s.BoundaryProbes += o.BoundaryProbes
-	s.ChunksPruned += o.ChunksPruned
+	dst, src := s.fields(), o.fields()
+	for i, f := range dst {
+		atomic.AddInt64(f, *src[i])
+	}
+}
+
+// Load returns a copy of the counters read with atomic loads, safe to call
+// while workers are still adding. The copy is per-field consistent, not a
+// cross-field snapshot.
+func (s *Stats) Load() Stats {
+	var out Stats
+	dst, src := out.fields(), s.fields()
+	for i, f := range src {
+		*dst[i] = atomic.LoadInt64(f)
+	}
+	return out
 }
 
 func (s *Stats) String() string {
+	v := s.Load()
 	return fmt.Sprintf("loads=%d timeLoads=%d bytes=%d decoded=%d rounds=%d probes=%d pruned=%d",
-		s.ChunksLoaded, s.TimeBlocksLoaded, s.BytesRead, s.PointsDecoded,
-		s.CandidateRounds, s.IndexProbes, s.ChunksPruned)
+		v.ChunksLoaded, v.TimeBlocksLoaded, v.BytesRead, v.PointsDecoded,
+		v.CandidateRounds, v.IndexProbes, v.ChunksPruned)
 }

@@ -184,15 +184,31 @@ func (db *DB) Close() error { return db.engine.Close() }
 // SeriesIDs lists every stored series, sorted.
 func (db *DB) SeriesIDs() []string { return db.engine.SeriesIDs() }
 
+// M4Options configure one M4 query; the zero value runs the paper's
+// default operator (M4-LSM) on every available core.
+type M4Options struct {
+	// Operator selects the physical operator (default M4-LSM).
+	Operator Operator
+	// Parallelism bounds the worker goroutines evaluating the query:
+	// 0 uses GOMAXPROCS, 1 forces the paper's single-threaded execution.
+	// Results are byte-identical at every setting.
+	Parallelism int
+}
+
 // M4 runs an M4 representation query with the default operator (M4-LSM):
 // the half-open time range [tqs, tqe) is divided into w spans and the
 // first/last/bottom/top points of each are returned.
 func (db *DB) M4(seriesID string, tqs, tqe int64, w int) ([]Aggregate, Stats, error) {
-	return db.M4With(seriesID, tqs, tqe, w, OperatorLSM)
+	return db.M4WithOptions(seriesID, tqs, tqe, w, M4Options{})
 }
 
 // M4With runs an M4 representation query with an explicit operator.
 func (db *DB) M4With(seriesID string, tqs, tqe int64, w int, op Operator) ([]Aggregate, Stats, error) {
+	return db.M4WithOptions(seriesID, tqs, tqe, w, M4Options{Operator: op})
+}
+
+// M4WithOptions runs an M4 representation query with explicit options.
+func (db *DB) M4WithOptions(seriesID string, tqs, tqe int64, w int, opts M4Options) ([]Aggregate, Stats, error) {
 	q := m4.Query{Tqs: tqs, Tqe: tqe, W: w}
 	if err := q.Validate(); err != nil {
 		return nil, Stats{}, err
@@ -202,18 +218,18 @@ func (db *DB) M4With(seriesID string, tqs, tqe int64, w int, op Operator) ([]Agg
 		return nil, Stats{}, err
 	}
 	var aggs []m4.Aggregate
-	switch op {
+	switch opts.Operator {
 	case OperatorLSM:
-		aggs, err = intm4lsm.Compute(snap, q)
+		aggs, err = intm4lsm.ComputeWithOptions(snap, q, intm4lsm.Options{Parallelism: opts.Parallelism})
 	case OperatorUDF:
-		aggs, err = m4udf.Compute(snap, q)
+		aggs, err = m4udf.ComputeWithOptions(snap, q, m4udf.Options{Parallelism: opts.Parallelism})
 	default:
-		return nil, Stats{}, fmt.Errorf("m4lsm: unknown operator %d", op)
+		return nil, Stats{}, fmt.Errorf("m4lsm: unknown operator %d", opts.Operator)
 	}
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	return publicAggregates(aggs), publicStats(*snap.Stats), nil
+	return publicAggregates(aggs), publicStats(snap.Stats.Load()), nil
 }
 
 // Query parses and executes a query in the SQL-ish form of the paper's

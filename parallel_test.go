@@ -1,0 +1,96 @@
+package m4lsm
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// buildConcurrencyDB loads an out-of-order state with overwrites and a
+// delete, the storage shape where M4-LSM does real verification work.
+func buildConcurrencyDB(t *testing.T, opts ...Option) *DB {
+	t.Helper()
+	db := openDB(t, append([]Option{WithFlushThreshold(64)}, opts...)...)
+	for i := 499; i >= 0; i-- {
+		if err := db.Write("s", Point{Time: int64(i * 2), Value: float64((i * 13) % 41)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 100; i < 200; i++ { // overwrite a slice of the range
+		if err := db.Write("s", Point{Time: int64(i * 2), Value: -float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete("s", 300, 420); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestConcurrentM4ThroughCache fires many DB.M4 calls at once through the
+// shared chunk cache: every goroutine must see the reference result, and
+// the shared LRU plus the per-query singleflight gates must survive -race.
+func TestConcurrentM4ThroughCache(t *testing.T) {
+	db := buildConcurrencyDB(t, WithChunkCache(1<<20))
+
+	want, _, err := db.M4WithOptions("s", 0, 1000, 37, M4Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	results := make([][]Aggregate, goroutines)
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			// Mix operators and parallelism so cached and uncached loads,
+			// sequential and pooled execution all interleave.
+			opts := M4Options{Parallelism: 1 + g%4}
+			if g%3 == 0 {
+				opts.Operator = OperatorUDF
+			}
+			results[g], _, errs[g] = db.M4WithOptions("s", 0, 1000, 37, opts)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if !reflect.DeepEqual(results[g], want) {
+			t.Fatalf("goroutine %d: result diverges from reference", g)
+		}
+	}
+}
+
+// TestParallelismKnobPublic checks the public knob end to end: byte-equal
+// aggregates and identical chunk-load counts at every setting, for both
+// operators.
+func TestParallelismKnobPublic(t *testing.T) {
+	db := buildConcurrencyDB(t)
+	for _, op := range []Operator{OperatorLSM, OperatorUDF} {
+		want, wantStats, err := db.M4WithOptions("s", 0, 1000, 53, M4Options{Operator: op, Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{0, 2, 4, 8} {
+			got, stats, err := db.M4WithOptions("s", 0, 1000, 53, M4Options{Operator: op, Parallelism: par})
+			if err != nil {
+				t.Fatalf("op %v par %d: %v", op, par, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("op %v par %d: aggregates diverge from sequential", op, par)
+			}
+			if stats.ChunksLoaded != wantStats.ChunksLoaded {
+				t.Fatalf("op %v par %d: ChunksLoaded = %d, sequential loaded %d",
+					op, par, stats.ChunksLoaded, wantStats.ChunksLoaded)
+			}
+		}
+	}
+}
