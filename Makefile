@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build test race vet check bench bench-parallel
+.PHONY: build test race vet check bench bench-parallel fuzz torture
 
 build:
 	$(GO) build ./...
@@ -14,10 +15,26 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# check is the standard gate for this repo: static analysis plus the full
-# suite under the race detector (the parallel operator makes -race
-# mandatory, not optional).
+# torture runs the crash-recovery suite on its own: every write-path step
+# site gets a simulated kill, recovery is checked against the oracle.
+torture:
+	$(GO) test -race -run 'Torture|Fault|TornWAL|Quarantine|Cancel' -count=1 ./internal/lsm ./internal/m4lsm ./internal/faultfs
+
+# fuzz exercises the crash-recovery parsers (WAL payloads, chunk-file
+# footers, record logs). Go allows one -fuzz target per invocation, so each
+# runs separately for FUZZTIME (the seed corpus also runs in plain `make
+# test`).
+fuzz:
+	$(GO) test ./internal/lsm -run '^$$' -fuzz '^FuzzDecodeInsert$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/lsm -run '^$$' -fuzz '^FuzzDecodeWALDelete$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/tsfile -run '^$$' -fuzz '^FuzzOpen$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/tsfile -run '^$$' -fuzz '^FuzzRecordLog$$' -fuzztime $(FUZZTIME)
+
+# check is the standard gate for this repo: static analysis, the full suite
+# (including the crash-recovery torture) under the race detector, and a
+# short fuzz pass over the recovery parsers.
 check: vet race
+	$(MAKE) fuzz FUZZTIME=3s
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 10x .

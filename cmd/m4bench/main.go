@@ -35,8 +35,12 @@ func main() {
 		seed     = flag.Int64("seed", 42, "generator seed")
 		markdown = flag.Bool("markdown", false, "emit Markdown tables instead of text")
 		datasets = flag.String("datasets", "", "comma-separated dataset filter (e.g. MF03,KOB); empty = all")
+		faults   = flag.Bool("faults", false, "shorthand for -exp faults (deterministic fault-injection sweep)")
 	)
 	flag.Parse()
+	if *faults {
+		*expFlag = "faults"
+	}
 
 	cfg := exper.Config{Scale: *scale, ChunkSize: *chunk, W: *w, Reps: *reps, Seed: *seed, Parallelism: *par}
 	if *datasets != "" {
@@ -87,6 +91,13 @@ func run(out io.Writer, name string, cfg exper.Config, markdown bool) error {
 		return nil
 	case "fig8":
 		exper.WriteFig8(out, exper.RunFig8(cfg))
+		return nil
+	case "faults":
+		rows, err := exper.RunFaults(cfg, nil)
+		if err != nil {
+			return err
+		}
+		exper.WriteFaults(out, rows)
 		return nil
 	case "fig10", "fig11", "fig12", "fig13", "fig14", "scaling":
 		var (

@@ -12,12 +12,21 @@
 //
 //	m4server -dir ./db -addr :8086
 //	curl 'localhost:8086/query?q=SELECT+M4(*)+FROM+s+WHERE+time+>=+0+AND+time+<+1000+GROUP+BY+SPANS(100)'
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// get a drain window, then the engine is flushed and closed exactly once.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"m4lsm/internal/lsm"
 	"m4lsm/internal/server"
@@ -25,17 +34,51 @@ import (
 
 func main() {
 	var (
-		dir  = flag.String("dir", "m4db", "database directory")
-		addr = flag.String("addr", ":8086", "listen address")
+		dir       = flag.String("dir", "m4db", "database directory")
+		addr      = flag.String("addr", ":8086", "listen address")
+		drainWait = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 	)
 	flag.Parse()
 	engine, err := lsm.Open(lsm.Options{Dir: *dir})
 	if err != nil {
 		log.Fatalf("m4server: %v", err)
 	}
-	defer engine.Close()
-	log.Printf("m4server: serving %s on %s", *dir, *addr)
-	if err := http.ListenAndServe(*addr, server.New(engine)); err != nil {
-		log.Fatalf("m4server: %v", err)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(engine),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("m4server: serving %s on %s", *dir, *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case sig := <-sigCh:
+		log.Printf("m4server: %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("m4server: drain: %v", err)
+		}
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("m4server: %v", err)
+		}
+	}
+
+	// Close (flush memtable, release handles) exactly once, after the
+	// listener has stopped taking requests.
+	if err := engine.Close(); err != nil {
+		log.Fatalf("m4server: close: %v", err)
 	}
 }

@@ -1,0 +1,38 @@
+package exper
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"m4lsm/internal/workload"
+)
+
+func TestRunFaults(t *testing.T) {
+	rows, err := RunFaults(Config{
+		Scale: 0.002, ChunkSize: 50, W: 10, Reps: 1, Seed: 3,
+		Datasets: []workload.Preset{workload.KOB()},
+	}, []float64{0, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	clean, faulty := rows[0], rows[1]
+	if clean.Rate != 0 || clean.LSMWarnings != 0 || clean.UDFWarnings != 0 || clean.StrictFails {
+		t.Errorf("clean row degraded: %+v", clean)
+	}
+	inj := faulty.Injected
+	if inj.Errors+inj.Flips+inj.Slows == 0 {
+		t.Errorf("rate 0.3 injected nothing: %+v", faulty)
+	}
+	if faulty.LSMWarnings+faulty.UDFWarnings == 0 {
+		t.Errorf("faults injected but no degradation recorded: %+v", faulty)
+	}
+	var buf bytes.Buffer
+	WriteFaults(&buf, rows)
+	if !strings.Contains(buf.String(), "KOB") {
+		t.Error("faults table missing dataset")
+	}
+}

@@ -1,0 +1,317 @@
+// Package faultfs injects storage faults deterministically, so tests and
+// benchmarks can prove the query path degrades gracefully instead of hoping
+// it does. Three layers are wrapped:
+//
+//   - File (io.ReaderAt): byte-level faults — read errors, bit-flips, short
+//     reads and latency — under the tsfile CRC checks, so injected
+//     corruption exercises the real detection path.
+//   - Source (storage.ChunkSource): chunk-level faults for in-memory
+//     sources, where every fault surfaces as a read error (CRC detection
+//     lives below this layer).
+//   - StepInjector: a write-path hook that simulates a process kill at the
+//     n-th WAL-append/flush/footer/reopen step, for crash-recovery torture.
+//
+// Every decision is a pure function of (seed, site): the same seed and the
+// same access pattern produce the same faults regardless of goroutine
+// scheduling, so parallel operators see reproducible failures.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"m4lsm/internal/series"
+	"m4lsm/internal/storage"
+)
+
+// ErrInjected marks a fault injected by this package. Read paths treat it
+// like any other I/O error; tests use errors.Is to tell injected faults
+// from real ones.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// ErrCrash marks a simulated process kill injected by a StepInjector. The
+// write path aborts mid-operation, leaving partial on-disk state exactly as
+// a real crash would.
+var ErrCrash = errors.New("faultfs: injected crash")
+
+// Fault classifies what happens at one site.
+type Fault uint8
+
+// Fault kinds.
+const (
+	FaultNone  Fault = iota
+	FaultErr         // the read fails with ErrInjected
+	FaultFlip        // one bit of the returned bytes is flipped
+	FaultShort       // the read returns fewer bytes than requested
+	FaultSlow        // the read is delayed by Config.Latency
+)
+
+func (f Fault) String() string {
+	switch f {
+	case FaultErr:
+		return "err"
+	case FaultFlip:
+		return "flip"
+	case FaultShort:
+		return "short"
+	case FaultSlow:
+		return "slow"
+	default:
+		return "none"
+	}
+}
+
+// Config sets the per-site fault rates. Rates are probabilities in [0, 1]
+// and partition a single uniform draw, so at most one fault fires per site;
+// their sum should stay <= 1.
+type Config struct {
+	Seed      int64
+	ErrRate   float64       // read error
+	FlipRate  float64       // single-bit corruption
+	ShortRate float64       // short read
+	SlowRate  float64       // delayed read
+	Latency   time.Duration // delay applied by FaultSlow (default 1ms)
+}
+
+// Stats counts the faults actually injected, by kind.
+type Stats struct {
+	Errors, Flips, Shorts, Slows int64
+}
+
+// Injector decides faults per site and counts what it injected. Safe for
+// concurrent use.
+type Injector struct {
+	cfg Config
+
+	errors atomic.Int64
+	flips  atomic.Int64
+	shorts atomic.Int64
+	slows  atomic.Int64
+}
+
+// NewInjector builds an injector for the config.
+func NewInjector(cfg Config) *Injector {
+	if cfg.Latency <= 0 {
+		cfg.Latency = time.Millisecond
+	}
+	return &Injector{cfg: cfg}
+}
+
+// mix64 finalizes a hash (murmur3's fmix64): FNV-1a alone avalanches too
+// weakly on short, similar site strings to feed a uniform draw.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Decide classifies a site deterministically: hash(seed, site) maps to a
+// uniform draw in [0, 1) that the configured rates partition.
+func (in *Injector) Decide(site string) Fault {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", in.cfg.Seed, site)
+	// 53 bits of the mixed hash give an exact float64 in [0, 1).
+	u := float64(mix64(h.Sum64())>>11) / float64(1<<53)
+	for _, c := range []struct {
+		rate float64
+		f    Fault
+	}{
+		{in.cfg.ErrRate, FaultErr},
+		{in.cfg.FlipRate, FaultFlip},
+		{in.cfg.ShortRate, FaultShort},
+		{in.cfg.SlowRate, FaultSlow},
+	} {
+		if u < c.rate {
+			return c.f
+		}
+		u -= c.rate
+	}
+	return FaultNone
+}
+
+// siteHash drives secondary choices (which bit to flip, where to cut a
+// short read) from the same deterministic source.
+func (in *Injector) siteHash(site string) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|aux|%s", in.cfg.Seed, site)
+	return mix64(h.Sum64())
+}
+
+func (in *Injector) count(f Fault) {
+	switch f {
+	case FaultErr:
+		in.errors.Add(1)
+	case FaultFlip:
+		in.flips.Add(1)
+	case FaultShort:
+		in.shorts.Add(1)
+	case FaultSlow:
+		in.slows.Add(1)
+	}
+}
+
+// Stats returns the faults injected so far.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Errors: in.errors.Load(),
+		Flips:  in.flips.Load(),
+		Shorts: in.shorts.Load(),
+		Slows:  in.slows.Load(),
+	}
+}
+
+// File wraps an io.ReaderAt with byte-level fault injection. Sites are
+// keyed by name, offset and length, so a repeated read of the same region
+// fails the same way.
+type File struct {
+	ra   io.ReaderAt
+	name string
+	inj  *Injector
+}
+
+// WrapFile wraps ra; name distinguishes files in site keys.
+func WrapFile(ra io.ReaderAt, name string, inj *Injector) *File {
+	return &File{ra: ra, name: name, inj: inj}
+}
+
+// ReadAt implements io.ReaderAt with faults applied to the result.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	site := fmt.Sprintf("file:%s@%d+%d", f.name, off, len(p))
+	fault := f.inj.Decide(site)
+	switch fault {
+	case FaultErr:
+		f.inj.count(fault)
+		return 0, fmt.Errorf("%w: read %s", ErrInjected, site)
+	case FaultSlow:
+		f.inj.count(fault)
+		time.Sleep(f.inj.cfg.Latency)
+	}
+	n, err := f.ra.ReadAt(p, off)
+	if err != nil {
+		return n, err
+	}
+	switch fault {
+	case FaultFlip:
+		if n > 0 {
+			f.inj.count(fault)
+			bit := f.inj.siteHash(site) % uint64(n*8)
+			p[bit/8] ^= 1 << (bit % 8)
+		}
+	case FaultShort:
+		if n > 1 {
+			f.inj.count(fault)
+			cut := 1 + int(f.inj.siteHash(site)%uint64(n-1))
+			return cut, fmt.Errorf("%w: short read %s: %d of %d bytes", ErrInjected, site, cut, n)
+		}
+	}
+	return n, nil
+}
+
+// Source wraps a storage.ChunkSource with chunk-level fault injection.
+// Bit-flips and short reads cannot be expressed on decoded points without
+// silently corrupting data, so below-CRC faults all surface as read errors;
+// FaultSlow delays the read and then serves it. FaultFlip models *detected*
+// corruption: when CorruptErr is set the flip error wraps it, letting
+// callers hand in their corruption sentinel (e.g. tsfile.ErrCorrupt) so the
+// engine's quarantine path fires exactly as it would for a real CRC miss.
+type Source struct {
+	inner storage.ChunkSource
+	inj   *Injector
+
+	// CorruptErr, when non-nil, is wrapped by flip-fault errors instead of
+	// ErrInjected.
+	CorruptErr error
+}
+
+// Wrap wraps src with the injector.
+func Wrap(src storage.ChunkSource, inj *Injector) *Source {
+	return &Source{inner: src, inj: inj}
+}
+
+func (s *Source) fault(meta storage.ChunkMeta, op string) error {
+	site := fmt.Sprintf("chunk:%s/v%d/%s", meta.SeriesID, meta.Version, op)
+	fault := s.inj.Decide(site)
+	switch fault {
+	case FaultNone:
+		return nil
+	case FaultSlow:
+		s.inj.count(fault)
+		time.Sleep(s.inj.cfg.Latency)
+		return nil
+	case FaultFlip:
+		s.inj.count(fault)
+		if s.CorruptErr != nil {
+			return fmt.Errorf("faultfs: injected corruption %s: %w", site, s.CorruptErr)
+		}
+		return fmt.Errorf("%w: %s %s", ErrInjected, fault, site)
+	default:
+		s.inj.count(fault)
+		return fmt.Errorf("%w: %s %s", ErrInjected, fault, site)
+	}
+}
+
+// ReadChunk implements storage.ChunkSource.
+func (s *Source) ReadChunk(meta storage.ChunkMeta) (series.Series, error) {
+	if err := s.fault(meta, "data"); err != nil {
+		return nil, err
+	}
+	return s.inner.ReadChunk(meta)
+}
+
+// ReadTimes implements storage.ChunkSource.
+func (s *Source) ReadTimes(meta storage.ChunkMeta) ([]int64, error) {
+	if err := s.fault(meta, "times"); err != nil {
+		return nil, err
+	}
+	return s.inner.ReadTimes(meta)
+}
+
+var _ storage.ChunkSource = (*Source)(nil)
+
+// StepInjector simulates a process kill at the n-th write-path step. The
+// LSM engine calls Step at every WAL-append/flush/footer/reopen point; the
+// armed step returns ErrCrash and the engine aborts with partial on-disk
+// state. A zero FailAt never crashes (pure step counting).
+type StepInjector struct {
+	failAt int64
+	calls  atomic.Int64
+
+	mu    sync.Mutex
+	sites []string
+}
+
+// NewStepInjector arms a crash at the failAt-th step (1-based); 0 counts
+// steps without crashing.
+func NewStepInjector(failAt int64) *StepInjector {
+	return &StepInjector{failAt: failAt}
+}
+
+// Step records the site and crashes if armed for this call.
+func (s *StepInjector) Step(site string) error {
+	n := s.calls.Add(1)
+	s.mu.Lock()
+	s.sites = append(s.sites, site)
+	s.mu.Unlock()
+	if s.failAt > 0 && n == s.failAt {
+		return fmt.Errorf("%w: step %d (%s)", ErrCrash, n, site)
+	}
+	return nil
+}
+
+// Steps returns how many steps have been observed.
+func (s *StepInjector) Steps() int64 { return s.calls.Load() }
+
+// Sites returns the sites observed so far, in call order.
+func (s *StepInjector) Sites() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.sites...)
+}

@@ -35,11 +35,23 @@ func (e *Engine) Compact() error {
 	for id := range e.chunks {
 		ids = append(ids, id)
 	}
+	// Quarantined chunks cannot be read (their bytes fail CRC); the merge
+	// excludes them, and the files holding them are set aside below instead
+	// of being removed, so the corrupt bytes stay available for salvage.
+	e.quarMu.Lock()
+	quar := make(map[chunkID]bool, len(e.quarantined))
+	for id := range e.quarantined {
+		quar[id] = true
+	}
+	e.quarMu.Unlock()
 	merged := make(map[string]series.Series, len(ids))
 	everything := series.TimeRange{Start: -(1 << 62), End: 1 << 62}
 	for _, id := range ids {
 		snap := &storage.Snapshot{SeriesID: id}
 		for _, ce := range e.chunks[id] {
+			if quar[chunkID{ce.meta.SeriesID, ce.meta.Version}] {
+				continue
+			}
 			snap.Chunks = append(snap.Chunks, storage.NewChunkRef(ce.meta, ce.src, nil))
 		}
 		snap.Deletes = e.mods.ForSeries(id)
@@ -82,7 +94,7 @@ func (e *Engine) Compact() error {
 		if err := w.Close(); err != nil {
 			return err
 		}
-		newReader, err = tsfile.Open(path)
+		newReader, err = e.openTSFile(path)
 		if err != nil {
 			return fmt.Errorf("lsm: reopen compacted file: %w", err)
 		}
@@ -102,7 +114,23 @@ func (e *Engine) Compact() error {
 		}
 	}
 	for _, f := range oldFiles {
-		if err := os.Remove(f.Path()); err != nil {
+		hasQuarantined := false
+		for _, m := range f.Metas() {
+			if quar[chunkID{m.SeriesID, m.Version}] {
+				hasQuarantined = true
+				break
+			}
+		}
+		if hasQuarantined {
+			bad, err := uniqueBadPath(f.Path())
+			if err == nil {
+				err = os.Rename(f.Path(), bad)
+			}
+			if err != nil {
+				return fmt.Errorf("lsm: quarantine pre-compaction file: %w", err)
+			}
+			e.badFiles++
+		} else if err := os.Remove(f.Path()); err != nil {
 			return fmt.Errorf("lsm: remove pre-compaction file: %w", err)
 		}
 		e.retired = append(e.retired, f)
@@ -117,6 +145,22 @@ func (e *Engine) Compact() error {
 	if err := e.resetModsLocked(); err != nil {
 		return err
 	}
+	// The WAL may still hold delete records (they don't count toward the
+	// flush threshold, so flushLocked can skip the reset). Everything in it
+	// is now durable in the compacted generation; drop it so recovery does
+	// not resurrect folded-in tombstones.
+	if e.wal != nil {
+		if err := e.step("compact.walreset"); err != nil {
+			return err
+		}
+		if err := e.wal.Reset(); err != nil {
+			return err
+		}
+	}
+	// Every quarantined chunk belonged to the retired generation.
+	e.quarMu.Lock()
+	e.quarantined = make(map[chunkID]error)
+	e.quarMu.Unlock()
 	return nil
 }
 

@@ -15,6 +15,7 @@ package lsm
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -49,6 +50,19 @@ type Options struct {
 	// all queries. 0 (the default) disables caching — the paper's
 	// experiments run cold.
 	ChunkCacheBytes int64
+	// StepHook, when set, is called at every write-path step (WAL append,
+	// mods append, each flush stage). A non-nil return aborts the step
+	// with that error, leaving partial on-disk state behind — the
+	// faultfs.StepInjector uses this to simulate a crash at any point.
+	StepHook func(site string) error
+	// WrapFile, when set, wraps the io.ReaderAt of every chunk file the
+	// engine opens, letting faultfs inject byte-level read faults under
+	// the CRC checks. path names the file being opened.
+	WrapFile func(path string, ra io.ReaderAt) io.ReaderAt
+	// WrapSource, when set, wraps the chunk source of every chunk file,
+	// injecting chunk-level read faults at query time only — file opens
+	// and footer parses stay clean. Applied beneath the chunk cache.
+	WrapSource func(src storage.ChunkSource) storage.ChunkSource
 }
 
 func (o *Options) withDefaults() Options {
@@ -90,6 +104,25 @@ type Engine struct {
 	// or before it are out-of-order and flush to unsequence files.
 	maxSeqTime map[string]int64
 	unseqFiles int
+
+	// badFiles counts chunk files set aside (renamed *.bad) because their
+	// footer did not validate — crash leftovers recovered via the WAL.
+	badFiles int
+
+	// Chunk-level read quarantine: chunks whose data failed a CRC or
+	// decode check during a query. Quarantined chunks are excluded from
+	// later snapshots (their reads can never succeed — the file bytes are
+	// wrong) and surface in Info and /healthz. Guarded by quarMu, not
+	// e.mu: quarantine reports arrive from query worker goroutines while
+	// other queries hold the engine read lock.
+	quarMu      sync.Mutex
+	quarantined map[chunkID]error
+}
+
+// chunkID identifies one immutable chunk across snapshots.
+type chunkID struct {
+	seriesID string
+	version  storage.Version
 }
 
 type chunkEntry struct {
@@ -108,11 +141,12 @@ func Open(opts Options) (*Engine, error) {
 		return nil, fmt.Errorf("lsm: %w", err)
 	}
 	e := &Engine{
-		opts:       opts,
-		nextVer:    1,
-		mem:        make(map[string]series.Series),
-		chunks:     make(map[string][]chunkEntry),
-		maxSeqTime: make(map[string]int64),
+		opts:        opts,
+		nextVer:     1,
+		mem:         make(map[string]series.Series),
+		chunks:      make(map[string][]chunkEntry),
+		maxSeqTime:  make(map[string]int64),
+		quarantined: make(map[chunkID]error),
 	}
 	if opts.ChunkCacheBytes > 0 {
 		e.cache = cache.NewLRU(opts.ChunkCacheBytes)
@@ -149,6 +183,43 @@ func Open(opts Options) (*Engine, error) {
 	return e, nil
 }
 
+// step invokes the write-path fault hook, if any.
+func (e *Engine) step(site string) error {
+	if e.opts.StepHook == nil {
+		return nil
+	}
+	return e.opts.StepHook(site)
+}
+
+// openTSFile opens a chunk file, routing reads through Options.WrapFile
+// when fault injection is configured.
+func (e *Engine) openTSFile(path string) (*tsfile.Reader, error) {
+	if e.opts.WrapFile == nil {
+		return tsfile.Open(path)
+	}
+	return tsfile.OpenWith(path, func(ra io.ReaderAt) io.ReaderAt {
+		return e.opts.WrapFile(path, ra)
+	})
+}
+
+// uniqueBadPath picks an unused quarantine name for path: path.bad, or
+// path.bad.1, path.bad.2, ... when earlier crashes already left one. A
+// previously quarantined file must never be overwritten — it may be the
+// only copy of data an operator wants to salvage by hand.
+func uniqueBadPath(path string) (string, error) {
+	for i := 0; ; i++ {
+		cand := path + ".bad"
+		if i > 0 {
+			cand = fmt.Sprintf("%s.bad.%d", path, i)
+		}
+		if _, err := os.Lstat(cand); errors.Is(err, os.ErrNotExist) {
+			return cand, nil
+		} else if err != nil {
+			return "", err
+		}
+	}
+}
+
 // loadFiles opens every readable chunk file in the directory. Files
 // without a valid footer (crash during flush) are renamed aside; their
 // contents are still in the WAL.
@@ -159,19 +230,31 @@ func (e *Engine) loadFiles() error {
 	}
 	var names []string
 	for _, ent := range entries {
-		if !ent.IsDir() && strings.HasSuffix(ent.Name(), ".tsf") {
+		if ent.IsDir() {
+			continue
+		}
+		if strings.Contains(ent.Name(), ".tsf.bad") {
+			e.badFiles++ // quarantined by an earlier recovery
+			continue
+		}
+		if strings.HasSuffix(ent.Name(), ".tsf") {
 			names = append(names, ent.Name())
 		}
 	}
 	sort.Strings(names)
 	for _, name := range names {
 		path := filepath.Join(e.opts.Dir, name)
-		r, err := tsfile.Open(path)
+		r, err := e.openTSFile(path)
 		if errors.Is(err, tsfile.ErrCorrupt) {
 			// Incomplete flush; set aside and rely on the WAL.
-			if rerr := os.Rename(path, path+".bad"); rerr != nil {
+			bad, berr := uniqueBadPath(path)
+			if berr != nil {
+				return fmt.Errorf("lsm: quarantine %s: %w", name, berr)
+			}
+			if rerr := os.Rename(path, bad); rerr != nil {
 				return fmt.Errorf("lsm: quarantine %s: %w", name, rerr)
 			}
+			e.badFiles++
 			continue
 		}
 		if err != nil {
@@ -250,7 +333,13 @@ func (e *Engine) Write(seriesID string, pts ...series.Point) error {
 		return errors.New("lsm: engine closed")
 	}
 	if e.wal != nil {
+		if err := e.step("wal.append"); err != nil {
+			return err
+		}
 		if err := e.wal.Append(encodeInsert(seriesID, pts), e.opts.SyncWAL); err != nil {
+			return err
+		}
+		if err := e.step("wal.appended"); err != nil {
 			return err
 		}
 	}
@@ -276,13 +365,24 @@ func (e *Engine) Delete(seriesID string, start, end int64) error {
 	}
 	d := storage.Delete{SeriesID: seriesID, Version: e.nextVer, Start: start, End: end}
 	e.nextVer++
-	if err := e.mods.Append(d); err != nil {
-		return err
-	}
+	// The WAL is written first and is authoritative: a crash between the two
+	// appends leaves the delete in the WAL only, and recovery re-appends it
+	// to the mods sidecar (see replayWAL). The reverse order would leave a
+	// half-applied delete — recorded against flushed chunks but not against
+	// WAL-replayed memtable points.
 	if e.wal != nil {
+		if err := e.step("wal.append"); err != nil {
+			return err
+		}
 		if err := e.wal.Append(encodeDelete(d), e.opts.SyncWAL); err != nil {
 			return err
 		}
+	}
+	if err := e.step("mods.append"); err != nil {
+		return err
+	}
+	if err := e.mods.Append(d); err != nil {
+		return err
 	}
 	e.applyDeleteToMem(d)
 	return nil
@@ -356,6 +456,9 @@ func (e *Engine) flushLocked() error {
 	e.mem = make(map[string]series.Series)
 	e.memPts = 0
 	if e.wal != nil {
+		if err := e.step("flush.walreset"); err != nil {
+			return err
+		}
 		if err := e.wal.Reset(); err != nil {
 			return err
 		}
@@ -372,6 +475,9 @@ func (e *Engine) writeSpaceFile(ids []string, bySeries map[string]series.Series,
 	}
 	name := fmt.Sprintf("%06d.%s.tsf", e.fileSeq, space)
 	path := filepath.Join(e.opts.Dir, name)
+	if err := e.step("flush.create:" + name); err != nil {
+		return err
+	}
 	w, err := tsfile.Create(path)
 	if err != nil {
 		return err
@@ -383,6 +489,14 @@ func (e *Engine) writeSpaceFile(ids []string, bySeries map[string]series.Series,
 			if n > e.opts.FlushThreshold {
 				n = e.opts.FlushThreshold
 			}
+			// A step-hook "crash" mid-file must leave the partial bytes on
+			// disk (Crash), unlike a write error, which cleans up (Abort):
+			// recovery quarantines the footer-less leftover and replays
+			// the WAL.
+			if err := e.step("flush.chunk:" + name); err != nil {
+				w.Crash()
+				return err
+			}
 			if _, err := w.WriteChunk(id, e.nextVer, e.opts.Codec, data[:n]); err != nil {
 				w.Abort()
 				return err
@@ -391,10 +505,17 @@ func (e *Engine) writeSpaceFile(ids []string, bySeries map[string]series.Series,
 			data = data[n:]
 		}
 	}
+	if err := e.step("flush.footer:" + name); err != nil {
+		w.Crash()
+		return err
+	}
 	if err := w.Close(); err != nil {
 		return err
 	}
-	r, err := tsfile.Open(path)
+	if err := e.step("flush.reopen:" + name); err != nil {
+		return err
+	}
+	r, err := e.openTSFile(path)
 	if err != nil {
 		return fmt.Errorf("lsm: reopen flushed file: %w", err)
 	}
@@ -420,12 +541,37 @@ func (e *Engine) Snapshot(seriesID string, r series.TimeRange) (*storage.Snapsho
 		return nil, errors.New("lsm: engine closed")
 	}
 	stats := &storage.Stats{}
-	snap := &storage.Snapshot{SeriesID: seriesID, Stats: stats}
-	for _, ce := range e.chunks[seriesID] {
-		if ce.meta.OverlapsRange(r) {
-			snap.Chunks = append(snap.Chunks, storage.NewChunkRef(ce.meta, ce.src, stats))
-		}
+	snap := &storage.Snapshot{
+		SeriesID: seriesID,
+		Stats:    stats,
+		Warnings: &storage.Warnings{},
 	}
+	snap.OnQuarantine = func(meta storage.ChunkMeta, err error) {
+		// Only CRC/decode failures are permanent: the bytes on disk are
+		// wrong and every retry would fail. Transient read errors (I/O
+		// hiccups, injected faults) stay retryable on the next query.
+		if !errors.Is(err, tsfile.ErrCorrupt) {
+			return
+		}
+		e.quarMu.Lock()
+		id := chunkID{meta.SeriesID, meta.Version}
+		if _, dup := e.quarantined[id]; !dup {
+			e.quarantined[id] = err
+		}
+		e.quarMu.Unlock()
+	}
+	e.quarMu.Lock()
+	for _, ce := range e.chunks[seriesID] {
+		if !ce.meta.OverlapsRange(r) {
+			continue
+		}
+		if qerr, ok := e.quarantined[chunkID{ce.meta.SeriesID, ce.meta.Version}]; ok {
+			snap.Warnings.Add("chunk %s v%d quarantined, excluded: %v", ce.meta.SeriesID, ce.meta.Version, qerr)
+			continue
+		}
+		snap.Chunks = append(snap.Chunks, storage.NewChunkRef(ce.meta, ce.src, stats))
+	}
+	e.quarMu.Unlock()
 	if buf := e.mem[seriesID]; len(buf) > 0 {
 		data := series.SortDedup(buf.Clone())
 		memSrc := storage.NewMemSource()
@@ -474,6 +620,13 @@ type Info struct {
 	MemtablePoints int
 	NextVersion    storage.Version
 	Deletes        int
+
+	// BadFiles counts chunk files quarantined on disk (renamed *.bad)
+	// because their footer never validated — crash leftovers.
+	BadFiles int
+	// QuarantinedChunks counts chunks excluded from snapshots after a
+	// CRC or decode failure during a query.
+	QuarantinedChunks int
 }
 
 // Info returns a snapshot of engine statistics.
@@ -484,14 +637,29 @@ func (e *Engine) Info() Info {
 	for _, cs := range e.chunks {
 		n += len(cs)
 	}
+	e.quarMu.Lock()
+	quar := len(e.quarantined)
+	e.quarMu.Unlock()
 	return Info{
-		Files:          len(e.files),
-		UnseqFiles:     e.unseqFiles,
-		Chunks:         n,
-		MemtablePoints: e.memPts,
-		NextVersion:    e.nextVer,
-		Deletes:        len(e.mods.All()),
+		Files:             len(e.files),
+		UnseqFiles:        e.unseqFiles,
+		Chunks:            n,
+		MemtablePoints:    e.memPts,
+		NextVersion:       e.nextVer,
+		Deletes:           len(e.mods.All()),
+		BadFiles:          e.badFiles,
+		QuarantinedChunks: quar,
 	}
+}
+
+// HasSeries reports whether seriesID has any buffered or flushed data.
+func (e *Engine) HasSeries(seriesID string) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if len(e.chunks[seriesID]) > 0 {
+		return true
+	}
+	return len(e.mem[seriesID]) > 0
 }
 
 // Close flushes the memtable and releases all file handles.
@@ -517,6 +685,25 @@ func (e *Engine) Close() error {
 	return err
 }
 
+// Kill abandons the engine the way a process kill would: file handles are
+// closed, nothing is flushed, the WAL is left as-is. Crash-recovery tests
+// pair it with a fresh Open over the same directory.
+func (e *Engine) Kill() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.closed = true
+	e.closeFiles()
+	if e.mods != nil {
+		e.mods.Close()
+	}
+	if e.wal != nil {
+		e.wal.Close()
+	}
+}
+
 // replayWAL applies one recovered WAL record to the memtable.
 func (e *Engine) replayWAL(rec []byte) error {
 	if len(rec) == 0 {
@@ -536,6 +723,24 @@ func (e *Engine) replayWAL(rec []byte) error {
 		if err != nil {
 			return err
 		}
+		// A delete reaches the WAL before the mods sidecar; a crash between
+		// the two appends leaves it in the WAL only. Re-append it so the
+		// delete applies to flushed chunks, not just replayed points.
+		present := false
+		for _, m := range e.mods.All() {
+			if m == d {
+				present = true
+				break
+			}
+		}
+		if !present {
+			if err := e.mods.Append(d); err != nil {
+				return err
+			}
+			if d.Version >= e.nextVer {
+				e.nextVer = d.Version + 1
+			}
+		}
 		e.applyDeleteToMem(d)
 		return nil
 	default:
@@ -543,13 +748,18 @@ func (e *Engine) replayWAL(rec []byte) error {
 	}
 }
 
-// sourceFor wraps a chunk file reader with the engine's shared cache when
-// caching is enabled.
+// sourceFor wraps a chunk file reader with query-time fault injection
+// (innermost, so cached loads are not re-faulted) and the engine's shared
+// cache when caching is enabled.
 func (e *Engine) sourceFor(r *tsfile.Reader) storage.ChunkSource {
-	if e.cache == nil {
-		return r
+	var src storage.ChunkSource = r
+	if e.opts.WrapSource != nil {
+		src = e.opts.WrapSource(src)
 	}
-	return cache.Wrap(r, e.cache)
+	if e.cache == nil {
+		return src
+	}
+	return cache.Wrap(src, e.cache)
 }
 
 // CacheStats reports chunk-cache effectiveness; zero when caching is off.

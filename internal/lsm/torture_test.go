@@ -1,0 +1,265 @@
+package lsm
+
+import (
+	"errors"
+	"reflect"
+	"sort"
+	"testing"
+
+	"m4lsm/internal/faultfs"
+	"m4lsm/internal/m4"
+	"m4lsm/internal/m4lsm"
+	"m4lsm/internal/m4udf"
+	"m4lsm/internal/series"
+)
+
+// The crash-recovery torture kills the write path at every step-hook site —
+// WAL appends, mods appends, each flush stage — then reopens the directory
+// and checks three things: Open succeeds, the recovered merged data equals
+// the in-memory oracle over the acked operations (the crashed operation may
+// or may not have become durable, so both outcomes are accepted), and
+// M4-LSM ≡ M4-UDF ≡ M4 over the recovered merge.
+
+type tortureOp struct {
+	kind       byte // 'w' write, 'd' delete, 'f' flush
+	id         string
+	pts        []series.Point
+	start, end int64
+}
+
+// tortureOps is a fixed workload: two series, out-of-order writes that split
+// into sequence/unsequence files, deletes covering flushed and unflushed
+// data, and explicit flushes between them. FlushThreshold 8 adds automatic
+// flushes mid-write on top.
+func tortureOps() []tortureOp {
+	return []tortureOp{
+		{kind: 'w', id: "a", pts: pts(10, 1, 20, 2, 30, 3)},
+		{kind: 'w', id: "b", pts: pts(5, 50, 15, 51)},
+		{kind: 'w', id: "a", pts: pts(40, 4, 50, 5, 60, 6, 70, 7, 80, 8)}, // trips the 8-point auto flush
+		{kind: 'd', id: "a", start: 25, end: 45},                          // covers flushed and future data
+		{kind: 'w', id: "a", pts: pts(35, 9, 90, 10)},                     // 35 rewrites inside the deleted range
+		{kind: 'f'},
+		{kind: 'w', id: "a", pts: pts(12, 11, 22, 12)}, // out of order: unsequence space
+		{kind: 'w', id: "b", pts: pts(8, 52, 25, 53)},
+		// Covers live points in a flushed chunk (t=5) AND in the memtable
+		// (t=8) at once: a crash between this delete's WAL and mods appends
+		// must not recover to a half-applied delete.
+		{kind: 'd', id: "b", start: 0, end: 10},
+		{kind: 'd', id: "a", start: 55, end: 65}, // covers flushed t=60 only
+		{kind: 'f'},
+		{kind: 'w', id: "a", pts: pts(100, 13, 110, 14)},
+	}
+}
+
+type oracle map[string]map[int64]float64
+
+func (o oracle) apply(op tortureOp) {
+	switch op.kind {
+	case 'w':
+		m := o[op.id]
+		if m == nil {
+			m = map[int64]float64{}
+			o[op.id] = m
+		}
+		for _, p := range op.pts {
+			m[p.T] = p.V
+		}
+	case 'd':
+		for t := range o[op.id] {
+			if t >= op.start && t <= op.end {
+				delete(o[op.id], t)
+			}
+		}
+	}
+}
+
+func (o oracle) clone() oracle {
+	out := oracle{}
+	for id, m := range o {
+		c := make(map[int64]float64, len(m))
+		for t, v := range m {
+			c[t] = v
+		}
+		out[id] = c
+	}
+	return out
+}
+
+func (o oracle) series(id string) series.Series {
+	var out series.Series
+	for t, v := range o[id] {
+		out = append(out, series.Point{T: t, V: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}
+
+func execOp(e *Engine, op tortureOp) error {
+	switch op.kind {
+	case 'w':
+		return e.Write(op.id, op.pts...)
+	case 'd':
+		return e.Delete(op.id, op.start, op.end)
+	default:
+		return e.Flush()
+	}
+}
+
+// runTortureAt executes the workload with a crash armed at the failAt-th
+// write-path step (0 = never), kills the engine, reopens the directory and
+// verifies recovery. It returns the number of steps observed.
+func runTortureAt(t *testing.T, failAt int64) int64 {
+	t.Helper()
+	dir := t.TempDir()
+	inj := faultfs.NewStepInjector(failAt)
+	e, err := Open(Options{Dir: dir, FlushThreshold: 8, StepHook: inj.Step})
+	if err != nil {
+		t.Fatalf("failAt %d: open: %v", failAt, err)
+	}
+
+	acked := oracle{}
+	var crashed *tortureOp
+	for _, op := range tortureOps() {
+		op := op
+		if err := execOp(e, op); err != nil {
+			if !errors.Is(err, faultfs.ErrCrash) {
+				t.Fatalf("failAt %d: op %+v: unexpected error %v", failAt, op, err)
+			}
+			crashed = &op
+			break
+		}
+		acked.apply(op)
+	}
+	if crashed == nil {
+		if err := e.Close(); err != nil {
+			if !errors.Is(err, faultfs.ErrCrash) {
+				t.Fatalf("failAt %d: close: %v", failAt, err)
+			}
+			crashed = &tortureOp{kind: 'f'} // a lost flush changes nothing logically
+		}
+	} else {
+		e.Kill()
+	}
+
+	// The crashed operation may have become durable (its WAL record landed
+	// before the kill) or not; both recovered states are legal.
+	withCrash := acked.clone()
+	if crashed != nil {
+		withCrash.apply(*crashed)
+	}
+
+	e2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("failAt %d (site %v): recovery failed: %v", failAt, lastSite(inj), err)
+	}
+	defer e2.Close()
+
+	full := series.TimeRange{Start: -1 << 40, End: 1 << 40}
+	for _, id := range []string{"a", "b"} {
+		snap, err := e2.Snapshot(id, full)
+		if err != nil {
+			t.Fatalf("failAt %d: snapshot %s: %v", failAt, id, err)
+		}
+		got := materialize(t, snap, full)
+		wantA, wantB := acked.series(id), withCrash.series(id)
+		if !seriesEqual(got, wantA) && !seriesEqual(got, wantB) {
+			t.Fatalf("failAt %d (site %v): series %s recovered to %v,\nwant %v (acked)\n  or %v (acked+crashed)",
+				failAt, lastSite(inj), id, got, wantA, wantB)
+		}
+
+		// Both operators over the recovered state must agree with plain M4
+		// over the recovered merge.
+		q := m4.Query{Tqs: 0, Tqe: 128, W: 8}
+		want, err := m4.ComputeSeries(q, materialize(t, snap, q.Range()))
+		if err != nil {
+			t.Fatalf("failAt %d: oracle m4: %v", failAt, err)
+		}
+		for name, compute := range map[string]func() ([]m4.Aggregate, error){
+			"m4lsm": func() ([]m4.Aggregate, error) {
+				s, err := e2.Snapshot(id, q.Range())
+				if err != nil {
+					return nil, err
+				}
+				return m4lsm.Compute(s, q)
+			},
+			"m4udf": func() ([]m4.Aggregate, error) {
+				s, err := e2.Snapshot(id, q.Range())
+				if err != nil {
+					return nil, err
+				}
+				return m4udf.Compute(s, q)
+			},
+		} {
+			aggs, err := compute()
+			if err != nil {
+				t.Fatalf("failAt %d: %s %s: %v", failAt, name, id, err)
+			}
+			for i := range want {
+				if !m4.Equivalent(aggs[i], want[i]) {
+					t.Fatalf("failAt %d: %s %s span %d: got %v, want %v", failAt, name, id, i, aggs[i], want[i])
+				}
+			}
+		}
+	}
+	return inj.Steps()
+}
+
+func lastSite(inj *faultfs.StepInjector) string {
+	sites := inj.Sites()
+	if len(sites) == 0 {
+		return "none"
+	}
+	return sites[len(sites)-1]
+}
+
+func seriesEqual(a, b series.Series) bool {
+	if len(a) == 0 && len(b) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+func TestCrashRecoveryTorture(t *testing.T) {
+	total := runTortureAt(t, 0)
+	if total < 20 {
+		t.Fatalf("workload hits only %d step sites; too small to be a torture", total)
+	}
+	for failAt := int64(1); failAt <= total; failAt++ {
+		runTortureAt(t, failAt)
+	}
+}
+
+// TestTortureSitesCovered pins the step-site classes the torture visits, so
+// a refactor that silently drops a hook fails loudly here rather than
+// silently shrinking the crash matrix.
+func TestTortureSitesCovered(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultfs.NewStepInjector(0)
+	e, err := Open(Options{Dir: dir, FlushThreshold: 8, StepHook: inj.Step})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range tortureOps() {
+		if err := execOp(e, op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"wal.append", "wal.appended", "mods.append", "flush.walreset",
+		"flush.create:", "flush.chunk:", "flush.footer:", "flush.reopen:"}
+	seen := inj.Sites()
+	for _, prefix := range want {
+		found := false
+		for _, s := range seen {
+			if len(s) >= len(prefix) && s[:len(prefix)] == prefix {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no step at site %q (sites: %v)", prefix, seen)
+		}
+	}
+}

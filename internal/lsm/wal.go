@@ -42,6 +42,11 @@ func decodeInsert(b []byte) (string, []series.Point, error) {
 	if err != nil {
 		return "", nil, err
 	}
+	// Each point takes at least 9 bytes (1-byte varint + 8-byte value); a
+	// count beyond that is a corrupt record, not a huge allocation.
+	if n > uint64(len(b)/9) {
+		return "", nil, fmt.Errorf("wal insert: point count %d exceeds %d payload bytes", n, len(b))
+	}
 	pts := make([]series.Point, 0, n)
 	for i := uint64(0); i < n; i++ {
 		t, rest, err := encoding.Varint(b)

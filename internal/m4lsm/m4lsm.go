@@ -30,6 +30,7 @@
 package m4lsm
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -62,6 +63,11 @@ type Options struct {
 	// DisablePartialLoad makes timestamp probes load full chunks instead
 	// of the timestamp block only.
 	DisablePartialLoad bool
+	// Strict makes any chunk read failure fail the whole query. The
+	// default degrades gracefully: an unreadable chunk is dropped from
+	// the query, reported through the snapshot's Warnings/OnQuarantine,
+	// and the result is computed from the remaining chunks.
+	Strict bool
 }
 
 // Compute runs the M4 representation query with default options.
@@ -72,10 +78,18 @@ func Compute(snap *storage.Snapshot, q m4.Query) ([]m4.Aggregate, error) {
 // ComputeWithOptions runs the M4 representation query over the snapshot's
 // chunks and deletes without merging chunks.
 func ComputeWithOptions(snap *storage.Snapshot, q m4.Query, opts Options) ([]m4.Aggregate, error) {
+	return ComputeContext(context.Background(), snap, q, opts)
+}
+
+// ComputeContext is ComputeWithOptions under a context: cancellation stops
+// the worker pool at the next task or chunk-load boundary and returns
+// ctx.Err(). The snapshot's cost counters are final once ComputeContext
+// returns — every worker has joined, cancelled or not.
+func ComputeContext(ctx context.Context, snap *storage.Snapshot, q m4.Query, opts Options) ([]m4.Aggregate, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	op := &operator{snap: snap, q: q, opts: opts, stats: snap.Stats}
+	op := &operator{ctx: ctx, snap: snap, q: q, opts: opts, stats: snap.Stats}
 	if op.stats == nil {
 		op.stats = &storage.Stats{}
 	}
@@ -138,6 +152,9 @@ func ComputeWithOptions(snap *storage.Snapshot, q m4.Query, opts Options) ([]m4.
 		firsts[t] = gResult{pt: pt, ok: ok, err: err}
 		return err
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	live := make([]int, 0, len(work)) // indexes into work with surviving points
 	for k, i := range work {
 		if err := firsts[k].err; err != nil {
@@ -158,6 +175,9 @@ func ComputeWithOptions(snap *storage.Snapshot, q m4.Query, opts Options) ([]m4.
 		rests[t] = gResult{pt: pt, ok: ok, err: err}
 		return err
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Report the first error in span order before assembling: after a
 	// failure the pool stops early, leaving later tasks with zero results
 	// that must not be mistaken for empty spans.
@@ -174,6 +194,16 @@ func ComputeWithOptions(snap *storage.Snapshot, q m4.Query, opts Options) ([]m4.
 		g := rests[restCount*j : restCount*j+restCount]
 		for kind, r := range g {
 			if !r.ok {
+				// With chunks dropped mid-query, a function can come up
+				// empty on a span FP proved non-empty (FP answered from
+				// metadata, the data load failed later). FP's point is a
+				// real surviving point of the span, so substitute it — a
+				// valid, if non-extremal, representation — and warn.
+				if !opts.Strict && op.degraded.Load() {
+					g[kind] = gResult{pt: firsts[k].pt, ok: true}
+					snap.Warnings.Add("span %d: %v lost to unreadable chunks, substituted FP", i, gLP+gKind(kind))
+					continue
+				}
 				return nil, fmt.Errorf("internal: span %d: %v empty after FP found %v", i, gLP+gKind(kind), firsts[k].pt)
 			}
 		}
@@ -269,6 +299,9 @@ type gResult struct {
 // the same span never share mutable state; per-task counters flush into
 // the shared stats with one atomic Add on the way out.
 func (op *operator) computeG(span series.TimeRange, chunks []*chunkState, g gKind) (series.Point, bool, error) {
+	if err := op.ctx.Err(); err != nil {
+		return series.Point{}, false, err
+	}
 	sc := &spanComputer{op: op, span: span, views: make([]*view, len(chunks))}
 	defer func() { op.stats.Add(sc.local) }()
 	for i, cs := range chunks {
@@ -277,7 +310,9 @@ func (op *operator) computeG(span series.TimeRange, chunks []*chunkState, g gKin
 	if op.opts.EagerLoad {
 		for _, v := range sc.views {
 			if err := sc.materialize(v); err != nil {
-				return series.Point{}, false, err
+				if err := sc.chunkFailed(v, err); err != nil {
+					return series.Point{}, false, err
+				}
 			}
 		}
 	}
@@ -304,6 +339,7 @@ func clampSpan(q m4.Query, t int64) int {
 }
 
 type operator struct {
+	ctx      context.Context
 	snap     *storage.Snapshot
 	q        m4.Query
 	opts     Options
@@ -311,6 +347,20 @@ type operator struct {
 	states   []*chunkState
 	deletes  []storage.Delete // sorted by version
 	deleteIx *storage.DeleteIndex
+	degraded atomic.Bool // a chunk was dropped; the result is partial
+}
+
+// reportBad records an unreadable chunk exactly once per query, flagging
+// the result as degraded and notifying the snapshot (warning + quarantine).
+func (op *operator) reportBad(cs *chunkState, err error) {
+	op.degraded.Store(true)
+	cs.mu.Lock()
+	already := cs.reported
+	cs.reported = true
+	cs.mu.Unlock()
+	if !already {
+		op.snap.ReportBadChunk(cs.meta, err)
+	}
 }
 
 // chunkState caches per-chunk loads across spans and functions. The mutex
@@ -330,6 +380,7 @@ type chunkState struct {
 	hasData  bool
 	hasTimes bool
 	loadErr  error // sticky: a failed load is not retried per worker
+	reported bool  // the failure has been reported to the snapshot
 }
 
 func (op *operator) ensureTimes(cs *chunkState) error {
@@ -343,6 +394,12 @@ func (op *operator) ensureTimes(cs *chunkState) error {
 	}
 	if op.opts.DisablePartialLoad {
 		return op.ensureDataLocked(cs)
+	}
+	// Cancellation is checked before I/O only and never made sticky: a
+	// cancelled load must not poison the chunk state for other queries'
+	// semantics or mask the real error classification.
+	if err := op.ctx.Err(); err != nil {
+		return err
 	}
 	ts, err := cs.ref.LoadTimes()
 	if err != nil {
@@ -367,6 +424,9 @@ func (op *operator) ensureDataLocked(cs *chunkState) error {
 	}
 	if cs.hasData {
 		return nil
+	}
+	if err := op.ctx.Err(); err != nil {
+		return err
 	}
 	data, err := cs.ref.Load()
 	if err != nil {
@@ -482,6 +542,22 @@ func (sc *spanComputer) newView(cs *chunkState) *view {
 	return v
 }
 
+// chunkFailed routes a chunk read error: under Strict — or when the query's
+// context is done, whatever the error says — it propagates; otherwise the
+// chunk is reported once and this task's view of it dies, so the candidate
+// loop continues over the remaining chunks (graceful degradation).
+func (sc *spanComputer) chunkFailed(v *view, err error) error {
+	if cerr := sc.op.ctx.Err(); cerr != nil {
+		return cerr
+	}
+	if sc.op.opts.Strict {
+		return err
+	}
+	sc.op.reportBad(v.cs, err)
+	v.dead = true
+	return nil
+}
+
 // deletedLater returns a delete with a larger version than ver covering t,
 // i.e. the ⊨ test of Propositions 3.1/3.3.
 func (sc *spanComputer) deletedLater(t int64, ver storage.Version) (storage.Delete, bool) {
@@ -507,7 +583,12 @@ func (sc *spanComputer) overwrittenLater(t int64, ver storage.Version) (bool, er
 		}
 		ok, err := sc.exists(w.cs, t)
 		if err != nil {
-			return false, err
+			// The probed chunk (not the candidate's) is unreadable: drop
+			// it from the query and treat it as not overwriting.
+			if err := sc.chunkFailed(w, err); err != nil {
+				return false, err
+			}
+			continue
 		}
 		if ok {
 			return true, nil
@@ -610,12 +691,16 @@ func (sc *spanComputer) computeTimeExtreme(isFirst bool) (series.Point, bool, er
 			// surviving timestamp with a partial load and an index
 			// probe (Table 1 case b).
 			if err := sc.resolveTimeBound(best, isFirst); err != nil {
-				return series.Point{}, false, err
+				if err := sc.chunkFailed(best, err); err != nil {
+					return series.Point{}, false, err
+				}
 			}
 		case stVerifiedTime:
 			// The winning timestamp needs its value: load the chunk.
 			if err := sc.materialize(best); err != nil {
-				return series.Point{}, false, err
+				if err := sc.chunkFailed(best, err); err != nil {
+					return series.Point{}, false, err
+				}
 			}
 		case stPoint:
 			// Candidate verification (Proposition 3.1): only later
@@ -791,7 +876,9 @@ func (sc *spanComputer) computeValueExtreme(isBottom bool) (series.Point, bool, 
 			// the in-span extremum; the chunk is split by the span and
 			// must be loaded (§4.1's "chunks split by M4 time spans").
 			if err := sc.materialize(best); err != nil {
-				return series.Point{}, false, err
+				if err := sc.chunkFailed(best, err); err != nil {
+					return series.Point{}, false, err
+				}
 			}
 		case stPoint, stVerifiedPoint:
 			p := slot.pt
@@ -803,7 +890,9 @@ func (sc *spanComputer) computeValueExtreme(isBottom bool) (series.Point, bool, 
 					// The metadata extremum is deleted; recalculate
 					// under deletes (Table 1 case c).
 					if err := sc.materialize(best); err != nil {
-						return series.Point{}, false, err
+						if err := sc.chunkFailed(best, err); err != nil {
+							return series.Point{}, false, err
+						}
 					}
 					continue
 				}
@@ -823,7 +912,9 @@ func (sc *spanComputer) computeValueExtreme(isBottom bool) (series.Point, bool, 
 				if best.materialized {
 					sc.recompute(best)
 				} else if err := sc.materialize(best); err != nil {
-					return series.Point{}, false, err
+					if err := sc.chunkFailed(best, err); err != nil {
+						return series.Point{}, false, err
+					}
 				}
 				continue
 			}

@@ -1,6 +1,7 @@
 package m4ql
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -26,6 +27,11 @@ type Result struct {
 	Elapsed   time.Duration `json:"elapsedNs"`
 	Stats     storage.Stats `json:"stats"`
 	SpanCount int           `json:"spanCount"`
+
+	// Partial is true when unreadable chunks were dropped from the query
+	// (non-STRICT execution); Warnings describes each degradation.
+	Partial  bool     `json:"partial,omitempty"`
+	Warnings []string `json:"warnings,omitempty"`
 }
 
 // Text renders the result as an aligned table for CLI output.
@@ -59,11 +65,23 @@ func (r *Result) Text() string {
 	}
 	fmt.Fprintf(&sb, "-- %d of %d spans non-empty, %s, %v, %v\n",
 		len(r.Rows), r.SpanCount, r.Operator, r.Elapsed.Round(time.Microsecond), &r.Stats)
+	if r.Partial {
+		fmt.Fprintf(&sb, "-- PARTIAL RESULT: %d unreadable chunk(s) skipped\n", len(r.Warnings))
+		for _, w := range r.Warnings {
+			fmt.Fprintf(&sb, "--   warning: %s\n", w)
+		}
+	}
 	return sb.String()
 }
 
 // Execute runs a parsed statement against the engine.
 func Execute(e *lsm.Engine, stmt Statement) (*Result, error) {
+	return ExecuteContext(context.Background(), e, stmt)
+}
+
+// ExecuteContext runs a parsed statement under a context: cancellation
+// aborts the operator's worker pool and returns ctx.Err().
+func ExecuteContext(ctx context.Context, e *lsm.Engine, stmt Statement) (*Result, error) {
 	if len(stmt.Aggregates) > 0 {
 		return executeGroupBy(e, stmt)
 	}
@@ -71,25 +89,35 @@ func Execute(e *lsm.Engine, stmt Statement) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if stmt.Strict {
+		// Chunks already quarantined are excluded at snapshot time; a
+		// STRICT query must fail rather than omit them silently.
+		if ws := snap.Warnings.List(); len(ws) > 0 {
+			return nil, fmt.Errorf("m4ql: strict read: %s", ws[0])
+		}
+	}
 	start := time.Now()
 	var aggs []m4.Aggregate
 	switch stmt.Operator {
 	case OpUDF:
-		aggs, err = m4udf.ComputeWithOptions(snap, stmt.Query, m4udf.Options{Parallelism: stmt.Parallelism})
+		aggs, err = m4udf.ComputeContext(ctx, snap, stmt.Query, m4udf.Options{Parallelism: stmt.Parallelism, Strict: stmt.Strict})
 	default:
-		aggs, err = m4lsm.ComputeWithOptions(snap, stmt.Query, m4lsm.Options{Parallelism: stmt.Parallelism})
+		aggs, err = m4lsm.ComputeContext(ctx, snap, stmt.Query, m4lsm.Options{Parallelism: stmt.Parallelism, Strict: stmt.Strict})
 	}
 	if err != nil {
 		return nil, err
 	}
 	elapsed := time.Since(start)
 
+	warnings := snap.Warnings.List()
 	res := &Result{
 		Columns:   append([]string{"span"}, columnStrings(stmt.Columns)...),
 		Operator:  stmt.Operator.String(),
 		Elapsed:   elapsed,
 		Stats:     snap.Stats.Load(),
 		SpanCount: stmt.Query.W,
+		Partial:   len(warnings) > 0,
+		Warnings:  warnings,
 	}
 	for i, a := range aggs {
 		if a.Empty {
@@ -120,12 +148,15 @@ func executeGroupBy(e *lsm.Engine, stmt Statement) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	warnings := snap.Warnings.List()
 	res := &Result{
 		Columns:   []string{"span"},
 		Operator:  stmt.Operator.String(),
 		Elapsed:   time.Since(start),
 		Stats:     snap.Stats.Load(),
 		SpanCount: stmt.Query.W,
+		Partial:   len(warnings) > 0,
+		Warnings:  warnings,
 	}
 	for _, f := range stmt.Aggregates {
 		res.Columns = append(res.Columns, f.String())
@@ -142,6 +173,11 @@ func executeGroupBy(e *lsm.Engine, stmt Statement) (*Result, error) {
 // Run parses and executes a query in one step. EXPLAIN statements execute
 // the query and return the plan/cost summary as a single-column result.
 func Run(e *lsm.Engine, query string) (*Result, error) {
+	return RunContext(context.Background(), e, query)
+}
+
+// RunContext is Run under a context.
+func RunContext(ctx context.Context, e *lsm.Engine, query string) (*Result, error) {
 	stmt, err := Parse(query)
 	if err != nil {
 		return nil, err
@@ -149,14 +185,19 @@ func Run(e *lsm.Engine, query string) (*Result, error) {
 	if stmt.Explain {
 		return nil, fmt.Errorf("m4ql: use Explain for EXPLAIN statements")
 	}
-	return Execute(e, stmt)
+	return ExecuteContext(ctx, e, stmt)
 }
 
 // Explain executes the statement and renders the physical plan with its
 // measured cost, the shape a user inspects to see whether the merge-free
 // operator pruned chunks.
 func Explain(e *lsm.Engine, stmt Statement) (string, error) {
-	res, err := Execute(e, stmt)
+	return ExplainContext(context.Background(), e, stmt)
+}
+
+// ExplainContext is Explain under a context.
+func ExplainContext(ctx context.Context, e *lsm.Engine, stmt Statement) (string, error) {
+	res, err := ExecuteContext(ctx, e, stmt)
 	if err != nil {
 		return "", err
 	}
@@ -191,15 +232,20 @@ func Explain(e *lsm.Engine, stmt Statement) (string, error) {
 // RunAny parses and executes either a plain query (returning a tabular
 // result) or an EXPLAIN statement (returning the plan text).
 func RunAny(e *lsm.Engine, query string) (res *Result, explain string, err error) {
+	return RunAnyContext(context.Background(), e, query)
+}
+
+// RunAnyContext is RunAny under a context.
+func RunAnyContext(ctx context.Context, e *lsm.Engine, query string) (res *Result, explain string, err error) {
 	stmt, err := Parse(query)
 	if err != nil {
 		return nil, "", err
 	}
 	if stmt.Explain {
-		explain, err = Explain(e, stmt)
+		explain, err = ExplainContext(ctx, e, stmt)
 		return nil, explain, err
 	}
-	res, err = Execute(e, stmt)
+	res, err = ExecuteContext(ctx, e, stmt)
 	return res, "", err
 }
 

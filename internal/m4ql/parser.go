@@ -76,6 +76,9 @@ type Statement struct {
 	// Aggregates, when non-empty, selects the GroupBy form instead of the
 	// M4 form: SELECT COUNT(v), AVG(v), ... per span.
 	Aggregates []groupby.Func
+	// Strict is the STRICT clause: fail the query on any unreadable chunk
+	// instead of degrading to the readable ones with warnings.
+	Strict bool
 	// Explain requests the physical plan and cost summary instead of rows.
 	Explain bool
 }
@@ -170,11 +173,18 @@ func Parse(input string) (Statement, error) {
 		return Statement{}, err
 	}
 
-	// Trailing clauses: USING <op> and PARALLEL <n>, each at most once,
-	// in either order.
+	// Trailing clauses: USING <op>, PARALLEL <n> and STRICT, each at most
+	// once, in any order.
 	var haveUsing, haveParallel bool
 	for {
 		switch {
+		case keywordIs(p.peek(), "strict"):
+			if stmt.Strict {
+				return Statement{}, fmt.Errorf("m4ql: duplicate STRICT clause")
+			}
+			stmt.Strict = true
+			p.next()
+			continue
 		case keywordIs(p.peek(), "using"):
 			if haveUsing {
 				return Statement{}, fmt.Errorf("m4ql: duplicate USING clause")

@@ -14,6 +14,7 @@
 package m4udf
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -31,6 +32,9 @@ type Options struct {
 	// Chunks are decoded exactly once at any setting, so the cost
 	// counters stay comparable across the scaling curve.
 	Parallelism int
+	// Strict fails the query on any chunk read error instead of dropping
+	// the unreadable chunk (with a snapshot warning) and merging the rest.
+	Strict bool
 }
 
 // Compute runs the M4 representation query against a snapshot by merging
@@ -41,6 +45,13 @@ func Compute(snap *storage.Snapshot, q m4.Query) ([]m4.Aggregate, error) {
 
 // ComputeWithOptions runs the baseline with an explicit parallelism.
 func ComputeWithOptions(snap *storage.Snapshot, q m4.Query, opts Options) ([]m4.Aggregate, error) {
+	return ComputeContext(context.Background(), snap, q, opts)
+}
+
+// ComputeContext is ComputeWithOptions under a context: cancellation is
+// observed between chunk loads and span blocks and returns ctx.Err(); the
+// snapshot's cost counters are final once ComputeContext returns.
+func ComputeContext(ctx context.Context, snap *storage.Snapshot, q m4.Query, opts Options) ([]m4.Aggregate, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -48,7 +59,7 @@ func ComputeWithOptions(snap *storage.Snapshot, q m4.Query, opts Options) ([]m4.
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	loaded, err := mergeread.Load(snap, par)
+	loaded, err := mergeread.LoadContext(ctx, snap, mergeread.LoadOptions{Parallelism: par, Strict: opts.Strict})
 	if err != nil {
 		return nil, err
 	}
@@ -78,11 +89,17 @@ func ComputeWithOptions(snap *storage.Snapshot, q m4.Query, opts Options) ([]m4.
 			if lo >= hi {
 				return
 			}
+			if errs[w] = ctx.Err(); errs[w] != nil {
+				return
+			}
 			r := series.TimeRange{Start: q.Span(lo).Start, End: q.Span(hi - 1).End}
 			errs[w] = scanSpans(q, out, loaded.Iterator(r).Next)
 		}(w)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -9,6 +9,7 @@ package mergeread
 
 import (
 	"container/heap"
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -34,23 +35,46 @@ type loadedChunk struct {
 // Load decodes every chunk of the snapshot, fanning the loads across at
 // most parallelism goroutines (<= 1 loads sequentially). Each chunk is
 // read exactly once, so Stats.ChunksLoaded is independent of parallelism.
+// Any read failure fails the load; see LoadContext for graceful mode.
 func Load(snap *storage.Snapshot, parallelism int) (*Loaded, error) {
+	return LoadContext(context.Background(), snap, LoadOptions{Parallelism: parallelism, Strict: true})
+}
+
+// LoadOptions configure LoadContext.
+type LoadOptions struct {
+	// Parallelism bounds the loader goroutines; <= 1 loads sequentially.
+	Parallelism int
+	// Strict fails the whole load on the first chunk read error. The
+	// default drops unreadable chunks, reporting each through the
+	// snapshot's Warnings/OnQuarantine, and merges the rest.
+	Strict bool
+}
+
+// LoadContext decodes every chunk of the snapshot under a context.
+// Cancellation is observed between chunk loads and returns ctx.Err(); the
+// snapshot's counters are final once LoadContext returns.
+func LoadContext(ctx context.Context, snap *storage.Snapshot, opts LoadOptions) (*Loaded, error) {
 	l := &Loaded{
 		chunks:  make([]loadedChunk, len(snap.Chunks)),
 		deletes: storage.NewDeleteIndex(snap.Deletes),
 	}
 	errs := make([]error, len(snap.Chunks))
 	load := func(i int) {
+		if errs[i] = ctx.Err(); errs[i] != nil {
+			return
+		}
 		data, err := snap.Chunks[i].Load()
 		l.chunks[i] = loadedChunk{data: data, ver: snap.Chunks[i].Meta.Version}
 		errs[i] = err
 	}
+	parallelism := opts.Parallelism
 	if parallelism > len(snap.Chunks) {
 		parallelism = len(snap.Chunks)
 	}
 	if parallelism <= 1 {
 		for i := range snap.Chunks {
-			if load(i); errs[i] != nil {
+			load(i)
+			if errs[i] != nil && opts.Strict {
 				return nil, errs[i]
 			}
 		}
@@ -65,7 +89,7 @@ func Load(snap *storage.Snapshot, parallelism int) (*Loaded, error) {
 				defer wg.Done()
 				for {
 					i := int(next.Add(1)) - 1
-					if i >= len(snap.Chunks) {
+					if i >= len(snap.Chunks) || ctx.Err() != nil {
 						return
 					}
 					load(i)
@@ -73,12 +97,23 @@ func Load(snap *storage.Snapshot, parallelism int) (*Loaded, error) {
 			}()
 		}
 		wg.Wait()
-		// First error by chunk index, deterministic across schedules.
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
+	}
+	// A cancelled run may have skipped chunks without recording an error;
+	// never hand back a silently truncated Loaded.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Resolve errors by chunk index after all workers have joined, so the
+	// outcome (and the warning order) is deterministic across schedules.
+	for i, err := range errs {
+		if err == nil {
+			continue
 		}
+		if opts.Strict {
+			return nil, err
+		}
+		snap.ReportBadChunk(snap.Chunks[i].Meta, err)
+		l.chunks[i] = loadedChunk{} // empty series: dropped from the merge
 	}
 	return l, nil
 }

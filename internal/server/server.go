@@ -5,9 +5,13 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 
 	"m4lsm/internal/lsm"
@@ -34,28 +38,53 @@ func New(e *lsm.Engine) *Handler {
 	return h
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Handler panics are recovered: the
+// connection answers 500 instead of taking the whole server down.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			log.Printf("m4server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			// Best effort: if the handler already wrote a status this
+			// is a no-op on the status line.
+			httpError(w, http.StatusInternalServerError, fmt.Errorf("internal error"))
+		}
+	}()
 	h.mux.ServeHTTP(w, r)
 }
 
-func (h *Handler) health(w http.ResponseWriter, _ *http.Request) {
+// writeJSON encodes v as the response body. Encode failures after the
+// header is out cannot reach the client; they are logged instead of
+// silently dropped.
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("m4server: write response: %v", err)
+	}
+}
+
+func (h *Handler) health(w http.ResponseWriter, _ *http.Request) {
 	info := h.engine.Info()
-	json.NewEncoder(w).Encode(map[string]interface{}{
-		"status": "ok",
-		"files":  info.Files,
-		"chunks": info.Chunks,
+	status := "ok"
+	if info.BadFiles > 0 || info.QuarantinedChunks > 0 {
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":            status,
+		"files":             info.Files,
+		"chunks":            info.Chunks,
+		"badFiles":          info.BadFiles,
+		"quarantinedChunks": info.QuarantinedChunks,
 	})
 }
 
 func (h *Handler) series(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(h.engine.SeriesIDs())
+	writeJSON(w, http.StatusOK, h.engine.SeriesIDs())
 }
 
 // query executes an m4ql statement. The statement comes from the "q" URL
-// parameter (GET) or a JSON body {"query": "..."} (POST).
+// parameter (GET) or a JSON body {"query": "..."} (POST). The request
+// context cancels the query when the client disconnects.
 func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 	var q string
 	switch r.Method {
@@ -78,18 +107,25 @@ func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("missing query"))
 		return
 	}
-	res, err := m4ql.Run(h.engine, q)
+	res, err := m4ql.RunContext(r.Context(), h.engine, q)
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// The client is gone (or the server is shutting down);
+			// nobody reads this body, but close out the exchange.
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		}
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(res)
+	writeJSON(w, http.StatusOK, res)
 }
 
 // render draws a two-color PNG line chart of a series over a time range.
 // Parameters: series, tqs, tqe, w (pixel columns = M4 spans), h (pixel
-// rows, default 400).
+// rows, default 400). Unknown series answer 404. When unreadable chunks
+// were skipped the image still renders and the response carries an
+// X-M4-Partial header.
 func (h *Handler) render(w http.ResponseWriter, r *http.Request) {
 	params := r.URL.Query()
 	seriesID := params.Get("series")
@@ -117,27 +153,36 @@ func (h *Handler) render(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	if !h.engine.HasSeries(seriesID) {
+		httpError(w, http.StatusNotFound, fmt.Errorf("series %q not found", seriesID))
+		return
+	}
 	snap, err := h.engine.Snapshot(seriesID, q.Range())
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	aggs, err := m4lsm.Compute(snap, q)
+	aggs, err := m4lsm.ComputeContext(r.Context(), snap, q, m4lsm.Options{})
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		}
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
 	reduced := m4.Points(aggs)
 	vp := viz.ViewportFor(reduced, tqs, tqe)
 	canvas := viz.Rasterize(reduced, vp, width, height)
+	if snap.Warnings.Len() > 0 {
+		w.Header().Set("X-M4-Partial", strconv.Itoa(snap.Warnings.Len()))
+	}
 	w.Header().Set("Content-Type", "image/png")
 	if err := canvas.WritePNG(w); err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		log.Printf("m4server: write png: %v", err)
 	}
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	writeJSON(w, code, map[string]string{"error": err.Error()})
 }

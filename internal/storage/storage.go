@@ -153,12 +153,32 @@ func (c ChunkRef) LoadTimes() ([]int64, error) {
 
 // Snapshot is the immutable view of one series a query executes against:
 // every chunk overlapping the query plus every delete, with shared cost
-// counters.
+// counters and a shared warning collector.
 type Snapshot struct {
 	SeriesID string
 	Chunks   []ChunkRef
 	Deletes  []Delete
 	Stats    *Stats
+
+	// Warnings collects degradation notes when an operator runs in
+	// non-strict mode. May be nil (warnings are discarded).
+	Warnings *Warnings
+
+	// OnQuarantine, when set by the snapshot's producer (the LSM engine),
+	// is invoked once per chunk whose read failed in non-strict mode, so
+	// the engine can quarantine persistently-corrupt chunks across
+	// queries. Must be safe for concurrent use.
+	OnQuarantine func(meta ChunkMeta, err error)
+}
+
+// ReportBadChunk records that a chunk could not be read and was dropped
+// from the query: a warning for the result, and a quarantine notification
+// for the snapshot's producer.
+func (s *Snapshot) ReportBadChunk(meta ChunkMeta, err error) {
+	s.Warnings.Add("chunk %s v%d unreadable, skipped: %v", meta.SeriesID, meta.Version, err)
+	if s.OnQuarantine != nil {
+		s.OnQuarantine(meta, err)
+	}
 }
 
 // Stats accumulates the I/O and decode work of a query. The experiment

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 
 	"m4lsm/internal/encoding"
@@ -16,18 +17,40 @@ import (
 // chunk contents are fetched on demand through ReadChunk/ReadTimes.
 // A Reader is safe for concurrent use (reads use ReadAt).
 type Reader struct {
-	f     *os.File
-	path  string
-	metas []storage.ChunkMeta
+	ra     io.ReaderAt
+	size   int64
+	closer io.Closer // nil for readers not owning a file handle
+	path   string
+	metas  []storage.ChunkMeta
 }
 
 // Open validates the file framing and loads the chunk metadata table.
 func Open(path string) (*Reader, error) {
+	return open(path, nil)
+}
+
+// OpenWith opens path but routes all reads (including the footer parse)
+// through wrap(f), letting callers inject faults or instrumentation between
+// the reader and the file. wrap == nil behaves like Open.
+func OpenWith(path string, wrap func(io.ReaderAt) io.ReaderAt) (*Reader, error) {
+	return open(path, wrap)
+}
+
+func open(path string, wrap func(io.ReaderAt) io.ReaderAt) (*Reader, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("tsfile: %w", err)
 	}
-	r := &Reader{f: f, path: path}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("tsfile: %w", err)
+	}
+	var ra io.ReaderAt = f
+	if wrap != nil {
+		ra = wrap(f)
+	}
+	r := &Reader{ra: ra, size: fi.Size(), closer: f, path: path}
 	if err := r.readFooter(); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("tsfile: open %s: %w", path, err)
@@ -35,25 +58,31 @@ func Open(path string) (*Reader, error) {
 	return r, nil
 }
 
-func (r *Reader) readFooter() error {
-	fi, err := r.f.Stat()
-	if err != nil {
-		return err
+// OpenReaderAt parses a chunk file served by an arbitrary io.ReaderAt
+// (used by tests and fault injection). name only labels errors.
+func OpenReaderAt(ra io.ReaderAt, size int64, name string) (*Reader, error) {
+	r := &Reader{ra: ra, size: size, path: name}
+	if err := r.readFooter(); err != nil {
+		return nil, fmt.Errorf("tsfile: open %s: %w", name, err)
 	}
-	size := fi.Size()
+	return r, nil
+}
+
+func (r *Reader) readFooter() error {
+	size := r.size
 	const tailLen = 4 + 8 + 4 // crc + footerLen + magic
 	if size < int64(len(fileMagic))+tailLen {
 		return fmt.Errorf("%w: file too small (%d bytes)", ErrCorrupt, size)
 	}
 	head := make([]byte, len(fileMagic))
-	if _, err := r.f.ReadAt(head, 0); err != nil {
+	if _, err := r.ra.ReadAt(head, 0); err != nil {
 		return err
 	}
 	if string(head) != string(fileMagic) {
 		return fmt.Errorf("%w: bad file magic", ErrCorrupt)
 	}
 	tail := make([]byte, tailLen)
-	if _, err := r.f.ReadAt(tail, size-tailLen); err != nil {
+	if _, err := r.ra.ReadAt(tail, size-tailLen); err != nil {
 		return err
 	}
 	if string(tail[12:]) != string(footerMagic) {
@@ -66,7 +95,7 @@ func (r *Reader) readFooter() error {
 		return fmt.Errorf("%w: bad footer length %d", ErrCorrupt, footerLen)
 	}
 	footer := make([]byte, footerLen)
-	if _, err := r.f.ReadAt(footer, footerOff); err != nil {
+	if _, err := r.ra.ReadAt(footer, footerOff); err != nil {
 		return err
 	}
 	if crc32.ChecksumIEEE(footer) != wantCRC {
@@ -99,8 +128,13 @@ func (r *Reader) Metas() []storage.ChunkMeta { return r.metas }
 // Path returns the file path.
 func (r *Reader) Path() string { return r.path }
 
-// Close releases the file handle.
-func (r *Reader) Close() error { return r.f.Close() }
+// Close releases the file handle, if the reader owns one.
+func (r *Reader) Close() error {
+	if r.closer == nil {
+		return nil
+	}
+	return r.closer.Close()
+}
 
 // readBlocks fetches header + timestamp block and optionally the value
 // block of a chunk, verifying checksums.
@@ -110,7 +144,7 @@ func (r *Reader) readBlocks(meta storage.ChunkMeta, withValues bool) (times, val
 		n += meta.ValuesLen
 	}
 	buf := make([]byte, n)
-	if _, err := r.f.ReadAt(buf, meta.Offset); err != nil {
+	if _, err := r.ra.ReadAt(buf, meta.Offset); err != nil {
 		return nil, nil, fmt.Errorf("read chunk at %d: %w", meta.Offset, err)
 	}
 	hdr := buf[:meta.HeaderLen]

@@ -165,6 +165,20 @@ func (w *Writer) Close() error {
 	return nil
 }
 
+// Crash abandons the writer the way a process kill would: the bytes
+// buffered so far are flushed to the file, no footer is written, and the
+// unreadable partial file is left on disk. Crash-recovery tests use it to
+// produce the exact on-disk states torn flushes leave behind; recovery then
+// quarantines the file and replays the WAL.
+func (w *Writer) Crash() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	w.w.Flush()
+	return w.f.Close()
+}
+
 // Abort discards the writer without producing a readable file.
 func (w *Writer) Abort() error {
 	if w.closed {

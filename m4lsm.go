@@ -27,6 +27,7 @@
 package m4lsm
 
 import (
+	"context"
 	"fmt"
 
 	"m4lsm/internal/encoding"
@@ -193,6 +194,12 @@ type M4Options struct {
 	// 0 uses GOMAXPROCS, 1 forces the paper's single-threaded execution.
 	// Results are byte-identical at every setting.
 	Parallelism int
+	// StrictReads fails the query on any unreadable chunk instead of
+	// degrading. By default a chunk whose read fails is dropped from the
+	// query, the result is marked Partial and a warning describes what
+	// was skipped; persistently corrupt chunks (CRC/decode failures) are
+	// additionally quarantined out of future queries.
+	StrictReads bool
 }
 
 // M4 runs an M4 representation query with the default operator (M4-LSM):
@@ -207,29 +214,71 @@ func (db *DB) M4With(seriesID string, tqs, tqe int64, w int, op Operator) ([]Agg
 	return db.M4WithOptions(seriesID, tqs, tqe, w, M4Options{Operator: op})
 }
 
-// M4WithOptions runs an M4 representation query with explicit options.
+// M4WithOptions runs an M4 representation query with explicit options. The
+// tuple form cannot surface warnings, so it always reads strictly: an
+// unreadable or quarantined chunk is an error, never silently missing data.
+// Use M4Context for graceful degradation.
 func (db *DB) M4WithOptions(seriesID string, tqs, tqe int64, w int, opts M4Options) ([]Aggregate, Stats, error) {
+	opts.StrictReads = true
+	res, err := db.M4Context(context.Background(), seriesID, tqs, tqe, w, opts)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return res.Aggregates, res.Stats, nil
+}
+
+// M4Result is the full output of M4Context: the aggregates plus the
+// degradation status of the read path.
+type M4Result struct {
+	Aggregates []Aggregate
+	Stats      Stats
+	// Partial is true when unreadable chunks were dropped from the query;
+	// the aggregates cover only the chunks that could be read.
+	Partial bool
+	// Warnings describes each dropped or quarantined chunk.
+	Warnings []string
+}
+
+// M4Context runs an M4 representation query under a context. Cancellation
+// stops the query's worker pool and returns ctx.Err(). Unless
+// opts.StrictReads is set, unreadable chunks degrade the result instead of
+// failing it: they are skipped (corrupt ones quarantined engine-wide) and
+// reported in M4Result.Warnings.
+func (db *DB) M4Context(ctx context.Context, seriesID string, tqs, tqe int64, w int, opts M4Options) (*M4Result, error) {
 	q := m4.Query{Tqs: tqs, Tqe: tqe, W: w}
 	if err := q.Validate(); err != nil {
-		return nil, Stats{}, err
+		return nil, err
 	}
 	snap, err := db.engine.Snapshot(seriesID, q.Range())
 	if err != nil {
-		return nil, Stats{}, err
+		return nil, err
+	}
+	if opts.StrictReads {
+		// Chunks already quarantined are excluded at snapshot time; a
+		// strict read must fail rather than omit them silently.
+		if ws := snap.Warnings.List(); len(ws) > 0 {
+			return nil, fmt.Errorf("m4lsm: strict read: %s", ws[0])
+		}
 	}
 	var aggs []m4.Aggregate
 	switch opts.Operator {
 	case OperatorLSM:
-		aggs, err = intm4lsm.ComputeWithOptions(snap, q, intm4lsm.Options{Parallelism: opts.Parallelism})
+		aggs, err = intm4lsm.ComputeContext(ctx, snap, q, intm4lsm.Options{Parallelism: opts.Parallelism, Strict: opts.StrictReads})
 	case OperatorUDF:
-		aggs, err = m4udf.ComputeWithOptions(snap, q, m4udf.Options{Parallelism: opts.Parallelism})
+		aggs, err = m4udf.ComputeContext(ctx, snap, q, m4udf.Options{Parallelism: opts.Parallelism, Strict: opts.StrictReads})
 	default:
-		return nil, Stats{}, fmt.Errorf("m4lsm: unknown operator %d", opts.Operator)
+		return nil, fmt.Errorf("m4lsm: unknown operator %d", opts.Operator)
 	}
 	if err != nil {
-		return nil, Stats{}, err
+		return nil, err
 	}
-	return publicAggregates(aggs), publicStats(snap.Stats.Load()), nil
+	warnings := snap.Warnings.List()
+	return &M4Result{
+		Aggregates: publicAggregates(aggs),
+		Stats:      publicStats(snap.Stats.Load()),
+		Partial:    len(warnings) > 0,
+		Warnings:   warnings,
+	}, nil
 }
 
 // Query parses and executes a query in the SQL-ish form of the paper's
@@ -238,7 +287,13 @@ func (db *DB) M4WithOptions(seriesID string, tqs, tqe int64, w int, opts M4Optio
 //	SELECT M4(*) FROM root.kob WHERE time >= 0 AND time < 1000000
 //	GROUP BY SPANS(1000) USING LSM
 func (db *DB) Query(query string) (*QueryResult, error) {
-	res, err := m4ql.Run(db.engine, query)
+	return db.QueryContext(context.Background(), query)
+}
+
+// QueryContext is Query under a context: cancellation aborts the query and
+// returns ctx.Err().
+func (db *DB) QueryContext(ctx context.Context, query string) (*QueryResult, error) {
+	res, err := m4ql.RunContext(ctx, db.engine, query)
 	if err != nil {
 		return nil, err
 	}
@@ -259,17 +314,26 @@ type Info struct {
 	Chunks         int
 	MemtablePoints int
 	Deletes        int
+
+	// BadFiles counts chunk files quarantined on disk (renamed *.bad)
+	// during crash recovery.
+	BadFiles int
+	// QuarantinedChunks counts chunks excluded from queries after a CRC
+	// or decode failure.
+	QuarantinedChunks int
 }
 
 // Info returns storage statistics.
 func (db *DB) Info() Info {
 	i := db.engine.Info()
 	return Info{
-		Files:          i.Files,
-		UnseqFiles:     i.UnseqFiles,
-		Chunks:         i.Chunks,
-		MemtablePoints: i.MemtablePoints,
-		Deletes:        i.Deletes,
+		Files:             i.Files,
+		UnseqFiles:        i.UnseqFiles,
+		Chunks:            i.Chunks,
+		MemtablePoints:    i.MemtablePoints,
+		Deletes:           i.Deletes,
+		BadFiles:          i.BadFiles,
+		QuarantinedChunks: i.QuarantinedChunks,
 	}
 }
 
