@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet check bench bench-parallel fuzz torture
+.PHONY: build test race vet lint check bench bench-parallel bench-obs fuzz torture profile
 
 build:
 	$(GO) build ./...
@@ -30,10 +30,21 @@ fuzz:
 	$(GO) test ./internal/tsfile -run '^$$' -fuzz '^FuzzOpen$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/tsfile -run '^$$' -fuzz '^FuzzRecordLog$$' -fuzztime $(FUZZTIME)
 
-# check is the standard gate for this repo: static analysis, the full suite
-# (including the crash-recovery torture) under the race detector, and a
-# short fuzz pass over the recovery parsers.
-check: vet race
+# lint forbids ad-hoc printing in library code: internal/ packages must log
+# through log/slog (the server injects a request-scoped logger) so output
+# stays structured and greppable. Commands, examples and tests are exempt.
+lint:
+	@bad=$$(grep -rnE '(log\.(Print|Fatal|Panic)|fmt\.Print)' \
+		--include='*.go' --exclude='*_test.go' internal/ *.go 2>/dev/null; true); \
+	if [ -n "$$bad" ]; then \
+		echo "lint: use log/slog instead of log.Print*/fmt.Print* in library code:"; \
+		echo "$$bad"; exit 1; \
+	fi
+
+# check is the standard gate for this repo: static analysis, the logging
+# lint, the full suite (including the crash-recovery torture) under the
+# race detector, and a short fuzz pass over the recovery parsers.
+check: vet lint race
 	$(MAKE) fuzz FUZZTIME=3s
 
 bench:
@@ -42,3 +53,15 @@ bench:
 # bench-parallel regenerates the worker-scaling numbers of BENCH_parallel.json.
 bench-parallel:
 	$(GO) test -run '^$$' -bench 'BenchmarkM4LSMParallel|BenchmarkM4UDFParallel' -benchtime 30x .
+
+# bench-obs regenerates the observability-overhead numbers of BENCH_obs.json
+# (instrumentation off vs metrics vs metrics+trace).
+bench-obs:
+	$(GO) test -run '^$$' -bench 'BenchmarkM4LSMObs' -benchtime 50x .
+
+# profile runs the paper's Figure 10 sweep under the CPU and heap profilers;
+# inspect with `go tool pprof profiles/cpu.pprof`.
+profile:
+	mkdir -p profiles
+	$(GO) run ./cmd/m4bench -exp fig10 -cpuprofile profiles/cpu.pprof -memprofile profiles/heap.pprof
+	@echo "profiles written to ./profiles"

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"m4lsm/internal/exper"
@@ -36,11 +38,28 @@ func main() {
 		markdown = flag.Bool("markdown", false, "emit Markdown tables instead of text")
 		datasets = flag.String("datasets", "", "comma-separated dataset filter (e.g. MF03,KOB); empty = all")
 		faults   = flag.Bool("faults", false, "shorthand for -exp faults (deterministic fault-injection sweep)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 	if *faults {
 		*expFlag = "faults"
 	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "m4bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "m4bench: cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeHeapProfile(*memProf)
 
 	cfg := exper.Config{Scale: *scale, ChunkSize: *chunk, W: *w, Reps: *reps, Seed: *seed, Parallelism: *par}
 	if *datasets != "" {
@@ -67,6 +86,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "m4bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+	}
+}
+
+// writeHeapProfile dumps an up-to-date heap profile, for `make profile`
+// and ad-hoc allocation hunting.
+func writeHeapProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "m4bench: heap profile: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // materialize final live-heap state
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "m4bench: heap profile: %v\n", err)
 	}
 }
 

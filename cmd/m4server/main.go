@@ -2,16 +2,26 @@
 //
 // Endpoints:
 //
-//	GET  /healthz                         engine status
+//	GET  /healthz                         engine status, uptime, build info
 //	GET  /series                          stored series ids
-//	GET  /query?q=<m4ql>                  run an M4 query, JSON result
+//	GET  /query?q=<m4ql>[&trace=1]        run an M4 query, JSON result
 //	POST /query {"query": "<m4ql>"}       same, query in the body
 //	GET  /render?series=&tqs=&tqe=&w=&h=  two-color PNG line chart
+//	GET  /metrics                         Prometheus text exposition
+//	GET  /varz                            the same registry as JSON
+//	GET  /debug/slowlog                   slow-query ring buffer
 //
 // Example:
 //
 //	m4server -dir ./db -addr :8086
-//	curl 'localhost:8086/query?q=SELECT+M4(*)+FROM+s+WHERE+time+>=+0+AND+time+<+1000+GROUP+BY+SPANS(100)'
+//	curl 'localhost:8086/query?q=SELECT+M4(*)+FROM+s+WHERE+time+>=+0+AND+time+<+1000+GROUP+BY+SPANS(100)&trace=1'
+//	curl 'localhost:8086/metrics'
+//
+// With -debug-addr set, a second listener exposes net/http/pprof and
+// expvar on a separate address (keep it private):
+//
+//	m4server -dir ./db -debug-addr localhost:6060
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // get a drain window, then the engine is flushed and closed exactly once.
@@ -20,15 +30,18 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"m4lsm/internal/lsm"
+	"m4lsm/internal/obs"
 	"m4lsm/internal/server"
 )
 
@@ -36,26 +49,51 @@ func main() {
 	var (
 		dir       = flag.String("dir", "m4db", "database directory")
 		addr      = flag.String("addr", ":8086", "listen address")
+		debugAddr = flag.String("debug-addr", "", "optional pprof/expvar listen address (e.g. localhost:6060); empty disables")
 		drainWait = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+		slowQuery = flag.Duration("slow-query", 100*time.Millisecond, "minimum /query latency recorded in /debug/slowlog")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
 	)
 	flag.Parse()
-	engine, err := lsm.Open(lsm.Options{Dir: *dir})
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		slog.Error("bad -log-level", "value", *logLevel, "err", err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
+
+	reg := obs.NewRegistry()
+	engine, err := lsm.Open(lsm.Options{Dir: *dir, Metrics: reg})
 	if err != nil {
-		log.Fatalf("m4server: %v", err)
+		logger.Error("open engine", "dir", *dir, "err", err)
+		os.Exit(1)
 	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(engine),
+		Handler:           server.NewWith(engine, server.Config{Logger: logger, SlowQueryThreshold: *slowQuery}),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}
 
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: debugMux(), ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			logger.Info("debug listener", "addr", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("debug listener failed", "err", err)
+			}
+		}()
+	}
+
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("m4server: serving %s on %s", *dir, *addr)
+		logger.Info("serving", "dir", *dir, "addr", *addr)
 		errCh <- srv.ListenAndServe()
 	}()
 
@@ -64,21 +102,39 @@ func main() {
 
 	select {
 	case sig := <-sigCh:
-		log.Printf("m4server: %v, shutting down", sig)
+		logger.Info("shutting down", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("m4server: drain: %v", err)
+			logger.Warn("drain", "err", err)
 		}
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Printf("m4server: %v", err)
+			logger.Error("serve", "err", err)
 		}
+	}
+	if debugSrv != nil {
+		debugSrv.Close()
 	}
 
 	// Close (flush memtable, release handles) exactly once, after the
 	// listener has stopped taking requests.
 	if err := engine.Close(); err != nil {
-		log.Fatalf("m4server: close: %v", err)
+		logger.Error("close engine", "err", err)
+		os.Exit(1)
 	}
+	logger.Info("closed cleanly")
+}
+
+// debugMux serves the Go runtime's profiling surface: net/http/pprof and
+// expvar, registered explicitly so nothing leaks onto the main listener.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
 }

@@ -48,7 +48,7 @@ type LRU struct {
 	ll       *list.List // front = most recent
 	items    map[key]*list.Element
 
-	hits, misses int64
+	hits, misses, evictions int64
 }
 
 // NewLRU builds a cache bounded to capBytes of decoded column data
@@ -97,12 +97,14 @@ func (c *LRU) put(e *entry) {
 		c.ll.Remove(back)
 		delete(c.items, victim.key)
 		c.used -= victim.size
+		c.evictions++
 	}
 }
 
 // Stats reports cache effectiveness.
 type Stats struct {
 	Hits, Misses int64
+	Evictions    int64
 	UsedBytes    int64
 	Entries      int
 }
@@ -114,7 +116,7 @@ func (c *LRU) Stats() Stats {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Stats{Hits: c.hits, Misses: c.misses, UsedBytes: c.used, Entries: len(c.items)}
+	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, UsedBytes: c.used, Entries: len(c.items)}
 }
 
 // Source decorates a ChunkSource with the shared LRU.
@@ -131,34 +133,47 @@ func Wrap(src storage.ChunkSource, lru *LRU) *Source {
 
 // ReadChunk implements storage.ChunkSource.
 func (s *Source) ReadChunk(meta storage.ChunkMeta) (series.Series, error) {
+	data, _, err := s.ReadChunkCached(meta)
+	return data, err
+}
+
+// ReadChunkCached implements storage.CachedSource: ReadChunk plus a
+// served-from-cache flag, letting ChunkRef attribute hits to the query.
+func (s *Source) ReadChunkCached(meta storage.ChunkMeta) (series.Series, bool, error) {
 	k := key{meta.SeriesID, meta.Version, kindData}
 	if e, ok := s.lru.get(k); ok {
-		return e.data, nil
+		return e.data, true, nil
 	}
 	data, err := s.inner.ReadChunk(meta)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	s.lru.put(&entry{key: k, size: int64(len(data)) * 16, data: data})
-	return data, nil
+	return data, false, nil
 }
 
 // ReadTimes implements storage.ChunkSource. A cached full chunk also
 // serves timestamp reads.
 func (s *Source) ReadTimes(meta storage.ChunkMeta) ([]int64, error) {
+	ts, _, err := s.ReadTimesCached(meta)
+	return ts, err
+}
+
+// ReadTimesCached implements storage.CachedSource.
+func (s *Source) ReadTimesCached(meta storage.ChunkMeta) ([]int64, bool, error) {
 	if e, ok := s.lru.get(key{meta.SeriesID, meta.Version, kindData}); ok {
-		return e.data.Times(), nil
+		return e.data.Times(), true, nil
 	}
 	k := key{meta.SeriesID, meta.Version, kindTimes}
 	if e, ok := s.lru.get(k); ok {
-		return e.times, nil
+		return e.times, true, nil
 	}
 	ts, err := s.inner.ReadTimes(meta)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	s.lru.put(&entry{key: k, size: int64(len(ts)) * 8, times: ts})
-	return ts, nil
+	return ts, false, nil
 }
 
-var _ storage.ChunkSource = (*Source)(nil)
+var _ storage.CachedSource = (*Source)(nil)

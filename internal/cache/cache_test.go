@@ -130,6 +130,45 @@ func TestEviction(t *testing.T) {
 	if cs.chunkReads != before {
 		t.Error("recent entry was evicted")
 	}
+	// Filling left one eviction; the version-1 re-read evicted another.
+	if st := lru.Stats(); st.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", st.Evictions)
+	}
+}
+
+// TestChunkRefCacheAttribution: loads through a ChunkRef over a cached
+// source count hits and misses into the query's Stats, the path traces use
+// to report how much I/O the cache absorbed.
+func TestChunkRefCacheAttribution(t *testing.T) {
+	src, _, meta := setup(t, 1<<20)
+	stats := &storage.Stats{}
+	ref := storage.NewChunkRef(meta, src, stats)
+	for i := 0; i < 3; i++ {
+		if _, err := ref.Load(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ref.LoadTimes(); err != nil { // served by the cached chunk
+		t.Fatal(err)
+	}
+	got := stats.Load()
+	if got.CacheMisses != 1 || got.CacheHits != 3 {
+		t.Errorf("hits=%d misses=%d, want 3/1", got.CacheHits, got.CacheMisses)
+	}
+	// An uncached source records neither.
+	mem := storage.NewMemSource()
+	m2, err := mem.AddChunk("u", 1, series.Series{{T: 1, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats2 := &storage.Stats{}
+	ref2 := storage.NewChunkRef(m2, mem, stats2)
+	if _, err := ref2.Load(); err != nil {
+		t.Fatal(err)
+	}
+	if got := stats2.Load(); got.CacheHits != 0 || got.CacheMisses != 0 {
+		t.Errorf("cold source counted cache traffic: %+v", got)
+	}
 }
 
 func TestOversizeEntryNotCached(t *testing.T) {

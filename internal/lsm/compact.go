@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"m4lsm/internal/mergeread"
 	"m4lsm/internal/series"
@@ -27,6 +28,11 @@ func (e *Engine) Compact() error {
 	if e.closed {
 		return fmt.Errorf("lsm: engine closed")
 	}
+	compactStart := time.Now()
+	defer func() {
+		e.met.compactions.Inc()
+		e.met.compactSecs.Observe(time.Since(compactStart).Seconds())
+	}()
 	// Memtable contents ride along: flush first so the merge sees them.
 	if err := e.flushLocked(); err != nil {
 		return err

@@ -22,9 +22,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"m4lsm/internal/cache"
 	"m4lsm/internal/encoding"
+	"m4lsm/internal/obs"
 	"m4lsm/internal/series"
 	"m4lsm/internal/storage"
 	"m4lsm/internal/tsfile"
@@ -63,6 +65,12 @@ type Options struct {
 	// injecting chunk-level read faults at query time only — file opens
 	// and footer parses stay clean. Applied beneath the chunk cache.
 	WrapSource func(src storage.ChunkSource) storage.ChunkSource
+	// Metrics, when set, receives the engine's runtime metrics: write/
+	// flush/compaction counters and latency histograms, WAL size, memtable
+	// and chunk gauges, quarantine state, and chunk-cache effectiveness.
+	// The same registry is shared with the query operators and the HTTP
+	// layer; nil (the default) disables all metric recording at zero cost.
+	Metrics *obs.Registry
 }
 
 func (o *Options) withDefaults() Options {
@@ -117,6 +125,25 @@ type Engine struct {
 	// other queries hold the engine read lock.
 	quarMu      sync.Mutex
 	quarantined map[chunkID]error
+
+	// met holds pre-resolved write-path instruments; every field is
+	// nil-safe, so instrumented code records unconditionally and a nil
+	// Options.Metrics costs one pointer check per site.
+	met engineMetrics
+}
+
+// engineMetrics are the engine's registry instruments (all nil when
+// Options.Metrics is nil).
+type engineMetrics struct {
+	pointsWritten *obs.Counter
+	deletes       *obs.Counter
+	walAppends    *obs.Counter
+	flushes       *obs.Counter
+	flushSeconds  *obs.Histogram
+	flushedPoints *obs.Counter
+	compactions   *obs.Counter
+	compactSecs   *obs.Histogram
+	quarantines   *obs.Counter
 }
 
 // chunkID identifies one immutable chunk across snapshots.
@@ -180,8 +207,59 @@ func Open(opts Options) (*Engine, error) {
 			}
 		}
 	}
+	e.registerMetrics(opts.Metrics)
 	return e, nil
 }
+
+// registerMetrics resolves the engine's write-path instruments and
+// registers the state gauges. Every accessor is nil-safe, so this is a
+// no-op wiring when reg is nil.
+func (e *Engine) registerMetrics(reg *obs.Registry) {
+	e.met = engineMetrics{
+		pointsWritten: reg.Counter("lsm_points_written_total"),
+		deletes:       reg.Counter("lsm_deletes_total"),
+		walAppends:    reg.Counter("lsm_wal_appends_total"),
+		flushes:       reg.Counter("lsm_flushes_total"),
+		flushSeconds:  reg.Histogram("lsm_flush_seconds"),
+		flushedPoints: reg.Counter("lsm_flushed_points_total"),
+		compactions:   reg.Counter("lsm_compactions_total"),
+		compactSecs:   reg.Histogram("lsm_compact_seconds"),
+		quarantines:   reg.Counter("lsm_quarantines_total"),
+	}
+	if reg == nil {
+		return
+	}
+	info := func(f func(Info) float64) func() float64 {
+		return func() float64 { return f(e.Info()) }
+	}
+	reg.GaugeFunc("lsm_memtable_points", info(func(i Info) float64 { return float64(i.MemtablePoints) }))
+	reg.GaugeFunc("lsm_chunks", info(func(i Info) float64 { return float64(i.Chunks) }))
+	reg.GaugeFunc("lsm_files", info(func(i Info) float64 { return float64(i.Files) }))
+	reg.GaugeFunc("lsm_unseq_files", info(func(i Info) float64 { return float64(i.UnseqFiles) }))
+	reg.GaugeFunc("lsm_bad_files", info(func(i Info) float64 { return float64(i.BadFiles) }))
+	reg.GaugeFunc("lsm_quarantined_chunks", info(func(i Info) float64 { return float64(i.QuarantinedChunks) }))
+	reg.GaugeFunc("lsm_delete_tombstones", info(func(i Info) float64 { return float64(i.Deletes) }))
+	reg.GaugeFunc("lsm_wal_bytes", func() float64 {
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		if e.wal == nil || e.closed {
+			return 0
+		}
+		return float64(e.wal.Size())
+	})
+	cs := func(f func(cache.Stats) float64) func() float64 {
+		return func() float64 { return f(e.CacheStats()) }
+	}
+	reg.CounterFunc("chunk_cache_hits_total", cs(func(s cache.Stats) float64 { return float64(s.Hits) }))
+	reg.CounterFunc("chunk_cache_misses_total", cs(func(s cache.Stats) float64 { return float64(s.Misses) }))
+	reg.CounterFunc("chunk_cache_evictions_total", cs(func(s cache.Stats) float64 { return float64(s.Evictions) }))
+	reg.GaugeFunc("chunk_cache_used_bytes", cs(func(s cache.Stats) float64 { return float64(s.UsedBytes) }))
+	reg.GaugeFunc("chunk_cache_entries", cs(func(s cache.Stats) float64 { return float64(s.Entries) }))
+}
+
+// Metrics returns the registry the engine was opened with (nil when
+// observability is off). The query layers share it.
+func (e *Engine) Metrics() *obs.Registry { return e.opts.Metrics }
 
 // step invokes the write-path fault hook, if any.
 func (e *Engine) step(site string) error {
@@ -339,12 +417,14 @@ func (e *Engine) Write(seriesID string, pts ...series.Point) error {
 		if err := e.wal.Append(encodeInsert(seriesID, pts), e.opts.SyncWAL); err != nil {
 			return err
 		}
+		e.met.walAppends.Inc()
 		if err := e.step("wal.appended"); err != nil {
 			return err
 		}
 	}
 	e.mem[seriesID] = append(e.mem[seriesID], pts...)
 	e.memPts += len(pts)
+	e.met.pointsWritten.Add(int64(len(pts)))
 	if len(e.mem[seriesID]) >= e.opts.FlushThreshold {
 		return e.flushLocked()
 	}
@@ -377,6 +457,7 @@ func (e *Engine) Delete(seriesID string, start, end int64) error {
 		if err := e.wal.Append(encodeDelete(d), e.opts.SyncWAL); err != nil {
 			return err
 		}
+		e.met.walAppends.Inc()
 	}
 	if err := e.step("mods.append"); err != nil {
 		return err
@@ -384,6 +465,7 @@ func (e *Engine) Delete(seriesID string, start, end int64) error {
 	if err := e.mods.Append(d); err != nil {
 		return err
 	}
+	e.met.deletes.Inc()
 	e.applyDeleteToMem(d)
 	return nil
 }
@@ -424,6 +506,8 @@ func (e *Engine) flushLocked() error {
 	if e.memPts == 0 {
 		return nil
 	}
+	flushStart := time.Now()
+	flushPts := e.memPts
 	ids := make([]string, 0, len(e.mem))
 	for id, buf := range e.mem {
 		if len(buf) > 0 {
@@ -463,6 +547,9 @@ func (e *Engine) flushLocked() error {
 			return err
 		}
 	}
+	e.met.flushes.Inc()
+	e.met.flushedPoints.Add(int64(flushPts))
+	e.met.flushSeconds.Observe(time.Since(flushStart).Seconds())
 	return nil
 }
 
@@ -555,10 +642,14 @@ func (e *Engine) Snapshot(seriesID string, r series.TimeRange) (*storage.Snapsho
 		}
 		e.quarMu.Lock()
 		id := chunkID{meta.SeriesID, meta.Version}
-		if _, dup := e.quarantined[id]; !dup {
+		_, dup := e.quarantined[id]
+		if !dup {
 			e.quarantined[id] = err
 		}
 		e.quarMu.Unlock()
+		if !dup {
+			e.met.quarantines.Inc()
+		}
 	}
 	e.quarMu.Lock()
 	for _, ce := range e.chunks[seriesID] {

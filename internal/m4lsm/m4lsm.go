@@ -36,8 +36,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"m4lsm/internal/m4"
+	"m4lsm/internal/obs"
 	"m4lsm/internal/series"
 	"m4lsm/internal/stepreg"
 	"m4lsm/internal/storage"
@@ -68,6 +70,10 @@ type Options struct {
 	// the query, reported through the snapshot's Warnings/OnQuarantine,
 	// and the result is computed from the remaining chunks.
 	Strict bool
+	// Metrics, when non-nil, receives the operator's query counters and
+	// latency histograms (labelled op="lsm"). Nil — the default — skips
+	// all instrumentation on the hot path.
+	Metrics *obs.Registry
 }
 
 // Compute runs the M4 representation query with default options.
@@ -92,6 +98,25 @@ func ComputeContext(ctx context.Context, snap *storage.Snapshot, q m4.Query, opt
 	op := &operator{ctx: ctx, snap: snap, q: q, opts: opts, stats: snap.Stats}
 	if op.stats == nil {
 		op.stats = &storage.Stats{}
+	}
+	// Tracing and metrics share one guard: when both are off (the common
+	// case) the only cost below is a handful of nil checks.
+	op.tr = obs.TraceOf(ctx)
+	op.met = obs.NewOperatorMetrics(opts.Metrics, "lsm")
+	var start, phaseStart time.Time
+	var statsBefore storage.Stats
+	instrumented := op.tr != nil || op.met != nil
+	if instrumented {
+		start = time.Now()
+		phaseStart = start
+		statsBefore = op.stats.Load()
+	}
+	phase := func(name string) {
+		if op.tr != nil {
+			now := time.Now()
+			op.tr.Phase(name, now.Sub(phaseStart))
+			phaseStart = now
+		}
 	}
 	// One shared state per chunk: loads and indexes are reused across
 	// spans and representation functions.
@@ -144,14 +169,16 @@ func ComputeContext(ctx context.Context, snap *storage.Snapshot, q m4.Query, opt
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
+	phase("plan")
 
 	firsts := make([]gResult, len(work))
 	runPool(par, len(work), func(t int) error {
 		span := work[t]
-		pt, ok, err := op.computeG(q.Span(span), perSpan[span], gFP)
+		pt, ok, err := op.timedG(span, q.Span(span), perSpan[span], gFP)
 		firsts[t] = gResult{pt: pt, ok: ok, err: err}
 		return err
 	})
+	phase("wave-fp")
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -171,10 +198,11 @@ func ComputeContext(ctx context.Context, snap *storage.Snapshot, q m4.Query, opt
 	rests := make([]gResult, restCount*len(live))
 	runPool(par, len(rests), func(t int) error {
 		span := work[live[t/restCount]]
-		pt, ok, err := op.computeG(q.Span(span), perSpan[span], gLP+gKind(t%restCount))
+		pt, ok, err := op.timedG(span, q.Span(span), perSpan[span], gLP+gKind(t%restCount))
 		rests[t] = gResult{pt: pt, ok: ok, err: err}
 		return err
 	})
+	phase("wave-rest")
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -217,7 +245,28 @@ func ComputeContext(ctx context.Context, snap *storage.Snapshot, q m4.Query, opt
 		}
 	}
 	atomic.AddInt64(&op.stats.ChunksPruned, pruned)
+	if instrumented {
+		phase("assemble")
+		delta := op.stats.Load().Sub(statsBefore)
+		op.met.RecordQuery(time.Since(start), delta.ChunksLoaded, delta.ChunksPruned,
+			delta.TimeBlocksLoaded, delta.PointsDecoded, delta.CacheHits)
+		op.tr.SetCounters(delta.Map())
+	}
 	return out, nil
+}
+
+// timedG wraps computeG with per-task timing when tracing or metrics are
+// armed; otherwise it forwards with zero overhead beyond two nil checks.
+func (op *operator) timedG(spanIdx int, span series.TimeRange, chunks []*chunkState, g gKind) (series.Point, bool, error) {
+	if op.tr == nil && op.met == nil {
+		return op.computeG(span, chunks, g)
+	}
+	t0 := time.Now()
+	pt, ok, err := op.computeG(span, chunks, g)
+	d := time.Since(t0)
+	op.tr.Task(spanIdx, g.String(), d)
+	op.met.RecordTask(d)
+	return pt, ok, err
 }
 
 // runPool executes tasks 0..n-1 across at most par worker goroutines,
@@ -348,6 +397,9 @@ type operator struct {
 	deletes  []storage.Delete // sorted by version
 	deleteIx *storage.DeleteIndex
 	degraded atomic.Bool // a chunk was dropped; the result is partial
+
+	tr  *obs.Trace           // nil unless the query context carries a trace
+	met *obs.OperatorMetrics // nil unless Options.Metrics is set
 }
 
 // reportBad records an unreadable chunk exactly once per query, flagging

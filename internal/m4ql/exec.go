@@ -12,6 +12,7 @@ import (
 	"m4lsm/internal/m4"
 	"m4lsm/internal/m4lsm"
 	"m4lsm/internal/m4udf"
+	"m4lsm/internal/obs"
 	"m4lsm/internal/storage"
 )
 
@@ -32,6 +33,10 @@ type Result struct {
 	// (non-STRICT execution); Warnings describes each degradation.
 	Partial  bool     `json:"partial,omitempty"`
 	Warnings []string `json:"warnings,omitempty"`
+
+	// Trace is the structured execution trace, present when the statement
+	// had a TRACE clause or the context carried an armed trace.
+	Trace *obs.Snapshot `json:"trace,omitempty"`
 }
 
 // Text renders the result as an aligned table for CLI output.
@@ -82,8 +87,12 @@ func Execute(e *lsm.Engine, stmt Statement) (*Result, error) {
 // ExecuteContext runs a parsed statement under a context: cancellation
 // aborts the operator's worker pool and returns ctx.Err().
 func ExecuteContext(ctx context.Context, e *lsm.Engine, stmt Statement) (*Result, error) {
+	tr := obs.TraceOf(ctx)
+	if tr == nil && stmt.Trace {
+		ctx, tr = obs.WithTrace(ctx)
+	}
 	if len(stmt.Aggregates) > 0 {
-		return executeGroupBy(e, stmt)
+		return executeGroupBy(ctx, e, stmt)
 	}
 	snap, err := e.Snapshot(stmt.SeriesID, stmt.Query.Range())
 	if err != nil {
@@ -100,9 +109,9 @@ func ExecuteContext(ctx context.Context, e *lsm.Engine, stmt Statement) (*Result
 	var aggs []m4.Aggregate
 	switch stmt.Operator {
 	case OpUDF:
-		aggs, err = m4udf.ComputeContext(ctx, snap, stmt.Query, m4udf.Options{Parallelism: stmt.Parallelism, Strict: stmt.Strict})
+		aggs, err = m4udf.ComputeContext(ctx, snap, stmt.Query, m4udf.Options{Parallelism: stmt.Parallelism, Strict: stmt.Strict, Metrics: e.Metrics()})
 	default:
-		aggs, err = m4lsm.ComputeContext(ctx, snap, stmt.Query, m4lsm.Options{Parallelism: stmt.Parallelism, Strict: stmt.Strict})
+		aggs, err = m4lsm.ComputeContext(ctx, snap, stmt.Query, m4lsm.Options{Parallelism: stmt.Parallelism, Strict: stmt.Strict, Metrics: e.Metrics()})
 	}
 	if err != nil {
 		return nil, err
@@ -130,6 +139,10 @@ func ExecuteContext(ctx context.Context, e *lsm.Engine, stmt Statement) (*Result
 		}
 		res.Rows = append(res.Rows, row)
 	}
+	if tr != nil {
+		tr.Warn(warnings...)
+		res.Trace = tr.Finish()
+	}
 	return res, nil
 }
 
@@ -138,7 +151,8 @@ func ExecuteContext(ctx context.Context, e *lsm.Engine, stmt Statement) (*Result
 // function sets (min/max/first/last) execute merge-free via the M4-LSM
 // machinery; count/sum/avg scan the merged stream (the USING clause is
 // informational only for this form).
-func executeGroupBy(e *lsm.Engine, stmt Statement) (*Result, error) {
+func executeGroupBy(ctx context.Context, e *lsm.Engine, stmt Statement) (*Result, error) {
+	tr := obs.TraceOf(ctx)
 	snap, err := e.Snapshot(stmt.SeriesID, stmt.Query.Range())
 	if err != nil {
 		return nil, err
@@ -147,6 +161,9 @@ func executeGroupBy(e *lsm.Engine, stmt Statement) (*Result, error) {
 	rows, err := groupby.Compute(snap, stmt.Query, stmt.Aggregates)
 	if err != nil {
 		return nil, err
+	}
+	if tr != nil {
+		tr.Phase("groupby", time.Since(start))
 	}
 	warnings := snap.Warnings.List()
 	res := &Result{
@@ -166,6 +183,11 @@ func executeGroupBy(e *lsm.Engine, stmt Statement) (*Result, error) {
 		row = append(row, float64(r.Span))
 		row = append(row, r.Values...)
 		res.Rows = append(res.Rows, row)
+	}
+	if tr != nil {
+		tr.Warn(warnings...)
+		tr.SetCounters(res.Stats.Map())
+		res.Trace = tr.Finish()
 	}
 	return res, nil
 }

@@ -79,6 +79,9 @@ type Statement struct {
 	// Strict is the STRICT clause: fail the query on any unreadable chunk
 	// instead of degrading to the readable ones with warnings.
 	Strict bool
+	// Trace is the TRACE clause: return a structured execution trace
+	// (phases, per-task timings, I/O counters) with the result.
+	Trace bool
 	// Explain requests the physical plan and cost summary instead of rows.
 	Explain bool
 }
@@ -173,8 +176,8 @@ func Parse(input string) (Statement, error) {
 		return Statement{}, err
 	}
 
-	// Trailing clauses: USING <op>, PARALLEL <n> and STRICT, each at most
-	// once, in any order.
+	// Trailing clauses: USING <op>, PARALLEL <n>, STRICT and TRACE, each
+	// at most once, in any order.
 	var haveUsing, haveParallel bool
 	for {
 		switch {
@@ -183,6 +186,13 @@ func Parse(input string) (Statement, error) {
 				return Statement{}, fmt.Errorf("m4ql: duplicate STRICT clause")
 			}
 			stmt.Strict = true
+			p.next()
+			continue
+		case keywordIs(p.peek(), "trace"):
+			if stmt.Trace {
+				return Statement{}, fmt.Errorf("m4ql: duplicate TRACE clause")
+			}
+			stmt.Trace = true
 			p.next()
 			continue
 		case keywordIs(p.peek(), "using"):

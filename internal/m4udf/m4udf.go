@@ -18,9 +18,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"m4lsm/internal/m4"
 	"m4lsm/internal/mergeread"
+	"m4lsm/internal/obs"
 	"m4lsm/internal/series"
 	"m4lsm/internal/storage"
 )
@@ -35,6 +37,9 @@ type Options struct {
 	// Strict fails the query on any chunk read error instead of dropping
 	// the unreadable chunk (with a snapshot warning) and merging the rest.
 	Strict bool
+	// Metrics, when non-nil, receives the operator's query counters and
+	// latency histograms (labelled op="udf").
+	Metrics *obs.Registry
 }
 
 // Compute runs the M4 representation query against a snapshot by merging
@@ -59,16 +64,62 @@ func ComputeContext(ctx context.Context, snap *storage.Snapshot, q m4.Query, opt
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
+	tr := obs.TraceOf(ctx)
+	met := obs.NewOperatorMetrics(opts.Metrics, "udf")
+	instrumented := tr != nil || met != nil
+	var start, phaseStart time.Time
+	var statsBefore storage.Stats
+	if instrumented {
+		start = time.Now()
+		phaseStart = start
+		if snap.Stats != nil {
+			statsBefore = snap.Stats.Load()
+		}
+	}
+	phase := func(name string) {
+		if tr != nil {
+			now := time.Now()
+			tr.Phase(name, now.Sub(phaseStart))
+			phaseStart = now
+		}
+	}
+	// finish flushes one completed query into the trace and metrics: the
+	// stats delta (I/O the merge paid) plus total latency.
+	finish := func() {
+		if !instrumented {
+			return
+		}
+		phase("scan")
+		var delta storage.Stats
+		if snap.Stats != nil {
+			delta = snap.Stats.Load().Sub(statsBefore)
+		}
+		met.RecordQuery(time.Since(start), delta.ChunksLoaded, delta.ChunksPruned,
+			delta.TimeBlocksLoaded, delta.PointsDecoded, delta.CacheHits)
+		tr.SetCounters(delta.Map())
+	}
 	loaded, err := mergeread.LoadContext(ctx, snap, mergeread.LoadOptions{Parallelism: par, Strict: opts.Strict})
 	if err != nil {
 		return nil, err
 	}
+	phase("load")
 	if par > q.W {
 		par = q.W
 	}
 	if par <= 1 {
+		var t0 time.Time
+		if instrumented {
+			t0 = time.Now()
+		}
 		it := loaded.Iterator(q.Range())
-		return m4.ComputeStream(q, it.Next)
+		out, err := m4.ComputeStream(q, it.Next)
+		if err == nil && instrumented {
+			d := time.Since(t0)
+			tr.Task(0, "scan", d)
+			met.RecordTask(d)
+			finish()
+		}
+		return out, err
 	}
 
 	out := make([]m4.Aggregate, q.W)
@@ -93,7 +144,17 @@ func ComputeContext(ctx context.Context, snap *storage.Snapshot, q m4.Query, opt
 				return
 			}
 			r := series.TimeRange{Start: q.Span(lo).Start, End: q.Span(hi - 1).End}
+			var t0 time.Time
+			if instrumented {
+				t0 = time.Now()
+			}
 			errs[w] = scanSpans(q, out, loaded.Iterator(r).Next)
+			if instrumented {
+				// The block's first span is the task coordinate.
+				d := time.Since(t0)
+				tr.Task(lo, "scan", d)
+				met.RecordTask(d)
+			}
 		}(w)
 	}
 	wg.Wait()
@@ -105,6 +166,7 @@ func ComputeContext(ctx context.Context, snap *storage.Snapshot, q m4.Query, opt
 			return nil, err
 		}
 	}
+	finish()
 	return out, nil
 }
 

@@ -13,7 +13,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"m4lsm/internal/obs"
 	"m4lsm/internal/series"
 	"m4lsm/internal/storage"
 )
@@ -59,11 +61,21 @@ func LoadContext(ctx context.Context, snap *storage.Snapshot, opts LoadOptions) 
 		deletes: storage.NewDeleteIndex(snap.Deletes),
 	}
 	errs := make([]error, len(snap.Chunks))
+	tr := obs.TraceOf(ctx)
 	load := func(i int) {
 		if errs[i] = ctx.Err(); errs[i] != nil {
 			return
 		}
+		var t0 time.Time
+		if tr != nil {
+			t0 = time.Now()
+		}
 		data, err := snap.Chunks[i].Load()
+		if tr != nil {
+			// Chunk index as the task coordinate: a UDF trace shows each
+			// load the merge paid, next to the scan tasks.
+			tr.Task(i, "load", time.Since(t0))
+		}
 		l.chunks[i] = loadedChunk{data: data, ver: snap.Chunks[i].Meta.Version}
 		errs[i] = err
 	}

@@ -1,0 +1,24 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+)
+
+type loggerKey struct{}
+
+// WithLogger stores a request-scoped structured logger on the context.
+// The HTTP layer attaches a logger carrying the request id, so every log
+// line emitted while serving a request is attributable.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, loggerKey{}, l)
+}
+
+// Logger returns the context's logger, falling back to slog.Default so
+// callers can log unconditionally.
+func Logger(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(loggerKey{}).(*slog.Logger); ok {
+		return l
+	}
+	return slog.Default()
+}

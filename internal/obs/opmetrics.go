@@ -1,0 +1,59 @@
+package obs
+
+import "time"
+
+// OperatorMetrics are the per-operator query instruments, labelled by
+// operator ("lsm" or "udf") so both M4 implementations expose the same
+// names and dashboards can compare them directly. All methods are safe on
+// the nil *OperatorMetrics, the fast path when observability is off.
+type OperatorMetrics struct {
+	queries       *Counter
+	querySeconds  *Histogram
+	taskSeconds   *Histogram
+	chunksLoaded  *Counter
+	chunksPruned  *Counter
+	timeBlocks    *Counter
+	pointsDecoded *Counter
+	cacheHits     *Counter
+}
+
+// NewOperatorMetrics resolves the operator's instruments from the
+// registry; a nil registry yields a nil (inert) OperatorMetrics.
+func NewOperatorMetrics(r *Registry, op string) *OperatorMetrics {
+	if r == nil {
+		return nil
+	}
+	l := []string{"op", op}
+	return &OperatorMetrics{
+		queries:       r.Counter("m4_queries_total", l...),
+		querySeconds:  r.Histogram("m4_query_seconds", l...),
+		taskSeconds:   r.Histogram("m4_task_seconds", l...),
+		chunksLoaded:  r.Counter("m4_chunks_loaded_total", l...),
+		chunksPruned:  r.Counter("m4_chunks_pruned_total", l...),
+		timeBlocks:    r.Counter("m4_time_blocks_loaded_total", l...),
+		pointsDecoded: r.Counter("m4_points_decoded_total", l...),
+		cacheHits:     r.Counter("m4_cache_hits_total", l...),
+	}
+}
+
+// RecordTask observes one worker-pool task duration.
+func (m *OperatorMetrics) RecordTask(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.taskSeconds.Observe(d.Seconds())
+}
+
+// RecordQuery accumulates one completed query's latency and I/O counters.
+func (m *OperatorMetrics) RecordQuery(elapsed time.Duration, chunksLoaded, chunksPruned, timeBlocks, pointsDecoded, cacheHits int64) {
+	if m == nil {
+		return
+	}
+	m.queries.Inc()
+	m.querySeconds.Observe(elapsed.Seconds())
+	m.chunksLoaded.Add(chunksLoaded)
+	m.chunksPruned.Add(chunksPruned)
+	m.timeBlocks.Add(timeBlocks)
+	m.pointsDecoded.Add(pointsDecoded)
+	m.cacheHits.Add(cacheHits)
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowEntry is one recorded slow query.
+type SlowEntry struct {
+	When      time.Time `json:"when"`
+	RequestID string    `json:"requestId,omitempty"`
+	Query     string    `json:"query"`
+	ElapsedNs int64     `json:"elapsedNs"`
+	Status    int       `json:"status"`
+	Partial   bool      `json:"partial,omitempty"`
+	Error     string    `json:"error,omitempty"`
+}
+
+// SlowLog is a fixed-capacity ring buffer of queries slower than a
+// threshold, served by /debug/slowlog. Safe for concurrent use; the nil
+// *SlowLog discards everything.
+type SlowLog struct {
+	threshold time.Duration
+
+	mu      sync.Mutex
+	entries []SlowEntry // ring storage
+	next    int         // write position
+	filled  bool
+}
+
+// NewSlowLog builds a slow log keeping the last capacity queries at least
+// threshold slow. threshold 0 records every query (useful for tests and
+// short-lived debugging); capacity <= 0 defaults to 128.
+func NewSlowLog(threshold time.Duration, capacity int) *SlowLog {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &SlowLog{threshold: threshold, entries: make([]SlowEntry, capacity)}
+}
+
+// Threshold returns the minimum duration recorded (0 on nil records all).
+func (s *SlowLog) Threshold() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.threshold
+}
+
+// Record stores e if it is at or above the threshold, overwriting the
+// oldest entry when full.
+func (s *SlowLog) Record(e SlowEntry) {
+	if s == nil || time.Duration(e.ElapsedNs) < s.threshold {
+		return
+	}
+	s.mu.Lock()
+	s.entries[s.next] = e
+	s.next++
+	if s.next == len(s.entries) {
+		s.next = 0
+		s.filled = true
+	}
+	s.mu.Unlock()
+}
+
+// Entries returns the recorded queries, newest first. Nil returns nil.
+func (s *SlowLog) Entries() []SlowEntry {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.next
+	if s.filled {
+		n = len(s.entries)
+	}
+	out := make([]SlowEntry, 0, n)
+	for i := 0; i < n; i++ {
+		// Walk backwards from the most recent write position.
+		pos := s.next - 1 - i
+		if pos < 0 {
+			pos += len(s.entries)
+		}
+		out = append(out, s.entries[pos])
+	}
+	return out
+}

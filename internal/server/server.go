@@ -1,6 +1,7 @@
 // Package server exposes the database over HTTP: m4ql queries as JSON, a
 // PNG line-chart renderer backed by the M4 operator (what a dashboard
-// would call), and introspection endpoints. cmd/m4server wires it to a
+// would call), and introspection endpoints — health, metrics (Prometheus
+// text and JSON), and a slow-query log. cmd/m4server wires it to a
 // database directory.
 package server
 
@@ -9,33 +10,136 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"runtime"
 	"runtime/debug"
 	"strconv"
+	"time"
 
 	"m4lsm/internal/lsm"
 	"m4lsm/internal/m4"
 	"m4lsm/internal/m4lsm"
 	"m4lsm/internal/m4ql"
+	"m4lsm/internal/obs"
 	"m4lsm/internal/viz"
 )
 
-// Handler serves the HTTP API for one engine.
-type Handler struct {
-	engine *lsm.Engine
-	mux    *http.ServeMux
+// Config tunes the handler's observability plumbing; the zero value is
+// production-reasonable.
+type Config struct {
+	// Logger receives request and error logs; nil uses slog.Default().
+	Logger *slog.Logger
+	// SlowQueryThreshold is the minimum /query latency recorded in the
+	// slow-query log (default 100ms; negative records every query).
+	SlowQueryThreshold time.Duration
+	// SlowLogCapacity bounds the slow-query ring buffer (default 128).
+	SlowLogCapacity int
 }
 
-// New builds the HTTP handler.
-func New(e *lsm.Engine) *Handler {
-	h := &Handler{engine: e, mux: http.NewServeMux()}
-	h.mux.HandleFunc("/", h.ui)
-	h.mux.HandleFunc("/healthz", h.health)
-	h.mux.HandleFunc("/series", h.series)
-	h.mux.HandleFunc("/query", h.query)
-	h.mux.HandleFunc("/render", h.render)
+// Handler serves the HTTP API for one engine.
+type Handler struct {
+	engine  *lsm.Engine
+	mux     *http.ServeMux
+	reg     *obs.Registry
+	slowLog *obs.SlowLog
+	log     *slog.Logger
+	start   time.Time
+
+	renderPartial *obs.Counter
+}
+
+// New builds the HTTP handler with default observability settings.
+func New(e *lsm.Engine) *Handler { return NewWith(e, Config{}) }
+
+// NewWith builds the HTTP handler. The metrics registry is the engine's
+// (so /metrics exposes engine, cache and operator series next to the HTTP
+// ones); an engine opened without one gets a handler-local registry, which
+// then carries only HTTP and operator metrics.
+func NewWith(e *lsm.Engine, cfg Config) *Handler {
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	threshold := cfg.SlowQueryThreshold
+	if threshold == 0 {
+		threshold = 100 * time.Millisecond
+	} else if threshold < 0 {
+		threshold = 0
+	}
+	reg := e.Metrics()
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	h := &Handler{
+		engine:        e,
+		mux:           http.NewServeMux(),
+		reg:           reg,
+		slowLog:       obs.NewSlowLog(threshold, cfg.SlowLogCapacity),
+		log:           logger,
+		start:         time.Now(),
+		renderPartial: reg.Counter("render_partial_total"),
+	}
+	h.handle("/", h.ui)
+	h.handle("/healthz", h.health)
+	h.handle("/series", h.series)
+	h.handle("/query", h.query)
+	h.handle("/render", h.render)
+	h.handle("/metrics", h.metrics)
+	h.handle("/varz", h.varz)
+	h.handle("/debug/slowlog", h.slowlog)
 	return h
+}
+
+// Metrics returns the registry the handler reports into.
+func (h *Handler) Metrics() *obs.Registry { return h.reg }
+
+// SlowLog returns the slow-query ring buffer.
+func (h *Handler) SlowLog() *obs.SlowLog { return h.slowLog }
+
+// statusWriter records the response status for metrics and logs.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// handle wraps an endpoint with the request middleware: a request id, a
+// request-scoped logger on the context, per-endpoint request/latency
+// metrics by status class, and debug-level access logging.
+func (h *Handler) handle(pattern string, fn http.HandlerFunc) {
+	h.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqID := obs.NewTraceID()
+		logger := h.log.With("reqID", reqID, "endpoint", pattern)
+		ctx := obs.WithLogger(r.Context(), logger)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		sw.Header().Set("X-Request-ID", reqID)
+		fn(sw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		class := strconv.Itoa(sw.code/100) + "xx"
+		h.reg.Counter("http_requests_total", "endpoint", pattern, "class", class).Inc()
+		h.reg.Histogram("http_request_seconds", "endpoint", pattern).Observe(elapsed.Seconds())
+		level := slog.LevelDebug
+		if sw.code >= 500 {
+			level = slog.LevelWarn
+		}
+		logger.Log(r.Context(), level, "request",
+			"method", r.Method, "status", sw.code, "elapsed", elapsed)
+	})
 }
 
 // ServeHTTP implements http.Handler. Handler panics are recovered: the
@@ -43,7 +147,9 @@ func New(e *lsm.Engine) *Handler {
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			log.Printf("m4server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			h.log.Error("panic serving request",
+				"method", r.Method, "path", r.URL.Path, "panic", rec, "stack", string(debug.Stack()))
+			h.reg.Counter("http_panics_total").Inc()
 			// Best effort: if the handler already wrote a status this
 			// is a no-op on the status line.
 			httpError(w, http.StatusInternalServerError, fmt.Errorf("internal error"))
@@ -59,8 +165,27 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("m4server: write response: %v", err)
+		slog.Default().Warn("m4server: write response", "err", err)
 	}
+}
+
+// buildInfo reports the main module version and VCS revision when the
+// binary was built from a module-aware checkout ("unknown" otherwise).
+func buildInfo() (version, revision string) {
+	version, revision = "unknown", "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return
+	}
+	if bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			revision = s.Value
+		}
+	}
+	return
 }
 
 func (h *Handler) health(w http.ResponseWriter, _ *http.Request) {
@@ -69,12 +194,18 @@ func (h *Handler) health(w http.ResponseWriter, _ *http.Request) {
 	if info.BadFiles > 0 || info.QuarantinedChunks > 0 {
 		status = "degraded"
 	}
+	version, revision := buildInfo()
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"status":            status,
 		"files":             info.Files,
 		"chunks":            info.Chunks,
 		"badFiles":          info.BadFiles,
 		"quarantinedChunks": info.QuarantinedChunks,
+		"uptimeSeconds":     time.Since(h.start).Seconds(),
+		"goVersion":         runtime.Version(),
+		"goroutines":        runtime.NumGoroutine(),
+		"version":           version,
+		"revision":          revision,
 	})
 }
 
@@ -82,9 +213,32 @@ func (h *Handler) series(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, h.engine.SeriesIDs())
 }
 
+// metrics renders the registry in the Prometheus text exposition format.
+func (h *Handler) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := h.reg.WritePrometheus(w); err != nil {
+		slog.Default().Warn("m4server: write metrics", "err", err)
+	}
+}
+
+// varz renders the registry as JSON for humans and scripts.
+func (h *Handler) varz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, h.reg.Snapshot())
+}
+
+// slowlog renders the slow-query ring buffer, newest first.
+func (h *Handler) slowlog(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"thresholdNs": h.slowLog.Threshold().Nanoseconds(),
+		"entries":     h.slowLog.Entries(),
+	})
+}
+
 // query executes an m4ql statement. The statement comes from the "q" URL
-// parameter (GET) or a JSON body {"query": "..."} (POST). The request
-// context cancels the query when the client disconnects.
+// parameter (GET) or a JSON body {"query": "..."} (POST). ?trace=1 (or a
+// TRACE clause in the statement) attaches a structured execution trace to
+// the result. The request context cancels the query when the client
+// disconnects; every execution is considered for the slow-query log.
 func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 	var q string
 	switch r.Method {
@@ -107,25 +261,56 @@ func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("missing query"))
 		return
 	}
-	res, err := m4ql.RunContext(r.Context(), h.engine, q)
+	ctx := r.Context()
+	if traceOn(r.URL.Query().Get("trace")) {
+		ctx, _ = obs.WithTrace(ctx)
+	}
+	start := time.Now()
+	res, err := m4ql.RunContext(ctx, h.engine, q)
+	elapsed := time.Since(start)
+	entry := obs.SlowEntry{
+		When:      start,
+		RequestID: w.Header().Get("X-Request-ID"),
+		Query:     q,
+		ElapsedNs: elapsed.Nanoseconds(),
+	}
 	if err != nil {
+		entry.Error = err.Error()
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			// The client is gone (or the server is shutting down);
 			// nobody reads this body, but close out the exchange.
+			entry.Status = http.StatusServiceUnavailable
+			h.slowLog.Record(entry)
 			httpError(w, http.StatusServiceUnavailable, err)
 			return
 		}
+		entry.Status = http.StatusBadRequest
+		h.slowLog.Record(entry)
 		httpError(w, http.StatusBadRequest, err)
 		return
+	}
+	entry.Status = http.StatusOK
+	entry.Partial = res.Partial
+	h.slowLog.Record(entry)
+	if res.Partial {
+		obs.Logger(ctx).Warn("partial query result", "warnings", len(res.Warnings))
 	}
 	writeJSON(w, http.StatusOK, res)
 }
 
+// traceOn interprets the ?trace= parameter ("1", "true", ... arm tracing).
+func traceOn(v string) bool {
+	on, err := strconv.ParseBool(v)
+	return err == nil && on
+}
+
 // render draws a two-color PNG line chart of a series over a time range.
 // Parameters: series, tqs, tqe, w (pixel columns = M4 spans), h (pixel
-// rows, default 400). Unknown series answer 404. When unreadable chunks
-// were skipped the image still renders and the response carries an
-// X-M4-Partial header.
+// rows, default 400). Unknown series answer 404. When the result is
+// partial — unreadable chunks skipped at snapshot time, or the operator
+// substituted FP for a representation point lost to a mid-query chunk
+// failure — the image still renders, the response carries an X-M4-Partial
+// header counting the warnings, and render_partial_total is incremented.
 func (h *Handler) render(w http.ResponseWriter, r *http.Request) {
 	params := r.URL.Query()
 	seriesID := params.Get("series")
@@ -162,7 +347,7 @@ func (h *Handler) render(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	aggs, err := m4lsm.ComputeContext(r.Context(), snap, q, m4lsm.Options{})
+	aggs, err := m4lsm.ComputeContext(r.Context(), snap, q, m4lsm.Options{Metrics: h.reg})
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			httpError(w, http.StatusServiceUnavailable, err)
@@ -174,12 +359,16 @@ func (h *Handler) render(w http.ResponseWriter, r *http.Request) {
 	reduced := m4.Points(aggs)
 	vp := viz.ViewportFor(reduced, tqs, tqe)
 	canvas := viz.Rasterize(reduced, vp, width, height)
-	if snap.Warnings.Len() > 0 {
-		w.Header().Set("X-M4-Partial", strconv.Itoa(snap.Warnings.Len()))
+	// Warnings collected after ComputeContext cover both snapshot-time
+	// quarantines and operator-level degradation (FP substitution).
+	if n := snap.Warnings.Len(); n > 0 {
+		w.Header().Set("X-M4-Partial", strconv.Itoa(n))
+		h.renderPartial.Inc()
+		obs.Logger(r.Context()).Warn("partial render", "series", seriesID, "warnings", n)
 	}
 	w.Header().Set("Content-Type", "image/png")
 	if err := canvas.WritePNG(w); err != nil {
-		log.Printf("m4server: write png: %v", err)
+		obs.Logger(r.Context()).Warn("write png", "err", err)
 	}
 }
 

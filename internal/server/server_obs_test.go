@@ -1,0 +1,359 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"m4lsm/internal/faultfs"
+	"m4lsm/internal/lsm"
+	"m4lsm/internal/obs"
+	"m4lsm/internal/series"
+	"m4lsm/internal/storage"
+)
+
+const testQuery = "SELECT M4(*) FROM root.s1 WHERE time >= 0 AND time < 5000 GROUP BY SPANS(5) USING LSM"
+
+func urlQuery(q string) string { return strings.ReplaceAll(q, " ", "+") }
+
+func TestHealthEnriched(t *testing.T) {
+	srv := newServer(t)
+	var body map[string]interface{}
+	if code := getJSON(t, srv.URL+"/healthz", &body); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if _, ok := body["uptimeSeconds"].(float64); !ok {
+		t.Errorf("uptimeSeconds missing: %v", body)
+	}
+	if gv, _ := body["goVersion"].(string); !strings.HasPrefix(gv, "go") {
+		t.Errorf("goVersion = %v", body["goVersion"])
+	}
+	if g, _ := body["goroutines"].(float64); g < 1 {
+		t.Errorf("goroutines = %v", body["goroutines"])
+	}
+	for _, key := range []string{"version", "revision"} {
+		if _, ok := body[key].(string); !ok {
+			t.Errorf("%s missing: %v", key, body)
+		}
+	}
+}
+
+// TestHealthDegraded: a quarantined chunk file on disk flips the status
+// while the endpoint keeps answering 200 (liveness is not the same as
+// being fully healthy).
+func TestHealthDegraded(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "000001.seq.tsf.bad"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e, err := lsm.Open(lsm.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(e))
+	t.Cleanup(func() { srv.Close(); e.Close() })
+	var body map[string]interface{}
+	if code := getJSON(t, srv.URL+"/healthz", &body); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if body["status"] != "degraded" || body["badFiles"].(float64) != 1 {
+		t.Errorf("body = %v", body)
+	}
+}
+
+// traceResult is the subset of the query result the trace tests inspect.
+type traceResult struct {
+	Rows  [][]float64 `json:"rows"`
+	Trace *struct {
+		ID          string `json:"id"`
+		ElapsedNs   int64  `json:"elapsedNs"`
+		TaskTotalNs int64  `json:"taskTotalNs"`
+		Phases      []struct {
+			Name string `json:"name"`
+			Ns   int64  `json:"ns"`
+		} `json:"phases"`
+		Tasks []struct {
+			Span int    `json:"span"`
+			G    string `json:"g"`
+			Ns   int64  `json:"ns"`
+		} `json:"tasks"`
+		Counters map[string]int64 `json:"counters"`
+	} `json:"trace"`
+}
+
+func TestQueryTraceParam(t *testing.T) {
+	srv := newServer(t)
+	var res traceResult
+	if code := getJSON(t, srv.URL+"/query?trace=1&q="+urlQuery(testQuery), &res); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	tr := res.Trace
+	if tr == nil {
+		t.Fatal("no trace with ?trace=1")
+	}
+	if tr.ID == "" || tr.ElapsedNs <= 0 {
+		t.Errorf("trace header: %+v", tr)
+	}
+	if len(tr.Tasks) != 5*4 {
+		t.Errorf("tasks = %d, want 20 (5 spans x 4 functions)", len(tr.Tasks))
+	}
+	sum := int64(0)
+	for _, task := range tr.Tasks {
+		sum += task.Ns
+	}
+	if sum != tr.TaskTotalNs {
+		t.Errorf("task sum %d != taskTotalNs %d", sum, tr.TaskTotalNs)
+	}
+	if len(tr.Phases) == 0 {
+		t.Error("no phases")
+	}
+	if _, ok := tr.Counters["chunksLoaded"]; !ok {
+		t.Errorf("counters = %v", tr.Counters)
+	}
+	// Without the parameter the response carries no trace.
+	var plain traceResult
+	if code := getJSON(t, srv.URL+"/query?q="+urlQuery(testQuery), &plain); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if plain.Trace != nil {
+		t.Error("trace present without ?trace=1")
+	}
+}
+
+func TestQueryRequestID(t *testing.T) {
+	srv := newServer(t)
+	resp, err := http.Get(srv.URL + "/query?q=" + urlQuery(testQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Error("no X-Request-ID header")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := newServer(t)
+	// Drive the layers the exposition must cover: operator + HTTP via a
+	// query, engine counters via the flush that newServer already did.
+	if code := getJSON(t, srv.URL+"/query?q="+urlQuery(testQuery), nil); code != 200 {
+		t.Fatalf("query status %d", code)
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content-type %q", ct)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	body := string(b)
+	for _, want := range []string{
+		"# TYPE lsm_flushes_total counter", // engine layer
+		"lsm_points_written_total 500",
+		"lsm_chunks ",                                          // engine gauge
+		"chunk_cache_hits_total",                               // cache layer (zero, but exposed)
+		`m4_queries_total{op="lsm"} 1`,                         // operator layer
+		`m4_query_seconds_count{op="lsm"} 1`,                   // operator histogram
+		`http_requests_total{endpoint="/query",class="2xx"} 1`, // HTTP layer
+		`http_request_seconds_bucket{endpoint="/query",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestVarz(t *testing.T) {
+	srv := newServer(t)
+	if code := getJSON(t, srv.URL+"/query?q="+urlQuery(testQuery), nil); code != 200 {
+		t.Fatalf("query status %d", code)
+	}
+	var vars map[string]interface{}
+	if code := getJSON(t, srv.URL+"/varz", &vars); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if v, ok := vars["lsm_flushes_total"].(float64); !ok || v != 1 {
+		t.Errorf("lsm_flushes_total = %v", vars["lsm_flushes_total"])
+	}
+	hist, ok := vars[`m4_query_seconds{op="lsm"}`].(map[string]interface{})
+	if !ok {
+		t.Fatalf("m4_query_seconds missing: have %d keys", len(vars))
+	}
+	if hist["count"].(float64) != 1 {
+		t.Errorf("histogram = %v", hist)
+	}
+}
+
+func TestSlowlog(t *testing.T) {
+	e, err := lsm.Open(lsm.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		e.Write("root.s1", series.Point{T: int64(i * 10), V: float64(i)})
+	}
+	e.Flush()
+	// Negative threshold records every query.
+	srv := httptest.NewServer(NewWith(e, Config{SlowQueryThreshold: -1}))
+	t.Cleanup(func() { srv.Close(); e.Close() })
+
+	q := "SELECT M4(*) FROM root.s1 WHERE time >= 0 AND time < 1000 GROUP BY SPANS(2)"
+	if code := getJSON(t, srv.URL+"/query?q="+urlQuery(q), nil); code != 200 {
+		t.Fatalf("query status %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/query?q=SELECT+garbage", nil); code != 400 {
+		t.Fatalf("bad query status %d", code)
+	}
+	var log struct {
+		ThresholdNs int64           `json:"thresholdNs"`
+		Entries     []obs.SlowEntry `json:"entries"`
+	}
+	if code := getJSON(t, srv.URL+"/debug/slowlog", &log); code != 200 {
+		t.Fatalf("slowlog status %d", code)
+	}
+	if len(log.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(log.Entries))
+	}
+	// Newest first: the failed query, then the good one.
+	if log.Entries[0].Status != 400 || log.Entries[0].Error == "" {
+		t.Errorf("entry[0] = %+v", log.Entries[0])
+	}
+	if log.Entries[1].Status != 200 || log.Entries[1].Query != q {
+		t.Errorf("entry[1] = %+v", log.Entries[1])
+	}
+	if log.Entries[1].RequestID == "" || log.Entries[1].ElapsedNs <= 0 {
+		t.Errorf("entry[1] missing request id or elapsed: %+v", log.Entries[1])
+	}
+}
+
+// TestQueryCancelled: a request whose context is already cancelled answers
+// 503, the signal that the client went away rather than sent a bad query.
+func TestQueryCancelled(t *testing.T) {
+	e, err := lsm.Open(lsm.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	for i := 0; i < 100; i++ {
+		e.Write("root.s1", series.Point{T: int64(i * 10), V: float64(i)})
+	}
+	e.Flush()
+	h := New(e)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodGet,
+		"/query?q="+urlQuery("SELECT M4(*) FROM root.s1 WHERE time >= 0 AND time < 1000 GROUP BY SPANS(2)"), nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req.WithContext(ctx))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", rr.Code)
+	}
+}
+
+// TestRenderPartial: when chunk reads fail mid-render, the chart still
+// renders from whatever survived, the response carries X-M4-Partial, and
+// render_partial_total counts it.
+func TestRenderPartial(t *testing.T) {
+	dir := t.TempDir()
+	// Build the store with a clean engine so the data lands on disk.
+	e0, err := lsm.Open(lsm.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		e0.Write("root.s1", series.Point{T: int64(i * 10), V: float64(i % 50)})
+	}
+	if err := e0.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen with every chunk read failing: the operator drops all chunks
+	// and degrades.
+	inj := faultfs.NewInjector(faultfs.Config{Seed: 1, ErrRate: 1})
+	e, err := lsm.Open(lsm.Options{
+		Dir:     dir,
+		Metrics: obs.NewRegistry(),
+		WrapSource: func(src storage.ChunkSource) storage.ChunkSource {
+			return faultfs.Wrap(src, inj)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(e))
+	t.Cleanup(func() { srv.Close(); e.Close() })
+
+	resp, err := http.Get(srv.URL + "/render?series=root.s1&tqs=0&tqe=3000&w=50&h=40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("X-M4-Partial") == "" {
+		t.Fatal("no X-M4-Partial header on degraded render")
+	}
+	var vars map[string]interface{}
+	if code := getJSON(t, srv.URL+"/varz", &vars); code != 200 {
+		t.Fatalf("varz status %d", code)
+	}
+	if v, _ := vars["render_partial_total"].(float64); v != 1 {
+		t.Errorf("render_partial_total = %v", vars["render_partial_total"])
+	}
+}
+
+// TestStatusClasses: error responses land in their status class counters.
+func TestStatusClasses(t *testing.T) {
+	srv := newServer(t)
+	getJSON(t, srv.URL+"/query?q=SELECT+garbage", nil)              // 400
+	getJSON(t, srv.URL+"/render?series=nope&tqs=0&tqe=10&w=2", nil) // 404
+	getJSON(t, srv.URL+"/query?q="+urlQuery(testQuery), nil)        // 200
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	body := string(b)
+	for _, want := range []string{
+		`http_requests_total{endpoint="/query",class="4xx"} 1`,
+		`http_requests_total{endpoint="/render",class="4xx"} 1`,
+		`http_requests_total{endpoint="/query",class="2xx"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestVarzIsValidJSON guards the exposition against marshalling surprises
+// (e.g. histogram NaN sums) by decoding the full document.
+func TestVarzIsValidJSON(t *testing.T) {
+	srv := newServer(t)
+	getJSON(t, srv.URL+"/query?q="+urlQuery(testQuery), nil)
+	resp, err := http.Get(srv.URL + "/varz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("varz not valid JSON: %v", err)
+	}
+	if len(v) == 0 {
+		t.Error("varz empty")
+	}
+}

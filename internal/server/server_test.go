@@ -10,12 +10,15 @@ import (
 	"testing"
 
 	"m4lsm/internal/lsm"
+	"m4lsm/internal/obs"
 	"m4lsm/internal/series"
 )
 
 func newServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	e, err := lsm.Open(lsm.Options{Dir: t.TempDir()})
+	// A registry on the engine makes /metrics cover the storage layer too,
+	// matching how cmd/m4server wires things.
+	e, err := lsm.Open(lsm.Options{Dir: t.TempDir(), Metrics: obs.NewRegistry()})
 	if err != nil {
 		t.Fatal(err)
 	}

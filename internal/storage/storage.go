@@ -109,6 +109,18 @@ type ChunkSource interface {
 	ReadTimes(meta ChunkMeta) ([]int64, error)
 }
 
+// CachedSource is the optional interface of chunk sources that can report
+// whether a read was served from memory (package cache implements it).
+// ChunkRef uses it to attribute cache hits and misses to the query's
+// Stats, so traces and results show how much I/O the cache absorbed.
+type CachedSource interface {
+	ChunkSource
+	// ReadChunkCached is ReadChunk plus a served-from-cache flag.
+	ReadChunkCached(meta ChunkMeta) (data series.Series, hit bool, err error)
+	// ReadTimesCached is ReadTimes plus a served-from-cache flag.
+	ReadTimesCached(meta ChunkMeta) (ts []int64, hit bool, err error)
+}
+
 // ChunkRef binds chunk metadata to its source and to the snapshot's cost
 // counters. Operators load chunk contents exclusively through ChunkRef so
 // every experiment accounts cost identically.
@@ -125,7 +137,17 @@ func NewChunkRef(meta ChunkMeta, src ChunkSource, stats *Stats) ChunkRef {
 
 // Load reads and decodes the full chunk.
 func (c ChunkRef) Load() (series.Series, error) {
-	data, err := c.source.ReadChunk(c.Meta)
+	var (
+		data series.Series
+		hit  bool
+		err  error
+	)
+	if cs, ok := c.source.(CachedSource); ok {
+		data, hit, err = cs.ReadChunkCached(c.Meta)
+		c.countCache(hit)
+	} else {
+		data, err = c.source.ReadChunk(c.Meta)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("load %v: %w", c.Meta, err)
 	}
@@ -139,7 +161,17 @@ func (c ChunkRef) Load() (series.Series, error) {
 
 // LoadTimes reads and decodes only the timestamp block.
 func (c ChunkRef) LoadTimes() ([]int64, error) {
-	ts, err := c.source.ReadTimes(c.Meta)
+	var (
+		ts  []int64
+		hit bool
+		err error
+	)
+	if cs, ok := c.source.(CachedSource); ok {
+		ts, hit, err = cs.ReadTimesCached(c.Meta)
+		c.countCache(hit)
+	} else {
+		ts, err = c.source.ReadTimes(c.Meta)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("load times %v: %w", c.Meta, err)
 	}
@@ -149,6 +181,20 @@ func (c ChunkRef) LoadTimes() ([]int64, error) {
 		atomic.AddInt64(&c.stats.PointsDecoded, c.Meta.Count)
 	}
 	return ts, nil
+}
+
+// countCache attributes one cached-source read to the query's stats.
+// Hits and misses are only counted when a cache sits under the ref, so
+// both stay zero on the paper's cold configuration.
+func (c ChunkRef) countCache(hit bool) {
+	if c.stats == nil {
+		return
+	}
+	if hit {
+		atomic.AddInt64(&c.stats.CacheHits, 1)
+	} else {
+		atomic.AddInt64(&c.stats.CacheMisses, 1)
+	}
 }
 
 // Snapshot is the immutable view of one series a query executes against:
@@ -202,14 +248,49 @@ type Stats struct {
 	ExistProbes     int64 // Table 1 case a: existence checks for BP/TP verification
 	BoundaryProbes  int64 // Table 1 case b: closest-point probes for FP/LP recalculation
 	ChunksPruned    int64 // chunks answered purely from metadata
+
+	// Cache attribution (zero when the engine runs without a chunk cache):
+	// how many of the loads above were served from memory vs. paid I/O.
+	CacheHits   int64
+	CacheMisses int64
 }
 
 // fields lists every counter address, shared by the atomic accessors.
-func (s *Stats) fields() [9]*int64 {
-	return [9]*int64{
+func (s *Stats) fields() [11]*int64 {
+	return [11]*int64{
 		&s.ChunksLoaded, &s.TimeBlocksLoaded, &s.BytesRead, &s.PointsDecoded,
 		&s.CandidateRounds, &s.IndexProbes, &s.ExistProbes, &s.BoundaryProbes,
-		&s.ChunksPruned,
+		&s.ChunksPruned, &s.CacheHits, &s.CacheMisses,
+	}
+}
+
+// Sub returns s - o field-wise with plain reads: both sides must be
+// settled copies (e.g. from Load). Observability code uses it to compute
+// per-phase deltas.
+func (s Stats) Sub(o Stats) Stats {
+	out := s
+	dst, src := out.fields(), o.fields()
+	for i, f := range dst {
+		*f -= *src[i]
+	}
+	return out
+}
+
+// Map returns the counters keyed by stable lowerCamel names, the form
+// traces and /varz expose. The receiver must be a settled copy (from Load).
+func (s Stats) Map() map[string]int64 {
+	return map[string]int64{
+		"chunksLoaded":     s.ChunksLoaded,
+		"timeBlocksLoaded": s.TimeBlocksLoaded,
+		"bytesRead":        s.BytesRead,
+		"pointsDecoded":    s.PointsDecoded,
+		"candidateRounds":  s.CandidateRounds,
+		"indexProbes":      s.IndexProbes,
+		"existProbes":      s.ExistProbes,
+		"boundaryProbes":   s.BoundaryProbes,
+		"chunksPruned":     s.ChunksPruned,
+		"cacheHits":        s.CacheHits,
+		"cacheMisses":      s.CacheMisses,
 	}
 }
 

@@ -109,5 +109,15 @@ func (l *RecordLog) Reset() error {
 // Path returns the log file path.
 func (l *RecordLog) Path() string { return l.path }
 
+// Size returns the log's current on-disk size in bytes (0 on stat
+// failure). The engine exposes it as the wal_bytes gauge.
+func (l *RecordLog) Size() int64 {
+	fi, err := l.f.Stat()
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
 // Close releases the file handle.
 func (l *RecordLog) Close() error { return l.f.Close() }

@@ -67,6 +67,8 @@ type Stats struct {
 	ExistProbes      int64 // existence checks verifying BP/TP candidates (Table 1 case a)
 	BoundaryProbes   int64 // closest-point probes recalculating FP/LP under deletes (Table 1 case b)
 	ChunksPruned     int64 // chunks answered purely from metadata
+	CacheHits        int64 // loads served from the chunk cache (zero without WithChunkCache)
+	CacheMisses      int64 // cached-source loads that paid I/O
 }
 
 // Operator selects the physical M4 operator.
@@ -263,9 +265,9 @@ func (db *DB) M4Context(ctx context.Context, seriesID string, tqs, tqe int64, w 
 	var aggs []m4.Aggregate
 	switch opts.Operator {
 	case OperatorLSM:
-		aggs, err = intm4lsm.ComputeContext(ctx, snap, q, intm4lsm.Options{Parallelism: opts.Parallelism, Strict: opts.StrictReads})
+		aggs, err = intm4lsm.ComputeContext(ctx, snap, q, intm4lsm.Options{Parallelism: opts.Parallelism, Strict: opts.StrictReads, Metrics: db.engine.Metrics()})
 	case OperatorUDF:
-		aggs, err = m4udf.ComputeContext(ctx, snap, q, m4udf.Options{Parallelism: opts.Parallelism, Strict: opts.StrictReads})
+		aggs, err = m4udf.ComputeContext(ctx, snap, q, m4udf.Options{Parallelism: opts.Parallelism, Strict: opts.StrictReads, Metrics: db.engine.Metrics()})
 	default:
 		return nil, fmt.Errorf("m4lsm: unknown operator %d", opts.Operator)
 	}
@@ -367,5 +369,7 @@ func publicStats(s storage.Stats) Stats {
 		ExistProbes:      s.ExistProbes,
 		BoundaryProbes:   s.BoundaryProbes,
 		ChunksPruned:     s.ChunksPruned,
+		CacheHits:        s.CacheHits,
+		CacheMisses:      s.CacheMisses,
 	}
 }

@@ -1,0 +1,67 @@
+// Observability-overhead benchmarks (DESIGN.md §9). The instrumentation
+// contract is that a query with no registry and no armed trace pays only a
+// couple of nil checks — BenchmarkM4LSMObs/off must stay within ~2% of the
+// pre-instrumentation baseline, and the numbers land in BENCH_obs.json.
+package m4lsm
+
+import (
+	"context"
+	"testing"
+
+	"m4lsm/internal/encoding"
+	"m4lsm/internal/m4"
+	intm4lsm "m4lsm/internal/m4lsm"
+	"m4lsm/internal/obs"
+	"m4lsm/internal/workload"
+)
+
+// BenchmarkM4LSMObs runs the parallel-sweep state (w=1000, overlap and
+// deletes) in three modes: instrumentation off, metrics registry only, and
+// metrics plus a per-query trace.
+func BenchmarkM4LSMObs(b *testing.B) {
+	nChunks := benchPoints / benchChunkSize
+	db := buildBenchDB(b, workload.KOB(), benchPoints, benchChunkSize, 0.3,
+		workload.DeleteOptions{Count: nChunks / 5, RangeMillis: 60_000, Seed: 7},
+		encoding.CodecGorilla)
+	q := m4.Query{Tqs: db.tqs, Tqe: db.tqe, W: 1000}
+
+	run := func(b *testing.B, ctx context.Context, opts intm4lsm.Options) {
+		b.Helper()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			snap, err := db.engine.Snapshot(db.id, q.Range())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := intm4lsm.ComputeContext(ctx, snap, q, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("off", func(b *testing.B) {
+		run(b, context.Background(), intm4lsm.Options{})
+	})
+	b.Run("metrics", func(b *testing.B) {
+		run(b, context.Background(), intm4lsm.Options{Metrics: obs.NewRegistry()})
+	})
+	b.Run("metrics+trace", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx, tr := obs.WithTrace(context.Background())
+			snap, err := db.engine.Snapshot(db.id, q.Range())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := intm4lsm.ComputeContext(ctx, snap, q, intm4lsm.Options{Metrics: reg}); err != nil {
+				b.Fatal(err)
+			}
+			if snap := tr.Finish(); len(snap.Tasks) == 0 {
+				b.Fatal("trace recorded no tasks")
+			}
+		}
+	})
+}
