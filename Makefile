@@ -1,7 +1,11 @@
 GO ?= go
 FUZZTIME ?= 10s
+# COVER_FLOOR is the minimum total statement coverage `make cover` accepts.
+# Measured headroom: the suite sits around 75% with the cmd/ mains and
+# examples/ at 0%, so 70 fails on a real regression, not on noise.
+COVER_FLOOR ?= 70
 
-.PHONY: build test race vet lint check bench bench-parallel bench-obs fuzz torture profile
+.PHONY: build test race race-short vet lint check cover difftest bench bench-parallel bench-shards bench-obs fuzz torture profile
 
 build:
 	$(GO) build ./...
@@ -14,6 +18,30 @@ vet:
 
 race:
 	$(GO) test -race ./...
+
+# race-short is the check-time race pass: -short trims the randomized
+# sweeps (the 1000-case differential harness runs 200 cases, the m4lsm
+# soak is skipped) so the gate stays minutes, not tens of minutes. The
+# full-scale versions run in plain `make test` and `make race`.
+race-short:
+	$(GO) test -race -short ./...
+
+# difftest runs the differential correctness harness on its own at full
+# scale: 1000 seed-reproducible random workloads, each answered by
+# M4-LSM, M4-UDF and a naive oracle, plus the pixel-equivalence check.
+difftest:
+	$(GO) test -count=1 -run 'TestDifferential|TestGoldenPixelEquivalence' ./internal/difftest
+
+# cover enforces a total statement-coverage floor (COVER_FLOOR, percent)
+# over the short-mode suite; the profile lands in coverage.out for
+# `go tool cover -html=coverage.out`.
+cover:
+	$(GO) test -short -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	if ! awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(t+0 >= f+0) }'; then \
+		echo "cover: total coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; \
+	fi
 
 # torture runs the crash-recovery suite on its own: every write-path step
 # site gets a simulated kill, recovery is checked against the oracle.
@@ -42,9 +70,10 @@ lint:
 	fi
 
 # check is the standard gate for this repo: static analysis, the logging
-# lint, the full suite (including the crash-recovery torture) under the
-# race detector, and a short fuzz pass over the recovery parsers.
-check: vet lint race
+# lint, the suite (including the crash-recovery torture and the short-mode
+# differential harness) under the race detector, the coverage floor, and a
+# short fuzz pass over the recovery parsers.
+check: vet lint race-short cover
 	$(MAKE) fuzz FUZZTIME=3s
 
 bench:
@@ -53,6 +82,10 @@ bench:
 # bench-parallel regenerates the worker-scaling numbers of BENCH_parallel.json.
 bench-parallel:
 	$(GO) test -run '^$$' -bench 'BenchmarkM4LSMParallel|BenchmarkM4UDFParallel' -benchtime 30x .
+
+# bench-shards regenerates the sharding sweep of BENCH_shard.json.
+bench-shards:
+	$(GO) run ./cmd/m4bench -exp shards -scale 0.05 -series 16 -reps 10
 
 # bench-obs regenerates the observability-overhead numbers of BENCH_obs.json
 # (instrumentation off vs metrics vs metrics+trace).

@@ -38,6 +38,7 @@ func main() {
 		markdown = flag.Bool("markdown", false, "emit Markdown tables instead of text")
 		datasets = flag.String("datasets", "", "comma-separated dataset filter (e.g. MF03,KOB); empty = all")
 		faults   = flag.Bool("faults", false, "shorthand for -exp faults (deterministic fault-injection sweep)")
+		nSeries  = flag.Int("series", 16, "series count for the shards experiment (concurrent writers / wildcard query width)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -82,7 +83,7 @@ func main() {
 		names = exper.ExpNames()
 	}
 	for _, name := range names {
-		if err := run(os.Stdout, name, cfg, *markdown); err != nil {
+		if err := run(os.Stdout, name, cfg, *markdown, *nSeries); err != nil {
 			fmt.Fprintf(os.Stderr, "m4bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -107,8 +108,15 @@ func writeHeapProfile(path string) {
 	}
 }
 
-func run(out io.Writer, name string, cfg exper.Config, markdown bool) error {
+func run(out io.Writer, name string, cfg exper.Config, markdown bool, nSeries int) error {
 	switch name {
+	case "shards":
+		ms, err := exper.RunShards(cfg, nSeries)
+		if err != nil {
+			return err
+		}
+		exper.WriteShards(out, exper.ShardsTitle(nSeries), ms)
+		return nil
 	case "table2":
 		exper.WriteTable2(out, exper.RunTable2(cfg), cfg.Scale)
 		return nil

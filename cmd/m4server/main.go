@@ -6,7 +6,10 @@
 //	GET  /series                          stored series ids
 //	GET  /query?q=<m4ql>[&trace=1]        run an M4 query, JSON result
 //	POST /query {"query": "<m4ql>"}       same, query in the body
-//	GET  /render?series=&tqs=&tqe=&w=&h=  two-color PNG line chart
+//	GET  /render?series=&tqs=&tqe=&w=&h=  two-color PNG line chart; series
+//	                                      accepts a comma list or a prefix
+//	                                      wildcard ("root.*") overlaid on
+//	                                      one canvas
 //	GET  /metrics                         Prometheus text exposition
 //	GET  /varz                            the same registry as JSON
 //	GET  /debug/slowlog                   slow-query ring buffer
@@ -53,6 +56,7 @@ func main() {
 		drainWait = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 		slowQuery = flag.Duration("slow-query", 100*time.Millisecond, "minimum /query latency recorded in /debug/slowlog")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		shards    = flag.Int("shards", 1, "engine shard count (series are hash-partitioned for concurrent writes and flushes)")
 	)
 	flag.Parse()
 
@@ -65,7 +69,7 @@ func main() {
 	slog.SetDefault(logger)
 
 	reg := obs.NewRegistry()
-	engine, err := lsm.Open(lsm.Options{Dir: *dir, Metrics: reg})
+	engine, err := lsm.Open(lsm.Options{Dir: *dir, Metrics: reg, NumShards: *shards})
 	if err != nil {
 		logger.Error("open engine", "dir", *dir, "err", err)
 		os.Exit(1)

@@ -1,0 +1,329 @@
+// Package difftest is a differential correctness harness for the storage
+// engine and both M4 operators: a seed-reproducible random workload runs
+// against the real engine and against a naive in-memory oracle (a
+// map[timestamp]value per series — latest write wins, deletes remove the
+// range), then every M4 query shape is answered three ways — M4-LSM,
+// M4-UDF, and the reference scan over the oracle's merged series — and the
+// answers must agree span by span. A failing case prints its seed, so one
+// integer reproduces it.
+//
+// The generator deliberately concentrates probability mass where the
+// engine's invariants live: out-of-order writes, same-timestamp overwrites
+// (version resolution), range deletes over flushed and unflushed data, and
+// interleaved Flush / Compact / Close-and-reopen (WAL replay, shard-tagged
+// records, reopening with a different shard count).
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"m4lsm/internal/lsm"
+	"m4lsm/internal/m4"
+	"m4lsm/internal/m4lsm"
+	"m4lsm/internal/m4udf"
+	"m4lsm/internal/series"
+	"m4lsm/internal/storage"
+	"m4lsm/internal/viz"
+)
+
+// Oracle is the naive model: per series, the latest value at each
+// timestamp after all writes and deletes.
+type Oracle map[string]map[int64]float64
+
+// write applies a latest-wins insert.
+func (o Oracle) write(id string, p series.Point) {
+	m := o[id]
+	if m == nil {
+		m = map[int64]float64{}
+		o[id] = m
+	}
+	m[p.T] = p.V
+}
+
+// delete removes the closed range [start, end].
+func (o Oracle) delete(id string, start, end int64) {
+	for t := range o[id] {
+		if t >= start && t <= end {
+			delete(o[id], t)
+		}
+	}
+}
+
+// Merged returns the oracle's view of a series, sorted by time.
+func (o Oracle) Merged(id string) series.Series {
+	m := o[id]
+	out := make(series.Series, 0, len(m))
+	for t, v := range m {
+		out = append(out, series.Point{T: t, V: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}
+
+// SeriesIDs lists the oracle's series, sorted.
+func (o Oracle) SeriesIDs() []string {
+	ids := make([]string, 0, len(o))
+	for id := range o {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Case is one generated workload: the engine directory stays on disk for
+// the case's lifetime so Close-and-reopen steps can replay the WAL.
+type Case struct {
+	Seed   int64
+	Shards int
+	Oracle Oracle
+
+	engine *lsm.Engine
+	dir    string
+	ids    []string
+	tMax   int64
+}
+
+// opKind is the per-step action distribution.
+const (
+	opWrite = iota
+	opOverwrite
+	opDelete
+	opFlush
+	opCompact
+	opReopen
+)
+
+// Generate builds a random workload from seed and applies it to a fresh
+// engine in dir and to the oracle. Steps interleave out-of-order writes,
+// same-timestamp overwrites, range deletes, flushes, compactions and full
+// close-and-reopen cycles (reopening sometimes changes the shard count, so
+// shard-tagged WAL replay across resharding is exercised constantly).
+func Generate(seed int64, dir string) (*Case, error) {
+	rng := rand.New(rand.NewSource(seed))
+	c := &Case{
+		Seed:   seed,
+		Shards: 1 + rng.Intn(4),
+		Oracle: Oracle{},
+		dir:    dir,
+		tMax:   int64(200 + rng.Intn(800)),
+	}
+	nSeries := 1 + rng.Intn(4)
+	for s := 0; s < nSeries; s++ {
+		c.ids = append(c.ids, fmt.Sprintf("root.d%d", s))
+	}
+	if err := c.open(); err != nil {
+		return nil, err
+	}
+
+	steps := 40 + rng.Intn(60)
+	for i := 0; i < steps; i++ {
+		if err := c.step(rng); err != nil {
+			c.engine.Close()
+			return nil, fmt.Errorf("seed %d step %d: %w", seed, i, err)
+		}
+	}
+	return c, nil
+}
+
+func (c *Case) open() error {
+	e, err := lsm.Open(lsm.Options{
+		Dir:            c.dir,
+		FlushThreshold: 16,
+		NumShards:      c.Shards,
+	})
+	if err != nil {
+		return err
+	}
+	c.engine = e
+	return nil
+}
+
+// Close releases the engine.
+func (c *Case) Close() error { return c.engine.Close() }
+
+func (c *Case) step(rng *rand.Rand) error {
+	id := c.ids[rng.Intn(len(c.ids))]
+	switch pick(rng, []int{40, 15, 15, 12, 8, 10}) {
+	case opWrite:
+		// A burst of out-of-order writes.
+		n := 1 + rng.Intn(12)
+		pts := make([]series.Point, n)
+		for i := range pts {
+			pts[i] = series.Point{T: rng.Int63n(c.tMax), V: float64(rng.Intn(1000)) / 10}
+		}
+		if err := c.engine.Write(id, pts...); err != nil {
+			return err
+		}
+		for _, p := range pts {
+			c.Oracle.write(id, p)
+		}
+	case opOverwrite:
+		// Rewrite timestamps the series already holds: latest wins.
+		existing := c.Oracle.Merged(id)
+		if len(existing) == 0 {
+			return nil
+		}
+		n := 1 + rng.Intn(4)
+		pts := make([]series.Point, 0, n)
+		for i := 0; i < n; i++ {
+			t := existing[rng.Intn(len(existing))].T
+			pts = append(pts, series.Point{T: t, V: float64(rng.Intn(1000)) / 10})
+		}
+		if err := c.engine.Write(id, pts...); err != nil {
+			return err
+		}
+		for _, p := range pts {
+			c.Oracle.write(id, p)
+		}
+	case opDelete:
+		start := rng.Int63n(c.tMax)
+		end := start + rng.Int63n(c.tMax/4+1)
+		if err := c.engine.Delete(id, start, end); err != nil {
+			return err
+		}
+		c.Oracle.delete(id, start, end)
+	case opFlush:
+		return c.engine.Flush()
+	case opCompact:
+		return c.engine.Compact()
+	case opReopen:
+		if err := c.engine.Close(); err != nil {
+			return err
+		}
+		// Half the reopens change the shard count: the WAL's shard tags
+		// must not pin records to a layout.
+		if rng.Intn(2) == 0 {
+			c.Shards = 1 + rng.Intn(4)
+		}
+		return c.open()
+	}
+	return nil
+}
+
+// pick draws an index from a weight table.
+func pick(rng *rand.Rand, weights []int) int {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	n := rng.Intn(total)
+	for i, w := range weights {
+		if n < w {
+			return i
+		}
+		n -= w
+	}
+	return len(weights) - 1
+}
+
+// Check answers several M4 query shapes three ways per series and fails on
+// the first disagreement. The (tqs, tqe, w) shapes cover the full range, a
+// strict subrange, a range extending past the data, and w both smaller and
+// larger than the point count. It also cross-checks the batched multi-series
+// path against per-series queries, and rasterizes the M4 reduction against
+// the oracle's full merged series at a small canvas to assert the paper's
+// pixel-equivalence guarantee.
+func (c *Case) Check() error {
+	queries := []m4.Query{
+		{Tqs: 0, Tqe: c.tMax, W: 7},
+		{Tqs: 0, Tqe: c.tMax, W: 31},
+		{Tqs: c.tMax / 4, Tqe: c.tMax / 2, W: 5},
+		{Tqs: c.tMax / 3, Tqe: 2 * c.tMax, W: 13},
+		{Tqs: 0, Tqe: c.tMax, W: int(c.tMax) * 2}, // w > range: zero-width spans
+	}
+	for _, q := range queries {
+		if err := q.Validate(); err != nil {
+			return fmt.Errorf("seed %d: bad generated query %+v: %w", c.Seed, q, err)
+		}
+		snaps := make([]*storage.Snapshot, len(c.ids))
+		for i, id := range c.ids {
+			snap, err := c.engine.Snapshot(id, q.Range())
+			if err != nil {
+				return fmt.Errorf("seed %d: snapshot %s: %w", c.Seed, id, err)
+			}
+			snaps[i] = snap
+		}
+		multi, err := m4lsm.ComputeMulti(snaps, q)
+		if err != nil {
+			return fmt.Errorf("seed %d: m4lsm multi %+v: %w", c.Seed, q, err)
+		}
+		for si, id := range c.ids {
+			ref, err := m4.ComputeSeries(q, c.Oracle.Merged(id))
+			if err != nil {
+				return fmt.Errorf("seed %d: oracle %s: %w", c.Seed, id, err)
+			}
+			snap, err := c.engine.Snapshot(id, q.Range())
+			if err != nil {
+				return err
+			}
+			lsmAggs, err := m4lsm.Compute(snap, q)
+			if err != nil {
+				return fmt.Errorf("seed %d: m4lsm %s %+v: %w", c.Seed, id, q, err)
+			}
+			snap, err = c.engine.Snapshot(id, q.Range())
+			if err != nil {
+				return err
+			}
+			udfAggs, err := m4udf.Compute(snap, q)
+			if err != nil {
+				return fmt.Errorf("seed %d: m4udf %s %+v: %w", c.Seed, id, q, err)
+			}
+			for i := range ref {
+				if !m4.Equivalent(lsmAggs[i], ref[i]) {
+					return fmt.Errorf("seed %d: %s %+v span %d: m4lsm %v != oracle %v",
+						c.Seed, id, q, i, lsmAggs[i], ref[i])
+				}
+				if !m4.Equivalent(udfAggs[i], ref[i]) {
+					return fmt.Errorf("seed %d: %s %+v span %d: m4udf %v != oracle %v",
+						c.Seed, id, q, i, udfAggs[i], ref[i])
+				}
+				if !m4.Equivalent(multi[si][i], ref[i]) {
+					return fmt.Errorf("seed %d: %s %+v span %d: batched %v != oracle %v",
+						c.Seed, id, q, i, multi[si][i], ref[i])
+				}
+			}
+		}
+	}
+	return c.checkPixels()
+}
+
+// checkPixels asserts the error-free visualization guarantee on this case:
+// rasterizing the M4 reduction must light exactly the pixels of
+// rasterizing the oracle's full merged series.
+func (c *Case) checkPixels() error {
+	const w, h = 41, 17
+	q := m4.Query{Tqs: 0, Tqe: c.tMax, W: w}
+	for _, id := range c.ids {
+		full := c.Oracle.Merged(id)
+		snap, err := c.engine.Snapshot(id, q.Range())
+		if err != nil {
+			return err
+		}
+		aggs, err := m4lsm.Compute(snap, q)
+		if err != nil {
+			return err
+		}
+		reduced := m4.Points(aggs)
+		vp := viz.ViewportFor(full, q.Tqs, q.Tqe)
+		a := viz.Rasterize(full, vp, w, h)
+		b := viz.Rasterize(reduced, vp, w, h)
+		if d := viz.Diff(a, b); d != 0 {
+			return fmt.Errorf("seed %d: %s: %d pixels differ between full and M4-reduced render",
+				c.Seed, id, d)
+		}
+	}
+	return nil
+}
+
+// Run generates, checks and closes one case; the returned error names the
+// seed on any failure.
+func Run(seed int64, dir string) error {
+	c, err := Generate(seed, dir)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	return c.Check()
+}

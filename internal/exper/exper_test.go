@@ -243,3 +243,29 @@ func TestRunAblations(t *testing.T) {
 		t.Error("ablation output missing variants")
 	}
 }
+
+func TestRunShards(t *testing.T) {
+	ms, err := RunShards(Config{Scale: 0.002, ChunkSize: 200, W: 50, Reps: 1, Seed: 7, Dir: t.TempDir()}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != len(ShardCounts) {
+		t.Fatalf("points = %d, want %d", len(ms), len(ShardCounts))
+	}
+	for _, m := range ms {
+		if m.Series != 4 || m.Points <= 0 {
+			t.Errorf("measurement = %+v", m)
+		}
+		if m.WriteElapsed <= 0 || m.MultiLatency <= 0 || m.UDFLatency <= 0 {
+			t.Errorf("non-positive timing: %+v", m)
+		}
+		if m.WritePointsPerSec <= 0 {
+			t.Errorf("throughput = %f", m.WritePointsPerSec)
+		}
+	}
+	var buf bytes.Buffer
+	WriteShards(&buf, ShardsTitle(4), ms)
+	if !strings.Contains(buf.String(), "shards") || !strings.Contains(buf.String(), "write pts/s") {
+		t.Errorf("table output:\n%s", buf.String())
+	}
+}

@@ -157,11 +157,12 @@ var Titles = map[string]string{
 	"fig13":     "Figure 13: varying delete percentage",
 	"fig14":     "Figure 14: varying delete time range",
 	"scaling":   "Scaling: varying worker parallelism",
+	"shards":    "Sharding: shard count vs write throughput and wildcard query",
 	"ablations": "Ablations: M4-LSM design choices",
 	"faults":    "Fault injection: graceful degradation under chunk-read faults",
 }
 
 // ExpNames lists the experiments in presentation order.
 func ExpNames() []string {
-	return []string{"table2", "fig1", "fig8", "fig10", "fig11", "fig12", "fig13", "fig14", "scaling", "ablations", "faults"}
+	return []string{"table2", "fig1", "fig8", "fig10", "fig11", "fig12", "fig13", "fig14", "scaling", "shards", "ablations", "faults"}
 }

@@ -1,0 +1,242 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"m4lsm/internal/lsm"
+	"m4lsm/internal/m4"
+	"m4lsm/internal/m4lsm"
+	"m4lsm/internal/m4udf"
+	"m4lsm/internal/series"
+	"m4lsm/internal/storage"
+	"m4lsm/internal/workload"
+)
+
+// ShardCounts is the shard sweep of the sharding experiment.
+var ShardCounts = []int{1, 4, 8}
+
+// ShardMeasurement is one point of the sharding experiment: an engine at
+// one shard count, loaded by concurrent per-series writers and queried with
+// one batched wildcard M4 query over every series.
+type ShardMeasurement struct {
+	Shards int
+	Series int
+	Points int // per series
+
+	// WriteElapsed is the wall-clock time for Series concurrent writers
+	// (one goroutine per series, WAL on) to insert and flush all points;
+	// WritePointsPerSec is the aggregate throughput.
+	WriteElapsed      time.Duration
+	WritePointsPerSec float64
+
+	// MultiLatency is the batched M4-LSM wildcard query over all series
+	// (min over Reps); UDFLatency is the merge-everything baseline on the
+	// same batch.
+	MultiLatency time.Duration
+	UDFLatency   time.Duration
+	// Stats sums every series' M4-LSM cost counters for the measured run.
+	Stats storage.Stats
+}
+
+// RunShards measures write throughput and multi-series query latency as the
+// engine's shard count grows. The workload is the dashboard shape the
+// tentpole targets: nSeries independent sensors written concurrently (WAL
+// on, auto-flush at the chunk size), a compaction to a layout that is
+// identical at every shard count, then one `M4(*) FROM root.*`-style
+// batched query over all of them. Each measurement cross-checks the batched
+// result against per-series single queries, so the sweep doubles as a
+// correctness harness for the sharded write path. On a single-core host the
+// shards>1 rows bound the sharding overhead rather than demonstrate
+// speedup; the title reports GOMAXPROCS for that reason.
+func RunShards(cfg Config, nSeries int) ([]ShardMeasurement, error) {
+	cfg = cfg.withDefaults()
+	if nSeries <= 0 {
+		nSeries = 16
+	}
+	preset := workload.KOB()
+	perSeries := int(float64(preset.Points) * cfg.Scale)
+	if perSeries < 100 {
+		perSeries = 100
+	}
+	// Generate each series once, outside the timed region.
+	data := make([]series.Series, nSeries)
+	ids := make([]string, nSeries)
+	for s := 0; s < nSeries; s++ {
+		data[s] = preset.Generate(perSeries, cfg.Seed+int64(s))
+		ids[s] = fmt.Sprintf("root.s%02d", s)
+	}
+	q := m4.Query{Tqs: data[0][0].T, Tqe: data[0][len(data[0])-1].T + 1, W: cfg.W}
+
+	var out []ShardMeasurement
+	for _, shards := range ShardCounts {
+		m, err := runShardPoint(cfg, shards, nSeries, perSeries, ids, data, q)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func runShardPoint(cfg Config, shards, nSeries, perSeries int, ids []string, data []series.Series, q m4.Query) (ShardMeasurement, error) {
+	m := ShardMeasurement{Shards: shards, Series: nSeries, Points: perSeries}
+	dir, cleanup, err := tempDir(cfg, fmt.Sprintf("shards-%d", shards))
+	if err != nil {
+		return m, err
+	}
+	defer cleanup()
+	e, err := lsm.Open(lsm.Options{Dir: dir, FlushThreshold: cfg.ChunkSize, NumShards: shards})
+	if err != nil {
+		return m, err
+	}
+	defer e.Close()
+
+	// Concurrent load: one writer per series, batched inserts, WAL on —
+	// the path sharding parallelizes (per-shard memtable locks, shared
+	// tagged WAL).
+	const batch = 256
+	errs := make([]error, nSeries)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < nSeries; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			pts := data[s]
+			for i := 0; i < len(pts); i += batch {
+				end := i + batch
+				if end > len(pts) {
+					end = len(pts)
+				}
+				if err := e.Write(ids[s], pts[i:end]...); err != nil {
+					errs[s] = err
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return m, err
+		}
+	}
+	if err := e.Flush(); err != nil {
+		return m, err
+	}
+	m.WriteElapsed = time.Since(start)
+	m.WritePointsPerSec = float64(nSeries*perSeries) / m.WriteElapsed.Seconds()
+
+	// Compact to a canonical layout before measuring queries: threshold
+	// flushes drain the whole owning shard, so the as-flushed chunk layout
+	// varies with the shard count (more series per shard = more partial
+	// chunks). Compaction rewrites every series into FlushThreshold-point
+	// non-overlapping chunks — identical at every shard count — so the
+	// query comparison isolates the sharded read path rather than
+	// flush-timing artifacts.
+	if err := e.Compact(); err != nil {
+		return m, err
+	}
+
+	snapAll := func() ([]*storage.Snapshot, error) {
+		snaps := make([]*storage.Snapshot, len(ids))
+		for i, id := range ids {
+			snap, err := e.Snapshot(id, q.Range())
+			if err != nil {
+				return nil, err
+			}
+			snaps[i] = snap
+		}
+		return snaps, nil
+	}
+
+	m.MultiLatency, m.UDFLatency = maxDuration, maxDuration
+	for rep := 0; rep < cfg.Reps; rep++ {
+		snaps, err := snapAll()
+		if err != nil {
+			return m, err
+		}
+		t0 := time.Now()
+		outs, err := m4lsm.ComputeMulti(snaps, q)
+		if err != nil {
+			return m, err
+		}
+		if d := time.Since(t0); d < m.MultiLatency {
+			m.MultiLatency = d
+			var total storage.Stats
+			for _, snap := range snaps {
+				total.Add(snap.Stats.Load())
+			}
+			m.Stats = total
+		}
+
+		snaps, err = snapAll()
+		if err != nil {
+			return m, err
+		}
+		t0 = time.Now()
+		udfOuts, err := m4udf.ComputeMulti(snaps, q)
+		if err != nil {
+			return m, err
+		}
+		if d := time.Since(t0); d < m.UDFLatency {
+			m.UDFLatency = d
+		}
+
+		// Cross-check on the first rep: the batch must agree with the UDF
+		// baseline and with per-series single queries.
+		if rep == 0 {
+			for si := range ids {
+				for i := range outs[si] {
+					if !m4.Equivalent(outs[si][i], udfOuts[si][i]) {
+						return m, fmt.Errorf("shards=%d %s span %d: lsm %v, udf %v",
+							shards, ids[si], i, outs[si][i], udfOuts[si][i])
+					}
+				}
+				snap, err := e.Snapshot(ids[si], q.Range())
+				if err != nil {
+					return m, err
+				}
+				single, err := m4lsm.Compute(snap, q)
+				if err != nil {
+					return m, err
+				}
+				for i := range single {
+					if !m4.Equivalent(outs[si][i], single[i]) {
+						return m, fmt.Errorf("shards=%d %s span %d: batched %v, single %v",
+							shards, ids[si], i, outs[si][i], single[i])
+					}
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+const maxDuration = time.Duration(1<<63 - 1)
+
+// ShardsTitle names the experiment including the host's core budget: on one
+// core the sweep bounds sharding overhead instead of showing speedup.
+func ShardsTitle(nSeries int) string {
+	if nSeries <= 0 {
+		nSeries = 16
+	}
+	return fmt.Sprintf("Sharding: shard count vs concurrent-write throughput and %d-series wildcard query (GOMAXPROCS=%d)",
+		nSeries, runtime.GOMAXPROCS(0))
+}
+
+// WriteShards renders the sharding sweep as an aligned text table.
+func WriteShards(w io.Writer, title string, ms []ShardMeasurement) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	fmt.Fprintf(w, "%-7s %8s %8s %12s %14s %12s %12s %10s\n",
+		"shards", "series", "pts/ser", "write", "write pts/s", "m4lsm", "m4udf", "loads")
+	for _, m := range ms {
+		fmt.Fprintf(w, "%-7d %8d %8d %12s %14.0f %12s %12s %10d\n",
+			m.Shards, m.Series, m.Points, fmtDur(m.WriteElapsed), m.WritePointsPerSec,
+			fmtDur(m.MultiLatency), fmtDur(m.UDFLatency), m.Stats.ChunksLoaded)
+	}
+}

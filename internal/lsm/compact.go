@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"time"
 
 	"m4lsm/internal/mergeread"
@@ -14,7 +15,9 @@ import (
 
 // Compact merges every flushed chunk of every series into fresh,
 // non-overlapping chunks, applying all deletes, and removes the old chunk
-// files and delete sidecar entries.
+// files and delete sidecar entries. Shards compact concurrently — each
+// writes its own sequence file — up to the GOMAXPROCS budget (sequentially
+// under a StepHook, keeping fault schedules deterministic).
 //
 // The paper's experiments run with compaction disabled (Table 4,
 // NO_COMPACTION) because overlapping chunks are exactly the state M4-LSM
@@ -23,9 +26,9 @@ import (
 // metadata is exact again (no pending deletes or overwrites), so M4-LSM
 // degenerates to its pure metadata fast path.
 func (e *Engine) Compact() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
+	e.lockAll()
+	defer e.unlockAll()
+	if e.closed.Load() {
 		return fmt.Errorf("lsm: engine closed")
 	}
 	compactStart := time.Now()
@@ -34,12 +37,10 @@ func (e *Engine) Compact() error {
 		e.met.compactSecs.Observe(time.Since(compactStart).Seconds())
 	}()
 	// Memtable contents ride along: flush first so the merge sees them.
-	if err := e.flushLocked(); err != nil {
-		return err
-	}
-	ids := make([]string, 0, len(e.chunks))
-	for id := range e.chunks {
-		ids = append(ids, id)
+	for _, sh := range e.shards {
+		if _, err := e.flushShardLocked(sh); err != nil {
+			return err
+		}
 	}
 	// Quarantined chunks cannot be read (their bytes fail CRC); the merge
 	// excludes them, and the files holding them are set aside below instead
@@ -50,34 +51,52 @@ func (e *Engine) Compact() error {
 		quar[id] = true
 	}
 	e.quarMu.Unlock()
-	merged := make(map[string]series.Series, len(ids))
-	everything := series.TimeRange{Start: -(1 << 62), End: 1 << 62}
-	for _, id := range ids {
-		snap := &storage.Snapshot{SeriesID: id}
-		for _, ce := range e.chunks[id] {
-			if quar[chunkID{ce.meta.SeriesID, ce.meta.Version}] {
-				continue
-			}
-			snap.Chunks = append(snap.Chunks, storage.NewChunkRef(ce.meta, ce.src, nil))
-		}
-		snap.Deletes = e.mods.ForSeries(id)
-		data, err := mergeread.Merge(snap, everything)
-		if err != nil {
-			return fmt.Errorf("lsm: compact %s: %w", id, err)
-		}
-		if len(data) > 0 {
-			merged[id] = data
-		}
-	}
+	mods := e.modsLog()
 
-	// Write the compacted generation to a fresh file before touching the
-	// old ones; a crash between here and the cleanup below leaves both
-	// generations on disk, and duplicate points merge idempotently. The
-	// merged output is in order, so it belongs to the sequence space.
-	name := fmt.Sprintf("%06d.seq.tsf", e.fileSeq)
-	path := filepath.Join(e.opts.Dir, name)
-	var newReader *tsfile.Reader
-	if len(merged) > 0 {
+	// Write each shard's compacted generation to a fresh file before
+	// touching the old ones; a crash (or error) between here and the swap
+	// below leaves both generations on disk, and duplicate points merge
+	// idempotently. The merged output is in order, so it belongs to the
+	// sequence space. Series merge in sorted-id order within each shard, so
+	// the compacted layout is deterministic for a given shard count.
+	type shardGen struct {
+		merged map[string]series.Series
+		reader *tsfile.Reader
+		path   string
+	}
+	gens := make([]shardGen, len(e.shards))
+	everything := series.TimeRange{Start: -(1 << 62), End: 1 << 62}
+	err := runShardPool(e.shardParallelism(), len(e.shards), func(i int) error {
+		sh := e.shards[i]
+		ids := make([]string, 0, len(sh.chunks))
+		for id := range sh.chunks {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		merged := make(map[string]series.Series, len(ids))
+		for _, id := range ids {
+			snap := &storage.Snapshot{SeriesID: id}
+			for _, ce := range sh.chunks[id] {
+				if quar[chunkID{ce.meta.SeriesID, ce.meta.Version}] {
+					continue
+				}
+				snap.Chunks = append(snap.Chunks, storage.NewChunkRef(ce.meta, ce.src, nil))
+			}
+			snap.Deletes = mods.ForSeries(id)
+			data, err := mergeread.Merge(snap, everything)
+			if err != nil {
+				return fmt.Errorf("lsm: compact %s: %w", id, err)
+			}
+			if len(data) > 0 {
+				merged[id] = data
+			}
+		}
+		gens[i].merged = merged
+		if len(merged) == 0 {
+			return nil
+		}
+		name := fmt.Sprintf("%06d.seq.tsf", e.fileSeq.Add(1)-1)
+		path := filepath.Join(e.opts.Dir, name)
 		w, err := tsfile.Create(path)
 		if err != nil {
 			return err
@@ -89,78 +108,110 @@ func (e *Engine) Compact() error {
 				if n > e.opts.FlushThreshold {
 					n = e.opts.FlushThreshold
 				}
-				if _, err := w.WriteChunk(id, e.nextVer, e.opts.Codec, data[:n]); err != nil {
+				if _, err := w.WriteChunk(id, e.allocVersion(), e.opts.Codec, data[:n]); err != nil {
 					w.Abort()
 					return err
 				}
-				e.nextVer++
 				data = data[n:]
 			}
 		}
 		if err := w.Close(); err != nil {
 			return err
 		}
-		newReader, err = e.openTSFile(path)
+		r, err := e.openTSFile(path)
 		if err != nil {
 			return fmt.Errorf("lsm: reopen compacted file: %w", err)
 		}
-		e.fileSeq++
+		gens[i].reader = r
+		gens[i].path = path
+		return nil
+	})
+	if err != nil {
+		// Drop whatever new-generation files were staged; the old
+		// generation was never touched and stays authoritative.
+		for _, g := range gens {
+			if g.reader != nil {
+				g.reader.Close()
+				os.Remove(g.path)
+			}
+		}
+		return err
 	}
 
-	// Retire the old generation. The files are unlinked but their
-	// handles stay open until engine Close, so snapshots taken before
-	// this compaction can still read the chunks they reference.
+	// Swap in the new generation: the old files are unlinked but their
+	// handles stay open until engine Close, so snapshots taken before this
+	// compaction can still read the chunks they reference.
+	e.fileMu.Lock()
 	oldFiles := e.files
 	e.files = nil
-	e.chunks = make(map[string][]chunkEntry)
-	if newReader != nil {
-		e.files = append(e.files, newReader)
-		for _, m := range newReader.Metas() {
-			e.chunks[m.SeriesID] = append(e.chunks[m.SeriesID], chunkEntry{meta: m, src: e.sourceFor(newReader)})
+	for _, g := range gens {
+		if g.reader != nil {
+			e.files = append(e.files, g.reader)
 		}
-	}
-	for _, f := range oldFiles {
-		hasQuarantined := false
-		for _, m := range f.Metas() {
-			if quar[chunkID{m.SeriesID, m.Version}] {
-				hasQuarantined = true
-				break
-			}
-		}
-		if hasQuarantined {
-			bad, err := uniqueBadPath(f.Path())
-			if err == nil {
-				err = os.Rename(f.Path(), bad)
-			}
-			if err != nil {
-				return fmt.Errorf("lsm: quarantine pre-compaction file: %w", err)
-			}
-			e.badFiles++
-		} else if err := os.Remove(f.Path()); err != nil {
-			return fmt.Errorf("lsm: remove pre-compaction file: %w", err)
-		}
-		e.retired = append(e.retired, f)
 	}
 	// The unsequence space is folded into the new sequence generation.
 	e.unseqFiles = 0
-	e.maxSeqTime = make(map[string]int64)
-	for id, data := range merged {
-		e.maxSeqTime[id] = data[len(data)-1].T
+	e.fileMu.Unlock()
+	for i, sh := range e.shards {
+		sh.chunks = make(map[string][]chunkEntry)
+		sh.maxSeqTime = make(map[string]int64)
+		if r := gens[i].reader; r != nil {
+			src := e.sourceFor(r)
+			for _, m := range r.Metas() {
+				sh.chunks[m.SeriesID] = append(sh.chunks[m.SeriesID], chunkEntry{meta: m, src: src})
+			}
+		}
+		for id, data := range gens[i].merged {
+			sh.maxSeqTime[id] = data[len(data)-1].T
+		}
+	}
+	retire := func() error {
+		e.fileMu.Lock()
+		defer e.fileMu.Unlock()
+		for _, f := range oldFiles {
+			hasQuarantined := false
+			for _, m := range f.Metas() {
+				if quar[chunkID{m.SeriesID, m.Version}] {
+					hasQuarantined = true
+					break
+				}
+			}
+			if hasQuarantined {
+				bad, err := uniqueBadPath(f.Path())
+				if err == nil {
+					err = os.Rename(f.Path(), bad)
+				}
+				if err != nil {
+					return fmt.Errorf("lsm: quarantine pre-compaction file: %w", err)
+				}
+				e.badFiles++
+			} else if err := os.Remove(f.Path()); err != nil {
+				return fmt.Errorf("lsm: remove pre-compaction file: %w", err)
+			}
+			e.retired = append(e.retired, f)
+		}
+		return nil
+	}
+	if err := retire(); err != nil {
+		return err
 	}
 	// Deletes are folded into the compacted chunks; reset the sidecar.
-	if err := e.resetModsLocked(); err != nil {
+	if err := e.resetMods(); err != nil {
 		return err
 	}
 	// The WAL may still hold delete records (they don't count toward the
-	// flush threshold, so flushLocked can skip the reset). Everything in it
+	// flush threshold, so a flush can skip the reset). Everything in it
 	// is now durable in the compacted generation; drop it so recovery does
 	// not resurrect folded-in tombstones.
 	if e.wal != nil {
 		if err := e.step("compact.walreset"); err != nil {
 			return err
 		}
-		if err := e.wal.Reset(); err != nil {
-			return err
+		e.walMu.Lock()
+		rerr := e.wal.Reset()
+		e.walMu.Unlock()
+		if rerr != nil {
+			return rerr
 		}
 	}
 	// Every quarantined chunk belonged to the retired generation.
@@ -170,10 +221,11 @@ func (e *Engine) Compact() error {
 	return nil
 }
 
-// resetModsLocked replaces the delete sidecar with an empty one.
-func (e *Engine) resetModsLocked() error {
+// resetMods replaces the delete sidecar with an empty one. Caller holds all
+// shard locks.
+func (e *Engine) resetMods() error {
 	path := filepath.Join(e.opts.Dir, "deletes.mods")
-	if err := e.mods.Close(); err != nil {
+	if err := e.modsLog().Close(); err != nil {
 		return fmt.Errorf("lsm: close mods: %w", err)
 	}
 	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
@@ -183,6 +235,6 @@ func (e *Engine) resetModsLocked() error {
 	if err != nil {
 		return fmt.Errorf("lsm: reopen mods: %w", err)
 	}
-	e.mods = mods
+	e.mods.Store(mods)
 	return nil
 }

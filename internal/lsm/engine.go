@@ -10,6 +10,13 @@
 // chunk metadata plus deletes; the unflushed memtable is exposed to the
 // snapshot as an in-memory chunk with a version higher than any flushed
 // chunk.
+//
+// The engine is sharded: series are routed to NumShards independent lock
+// stripes by hash(seriesID) (see shard.go), so writers to different series
+// never contend on one global mutex. The WAL stays a single file whose
+// records carry a shard tag; recovery routes each record back to the owning
+// shard by re-hashing the series id. Flush and Compact run per-shard,
+// concurrently up to the GOMAXPROCS budget.
 package lsm
 
 import (
@@ -22,6 +29,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"m4lsm/internal/cache"
@@ -36,6 +44,14 @@ import (
 type Options struct {
 	// Dir is the database directory; it is created if missing.
 	Dir string
+	// NumShards splits the engine into independent lock stripes: series
+	// are routed by hash(seriesID) % NumShards and each shard owns its
+	// memtables, chunk registry, flush accounting and lock. The WAL stays
+	// one file with shard-tagged records, and a directory written under
+	// one shard count reopens correctly under any other (routing is a
+	// pure function of the series id). 0 or 1 (the default) keeps the
+	// engine single-striped.
+	NumShards int
 	// FlushThreshold is the number of buffered points per series that
 	// triggers an automatic flush, and the maximum chunk size; it is the
 	// analogue of IoTDB's avg_series_point_number_threshold (Table 4
@@ -56,6 +72,8 @@ type Options struct {
 	// mods append, each flush stage). A non-nil return aborts the step
 	// with that error, leaving partial on-disk state behind — the
 	// faultfs.StepInjector uses this to simulate a crash at any point.
+	// Installing a StepHook also forces per-shard maintenance to run
+	// sequentially, so injection schedules stay deterministic.
 	StepHook func(site string) error
 	// WrapFile, when set, wraps the io.ReaderAt of every chunk file the
 	// engine opens, letting faultfs inject byte-level read faults under
@@ -75,6 +93,9 @@ type Options struct {
 
 func (o *Options) withDefaults() Options {
 	out := *o
+	if out.NumShards <= 0 {
+		out.NumShards = 1
+	}
 	if out.FlushThreshold <= 0 {
 		out.FlushThreshold = 1000
 	}
@@ -84,45 +105,65 @@ func (o *Options) withDefaults() Options {
 	return out
 }
 
+// WAL opcodes. Legacy untagged records (ops 1 and 2) predate sharding and
+// are still replayed; the engine always writes the shard-tagged forms.
 const (
-	walOpInsert byte = 1
-	walOpDelete byte = 2
+	walOpInsert        byte = 1
+	walOpDelete        byte = 2
+	walOpInsertSharded byte = 3
+	walOpDeleteSharded byte = 4
 )
 
 // Engine is the LSM storage engine. All methods are safe for concurrent
 // use.
+//
+// Lock order: a series operation takes its shard's mutex first and may then
+// take walMu (WAL append/reset) or fileMu (file-list update); walMu and
+// fileMu are never nested inside each other, quarMu nests inside anything.
+// More than one shard lock is held only by Close, Kill and Compact, which
+// acquire all shards in index order.
 type Engine struct {
 	opts Options
 
-	mu      sync.RWMutex
-	nextVer storage.Version
-	mem     map[string]series.Series // per-series unsorted write buffer
-	memPts  int
-	chunks  map[string][]chunkEntry // per-series flushed chunks
-	files   []*tsfile.Reader
-	retired []*tsfile.Reader // unlinked by compaction, kept open for live snapshots
-	fileSeq int
-	mods    *tsfile.ModLog
-	wal     *tsfile.RecordLog
-	cache   *cache.LRU // nil when caching is disabled
-	closed  bool
+	shards []*shard
 
-	// Sequence/unsequence separation (reference [26]): per series, the
-	// largest timestamp flushed to the sequence space so far. Points at
-	// or before it are out-of-order and flush to unsequence files.
-	maxSeqTime map[string]int64
+	// nextVer is the global version counter ordering chunks and deletes
+	// across all shards (§2.2.1). Load() is always ≥ every version handed
+	// out so far, which is what memtable pseudo-chunks rely on.
+	nextVer atomic.Uint64
+
+	// fileSeq numbers chunk files; allocation is atomic so concurrent
+	// per-shard flushes pick distinct names.
+	fileSeq atomic.Int64
+
+	// fileMu guards the open-file bookkeeping shared by all shards.
+	fileMu     sync.Mutex
+	files      []*tsfile.Reader
+	retired    []*tsfile.Reader // unlinked by compaction, kept open for live snapshots
 	unseqFiles int
-
 	// badFiles counts chunk files set aside (renamed *.bad) because their
 	// footer did not validate — crash leftovers recovered via the WAL.
 	badFiles int
 
+	// walMu serializes appends to (and resets of) the single WAL file
+	// shared by all shards.
+	walMu sync.Mutex
+	wal   *tsfile.RecordLog
+
+	// mods is the shared delete sidecar; the ModLog is internally locked,
+	// and the pointer itself is atomic because Compact swaps in a fresh
+	// sidecar while Info may be reading concurrently.
+	mods atomic.Pointer[tsfile.ModLog]
+
+	cache  *cache.LRU // nil when caching is disabled
+	closed atomic.Bool
+
 	// Chunk-level read quarantine: chunks whose data failed a CRC or
 	// decode check during a query. Quarantined chunks are excluded from
 	// later snapshots (their reads can never succeed — the file bytes are
-	// wrong) and surface in Info and /healthz. Guarded by quarMu, not
-	// e.mu: quarantine reports arrive from query worker goroutines while
-	// other queries hold the engine read lock.
+	// wrong) and surface in Info and /healthz. Guarded by quarMu, not a
+	// shard lock: quarantine reports arrive from query worker goroutines
+	// while other queries hold shard read locks.
 	quarMu      sync.Mutex
 	quarantined map[chunkID]error
 
@@ -157,6 +198,22 @@ type chunkEntry struct {
 	src  storage.ChunkSource
 }
 
+// allocVersion hands out the next version number.
+func (e *Engine) allocVersion() storage.Version {
+	return storage.Version(e.nextVer.Add(1) - 1)
+}
+
+// bumpVersion raises the counter so future allocations exceed v. Only
+// called from single-threaded recovery.
+func (e *Engine) bumpVersion(v storage.Version) {
+	if uint64(v) >= e.nextVer.Load() {
+		e.nextVer.Store(uint64(v) + 1)
+	}
+}
+
+// modsLog returns the current delete sidecar.
+func (e *Engine) modsLog() *tsfile.ModLog { return e.mods.Load() }
+
 // Open opens (or creates) the database in opts.Dir, recovering state from
 // chunk files, the mods sidecar and the WAL.
 func Open(opts Options) (*Engine, error) {
@@ -169,11 +226,12 @@ func Open(opts Options) (*Engine, error) {
 	}
 	e := &Engine{
 		opts:        opts,
-		nextVer:     1,
-		mem:         make(map[string]series.Series),
-		chunks:      make(map[string][]chunkEntry),
-		maxSeqTime:  make(map[string]int64),
 		quarantined: make(map[chunkID]error),
+	}
+	e.nextVer.Store(1)
+	e.shards = make([]*shard, opts.NumShards)
+	for i := range e.shards {
+		e.shards[i] = newShard()
 	}
 	if opts.ChunkCacheBytes > 0 {
 		e.cache = cache.NewLRU(opts.ChunkCacheBytes)
@@ -185,11 +243,9 @@ func Open(opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lsm: %w", err)
 	}
-	e.mods = mods
+	e.mods.Store(mods)
 	for _, d := range mods.All() {
-		if d.Version >= e.nextVer {
-			e.nextVer = d.Version + 1
-		}
+		e.bumpVersion(d.Version)
 	}
 	if !opts.DisableWAL {
 		wal, recs, err := tsfile.OpenRecordLog(filepath.Join(opts.Dir, "wal"))
@@ -240,9 +296,12 @@ func (e *Engine) registerMetrics(reg *obs.Registry) {
 	reg.GaugeFunc("lsm_quarantined_chunks", info(func(i Info) float64 { return float64(i.QuarantinedChunks) }))
 	reg.GaugeFunc("lsm_delete_tombstones", info(func(i Info) float64 { return float64(i.Deletes) }))
 	reg.GaugeFunc("lsm_wal_bytes", func() float64 {
-		e.mu.RLock()
-		defer e.mu.RUnlock()
-		if e.wal == nil || e.closed {
+		if e.wal == nil || e.closed.Load() {
+			return 0
+		}
+		e.walMu.Lock()
+		defer e.walMu.Unlock()
+		if e.closed.Load() {
 			return 0
 		}
 		return float64(e.wal.Size())
@@ -260,6 +319,9 @@ func (e *Engine) registerMetrics(reg *obs.Registry) {
 // Metrics returns the registry the engine was opened with (nil when
 // observability is off). The query layers share it.
 func (e *Engine) Metrics() *obs.Registry { return e.opts.Metrics }
+
+// NumShards reports the engine's shard count.
+func (e *Engine) NumShards() int { return len(e.shards) }
 
 // step invokes the write-path fault hook, if any.
 func (e *Engine) step(site string) error {
@@ -298,9 +360,10 @@ func uniqueBadPath(path string) (string, error) {
 	}
 }
 
-// loadFiles opens every readable chunk file in the directory. Files
-// without a valid footer (crash during flush) are renamed aside; their
-// contents are still in the WAL.
+// loadFiles opens every readable chunk file in the directory, routing each
+// chunk to its series' shard. Files without a valid footer (crash during
+// flush) are renamed aside; their contents are still in the WAL. Runs
+// single-threaded during Open, so no locks are taken.
 func (e *Engine) loadFiles() error {
 	entries, err := os.ReadDir(e.opts.Dir)
 	if err != nil {
@@ -340,21 +403,20 @@ func (e *Engine) loadFiles() error {
 			return fmt.Errorf("lsm: %w", err)
 		}
 		e.files = append(e.files, r)
-		if seq, ok := parseFileSeq(name); ok && seq >= e.fileSeq {
-			e.fileSeq = seq + 1
+		if seq, ok := parseFileSeq(name); ok && int64(seq) >= e.fileSeq.Load() {
+			e.fileSeq.Store(int64(seq) + 1)
 		}
 		unseq := strings.HasSuffix(name, ".unseq.tsf")
 		if unseq {
 			e.unseqFiles++
 		}
 		for _, m := range r.Metas() {
-			e.chunks[m.SeriesID] = append(e.chunks[m.SeriesID], chunkEntry{meta: m, src: e.sourceFor(r)})
-			if m.Version >= e.nextVer {
-				e.nextVer = m.Version + 1
-			}
+			sh, _ := e.shardFor(m.SeriesID)
+			sh.chunks[m.SeriesID] = append(sh.chunks[m.SeriesID], chunkEntry{meta: m, src: e.sourceFor(r)})
+			e.bumpVersion(m.Version)
 			if !unseq {
-				if cur, ok := e.maxSeqTime[m.SeriesID]; !ok || m.Last.T > cur {
-					e.maxSeqTime[m.SeriesID] = m.Last.T
+				if cur, ok := sh.maxSeqTime[m.SeriesID]; !ok || m.Last.T > cur {
+					sh.maxSeqTime[m.SeriesID] = m.Last.T
 				}
 			}
 		}
@@ -379,7 +441,11 @@ func parseFileSeq(name string) (int, bool) {
 	return seq, true
 }
 
+// closeFiles releases every open chunk-file handle. Callers hold all shard
+// locks (or run single-threaded during Open).
 func (e *Engine) closeFiles() {
+	e.fileMu.Lock()
+	defer e.fileMu.Unlock()
 	for _, f := range e.files {
 		f.Close()
 	}
@@ -405,28 +471,46 @@ func (e *Engine) Write(seriesID string, pts ...series.Point) error {
 			return fmt.Errorf("lsm: NaN value at t=%d", p.T)
 		}
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
+	sh, shardIx := e.shardFor(seriesID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e.closed.Load() {
 		return errors.New("lsm: engine closed")
 	}
+	// Publish the buffered-point count BEFORE the WAL append: the WAL is
+	// reset only when every shard's count reads zero (maybeResetWAL, under
+	// walMu), so counting first guarantees no concurrent flush of another
+	// shard can drop this record between our append and our memtable
+	// update.
+	sh.memPts.Add(int64(len(pts)))
 	if e.wal != nil {
 		if err := e.step("wal.append"); err != nil {
+			sh.memPts.Add(-int64(len(pts)))
 			return err
 		}
-		if err := e.wal.Append(encodeInsert(seriesID, pts), e.opts.SyncWAL); err != nil {
+		e.walMu.Lock()
+		err := e.wal.Append(encodeInsertSharded(shardIx, seriesID, pts), e.opts.SyncWAL)
+		e.walMu.Unlock()
+		if err != nil {
+			sh.memPts.Add(-int64(len(pts)))
 			return err
 		}
 		e.met.walAppends.Inc()
 		if err := e.step("wal.appended"); err != nil {
+			sh.memPts.Add(-int64(len(pts)))
 			return err
 		}
 	}
-	e.mem[seriesID] = append(e.mem[seriesID], pts...)
-	e.memPts += len(pts)
+	sh.mem[seriesID] = append(sh.mem[seriesID], pts...)
 	e.met.pointsWritten.Add(int64(len(pts)))
-	if len(e.mem[seriesID]) >= e.opts.FlushThreshold {
-		return e.flushLocked()
+	if len(sh.mem[seriesID]) >= e.opts.FlushThreshold {
+		n, err := e.flushShardLocked(sh)
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			return e.maybeResetWAL()
+		}
 	}
 	return nil
 }
@@ -438,13 +522,13 @@ func (e *Engine) Delete(seriesID string, start, end int64) error {
 	if end < start {
 		return fmt.Errorf("lsm: inverted delete range [%d,%d]", start, end)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
+	sh, shardIx := e.shardFor(seriesID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e.closed.Load() {
 		return errors.New("lsm: engine closed")
 	}
-	d := storage.Delete{SeriesID: seriesID, Version: e.nextVer, Start: start, End: end}
-	e.nextVer++
+	d := storage.Delete{SeriesID: seriesID, Version: e.allocVersion(), Start: start, End: end}
 	// The WAL is written first and is authoritative: a crash between the two
 	// appends leaves the delete in the WAL only, and recovery re-appends it
 	// to the mods sidecar (see replayWAL). The reverse order would leave a
@@ -454,7 +538,10 @@ func (e *Engine) Delete(seriesID string, start, end int64) error {
 		if err := e.step("wal.append"); err != nil {
 			return err
 		}
-		if err := e.wal.Append(encodeDelete(d), e.opts.SyncWAL); err != nil {
+		e.walMu.Lock()
+		err := e.wal.Append(encodeDeleteSharded(shardIx, d), e.opts.SyncWAL)
+		e.walMu.Unlock()
+		if err != nil {
 			return err
 		}
 		e.met.walAppends.Inc()
@@ -462,54 +549,80 @@ func (e *Engine) Delete(seriesID string, start, end int64) error {
 	if err := e.step("mods.append"); err != nil {
 		return err
 	}
-	if err := e.mods.Append(d); err != nil {
+	if err := e.modsLog().Append(d); err != nil {
 		return err
 	}
 	e.met.deletes.Inc()
-	e.applyDeleteToMem(d)
+	sh.applyDeleteToMem(d)
 	return nil
 }
 
-// applyDeleteToMem removes covered points from the write buffer, so points
-// written before the delete die while later writes survive.
-func (e *Engine) applyDeleteToMem(d storage.Delete) {
-	buf := e.mem[d.SeriesID]
-	if len(buf) == 0 {
-		return
-	}
-	kept := buf[:0]
-	for _, p := range buf {
-		if !d.Covers(p.T) {
-			kept = append(kept, p)
-		}
-	}
-	e.memPts -= len(buf) - len(kept)
-	e.mem[d.SeriesID] = kept
-}
-
-// Flush persists the memtable as chunk files and clears the WAL.
+// Flush persists every shard's memtable as chunk files and clears the WAL.
+// Shards flush concurrently (sequentially under a StepHook).
 func (e *Engine) Flush() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
-		return errors.New("lsm: engine closed")
+	var flushed atomic.Int64
+	err := runShardPool(e.shardParallelism(), len(e.shards), func(i int) error {
+		sh := e.shards[i]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		if e.closed.Load() {
+			return errors.New("lsm: engine closed")
+		}
+		n, err := e.flushShardLocked(sh)
+		flushed.Add(int64(n))
+		return err
+	})
+	if err != nil {
+		return err
 	}
-	return e.flushLocked()
+	if flushed.Load() > 0 {
+		return e.maybeResetWAL()
+	}
+	return nil
 }
 
-// flushLocked persists the memtable, separating in-order data from
-// out-of-order arrivals the way IoTDB's sequence/unsequence spaces do
-// (reference [26] of the paper): per series, points later than everything
-// already flushed go to the sequence file (whose chunks never overlap
-// previously flushed ones), the rest to an unsequence file.
-func (e *Engine) flushLocked() error {
-	if e.memPts == 0 {
+// maybeResetWAL truncates the WAL if and only if no shard holds buffered
+// points. With several shards sharing one WAL file, a flush of one shard
+// must not drop another shard's unflushed records; the check and the reset
+// happen under walMu, so any concurrent writer either already published its
+// point count (the reset is skipped) or has not appended its record yet
+// (the append lands after the truncation and survives).
+//
+// Records for already-flushed data may therefore linger until the last
+// shard drains; replaying them is harmless — WAL order is preserved, so
+// re-inserted points are superseded by the flushed chunks' deletes and
+// overwrites exactly as they were the first time.
+func (e *Engine) maybeResetWAL() error {
+	if e.wal == nil {
 		return nil
 	}
+	e.walMu.Lock()
+	defer e.walMu.Unlock()
+	for _, sh := range e.shards {
+		if sh.memPts.Load() != 0 {
+			return nil
+		}
+	}
+	if err := e.step("flush.walreset"); err != nil {
+		return err
+	}
+	return e.wal.Reset()
+}
+
+// flushShardLocked persists one shard's memtable, separating in-order data
+// from out-of-order arrivals the way IoTDB's sequence/unsequence spaces do
+// (reference [26] of the paper): per series, points later than everything
+// already flushed go to the sequence file (whose chunks never overlap
+// previously flushed ones), the rest to an unsequence file. Returns the
+// number of points flushed. Caller holds sh.mu.
+func (e *Engine) flushShardLocked(sh *shard) (int, error) {
+	flushPts := int(sh.memPts.Load())
+	if flushPts == 0 {
+		return 0, nil
+	}
 	flushStart := time.Now()
-	flushPts := e.memPts
-	ids := make([]string, 0, len(e.mem))
-	for id, buf := range e.mem {
+	ids := make([]string, 0, len(sh.mem))
+	for id, buf := range sh.mem {
 		if len(buf) > 0 {
 			ids = append(ids, id)
 		}
@@ -518,9 +631,9 @@ func (e *Engine) flushLocked() error {
 	seq := map[string]series.Series{}
 	unseq := map[string]series.Series{}
 	for _, id := range ids {
-		data := series.SortDedup(e.mem[id])
+		data := series.SortDedup(sh.mem[id])
 		split := 0
-		if maxT, ok := e.maxSeqTime[id]; ok {
+		if maxT, ok := sh.maxSeqTime[id]; ok {
 			split = sort.Search(len(data), func(i int) bool { return data[i].T > maxT })
 		}
 		if split > 0 {
@@ -528,39 +641,31 @@ func (e *Engine) flushLocked() error {
 		}
 		if split < len(data) {
 			seq[id] = data[split:]
-			e.maxSeqTime[id] = data[len(data)-1].T
+			sh.maxSeqTime[id] = data[len(data)-1].T
 		}
 	}
-	if err := e.writeSpaceFile(ids, unseq, "unseq"); err != nil {
-		return err
+	if err := e.writeSpaceFile(sh, ids, unseq, "unseq"); err != nil {
+		return 0, err
 	}
-	if err := e.writeSpaceFile(ids, seq, "seq"); err != nil {
-		return err
+	if err := e.writeSpaceFile(sh, ids, seq, "seq"); err != nil {
+		return 0, err
 	}
-	e.mem = make(map[string]series.Series)
-	e.memPts = 0
-	if e.wal != nil {
-		if err := e.step("flush.walreset"); err != nil {
-			return err
-		}
-		if err := e.wal.Reset(); err != nil {
-			return err
-		}
-	}
+	sh.mem = make(map[string]series.Series)
+	sh.memPts.Store(0)
 	e.met.flushes.Inc()
 	e.met.flushedPoints.Add(int64(flushPts))
 	e.met.flushSeconds.Observe(time.Since(flushStart).Seconds())
-	return nil
+	return flushPts, nil
 }
 
 // writeSpaceFile flushes one space's per-series data as a chunk file and
-// registers its chunks. Chunks are split at FlushThreshold points so big
-// batches still yield paper-sized chunks.
-func (e *Engine) writeSpaceFile(ids []string, bySeries map[string]series.Series, space string) error {
+// registers its chunks with the shard. Chunks are split at FlushThreshold
+// points so big batches still yield paper-sized chunks. Caller holds sh.mu.
+func (e *Engine) writeSpaceFile(sh *shard, ids []string, bySeries map[string]series.Series, space string) error {
 	if len(bySeries) == 0 {
 		return nil
 	}
-	name := fmt.Sprintf("%06d.%s.tsf", e.fileSeq, space)
+	name := fmt.Sprintf("%06d.%s.tsf", e.fileSeq.Add(1)-1, space)
 	path := filepath.Join(e.opts.Dir, name)
 	if err := e.step("flush.create:" + name); err != nil {
 		return err
@@ -584,11 +689,10 @@ func (e *Engine) writeSpaceFile(ids []string, bySeries map[string]series.Series,
 				w.Crash()
 				return err
 			}
-			if _, err := w.WriteChunk(id, e.nextVer, e.opts.Codec, data[:n]); err != nil {
+			if _, err := w.WriteChunk(id, e.allocVersion(), e.opts.Codec, data[:n]); err != nil {
 				w.Abort()
 				return err
 			}
-			e.nextVer++
 			data = data[n:]
 		}
 	}
@@ -606,13 +710,14 @@ func (e *Engine) writeSpaceFile(ids []string, bySeries map[string]series.Series,
 	if err != nil {
 		return fmt.Errorf("lsm: reopen flushed file: %w", err)
 	}
+	e.fileMu.Lock()
 	e.files = append(e.files, r)
-	e.fileSeq++
 	if space == "unseq" {
 		e.unseqFiles++
 	}
+	e.fileMu.Unlock()
 	for _, m := range r.Metas() {
-		e.chunks[m.SeriesID] = append(e.chunks[m.SeriesID], chunkEntry{meta: m, src: e.sourceFor(r)})
+		sh.chunks[m.SeriesID] = append(sh.chunks[m.SeriesID], chunkEntry{meta: m, src: e.sourceFor(r)})
 	}
 	return nil
 }
@@ -622,9 +727,10 @@ func (e *Engine) writeSpaceFile(ids []string, bySeries map[string]series.Series,
 // intersecting it. The unflushed memtable appears as one in-memory chunk
 // with a version above all flushed chunks.
 func (e *Engine) Snapshot(seriesID string, r series.TimeRange) (*storage.Snapshot, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if e.closed {
+	sh, _ := e.shardFor(seriesID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if e.closed.Load() {
 		return nil, errors.New("lsm: engine closed")
 	}
 	stats := &storage.Stats{}
@@ -652,7 +758,7 @@ func (e *Engine) Snapshot(seriesID string, r series.TimeRange) (*storage.Snapsho
 		}
 	}
 	e.quarMu.Lock()
-	for _, ce := range e.chunks[seriesID] {
+	for _, ce := range sh.chunks[seriesID] {
 		if !ce.meta.OverlapsRange(r) {
 			continue
 		}
@@ -663,10 +769,10 @@ func (e *Engine) Snapshot(seriesID string, r series.TimeRange) (*storage.Snapsho
 		snap.Chunks = append(snap.Chunks, storage.NewChunkRef(ce.meta, ce.src, stats))
 	}
 	e.quarMu.Unlock()
-	if buf := e.mem[seriesID]; len(buf) > 0 {
+	if buf := sh.mem[seriesID]; len(buf) > 0 {
 		data := series.SortDedup(buf.Clone())
 		memSrc := storage.NewMemSource()
-		meta, err := memSrc.AddChunk(seriesID, e.nextVer, data)
+		meta, err := memSrc.AddChunk(seriesID, storage.Version(e.nextVer.Load()), data)
 		if err != nil {
 			return nil, fmt.Errorf("lsm: memtable snapshot: %w", err)
 		}
@@ -674,7 +780,7 @@ func (e *Engine) Snapshot(seriesID string, r series.TimeRange) (*storage.Snapsho
 			snap.Chunks = append(snap.Chunks, storage.NewChunkRef(meta, memSrc, stats))
 		}
 	}
-	for _, d := range e.mods.ForSeries(seriesID) {
+	for _, d := range e.modsLog().ForSeries(seriesID) {
 		if d.Start < r.End && d.End >= r.Start {
 			snap.Deletes = append(snap.Deletes, d)
 		}
@@ -682,18 +788,22 @@ func (e *Engine) Snapshot(seriesID string, r series.TimeRange) (*storage.Snapsho
 	return snap, nil
 }
 
-// SeriesIDs lists every series with buffered or flushed data, sorted.
+// SeriesIDs lists every series with buffered or flushed data, sorted. The
+// sorted order is load-bearing: wildcard queries expand through it, so the
+// result must be deterministic across runs and shard counts.
 func (e *Engine) SeriesIDs() []string {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	set := make(map[string]bool, len(e.chunks)+len(e.mem))
-	for id := range e.chunks {
-		set[id] = true
-	}
-	for id, buf := range e.mem {
-		if len(buf) > 0 {
+	set := make(map[string]bool)
+	for _, sh := range e.shards {
+		sh.mu.RLock()
+		for id := range sh.chunks {
 			set[id] = true
 		}
+		for id, buf := range sh.mem {
+			if len(buf) > 0 {
+				set[id] = true
+			}
+		}
+		sh.mu.RUnlock()
 	}
 	ids := make([]string, 0, len(set))
 	for id := range set {
@@ -705,6 +815,7 @@ func (e *Engine) SeriesIDs() []string {
 
 // Info summarizes engine state for tooling.
 type Info struct {
+	Shards         int
 	Files          int
 	UnseqFiles     int // files holding out-of-order (unsequence) data
 	Chunks         int
@@ -722,54 +833,77 @@ type Info struct {
 
 // Info returns a snapshot of engine statistics.
 func (e *Engine) Info() Info {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	n := 0
-	for _, cs := range e.chunks {
-		n += len(cs)
+	var chunks, memPts int
+	for _, sh := range e.shards {
+		sh.mu.RLock()
+		for _, cs := range sh.chunks {
+			chunks += len(cs)
+		}
+		memPts += int(sh.memPts.Load())
+		sh.mu.RUnlock()
 	}
+	e.fileMu.Lock()
+	files, unseq, bad := len(e.files), e.unseqFiles, e.badFiles
+	e.fileMu.Unlock()
 	e.quarMu.Lock()
 	quar := len(e.quarantined)
 	e.quarMu.Unlock()
 	return Info{
-		Files:             len(e.files),
-		UnseqFiles:        e.unseqFiles,
-		Chunks:            n,
-		MemtablePoints:    e.memPts,
-		NextVersion:       e.nextVer,
-		Deletes:           len(e.mods.All()),
-		BadFiles:          e.badFiles,
+		Shards:            len(e.shards),
+		Files:             files,
+		UnseqFiles:        unseq,
+		Chunks:            chunks,
+		MemtablePoints:    memPts,
+		NextVersion:       storage.Version(e.nextVer.Load()),
+		Deletes:           e.modsLog().Len(),
+		BadFiles:          bad,
 		QuarantinedChunks: quar,
 	}
 }
 
 // HasSeries reports whether seriesID has any buffered or flushed data.
 func (e *Engine) HasSeries(seriesID string) bool {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if len(e.chunks[seriesID]) > 0 {
+	sh, _ := e.shardFor(seriesID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if len(sh.chunks[seriesID]) > 0 {
 		return true
 	}
-	return len(e.mem[seriesID]) > 0
+	return len(sh.mem[seriesID]) > 0
 }
 
-// Close flushes the memtable and releases all file handles.
+// Close flushes every shard's memtable and releases all file handles.
 func (e *Engine) Close() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
+	e.lockAll()
+	defer e.unlockAll()
+	if e.closed.Load() {
 		return nil
 	}
-	err := e.flushLocked()
-	e.closed = true
+	var err error
+	flushed := 0
+	for _, sh := range e.shards {
+		n, ferr := e.flushShardLocked(sh)
+		flushed += n
+		if ferr != nil {
+			err = ferr
+			break
+		}
+	}
+	if err == nil && flushed > 0 {
+		err = e.maybeResetWAL()
+	}
+	e.closed.Store(true)
 	e.closeFiles()
-	if e.mods != nil {
-		if cerr := e.mods.Close(); err == nil {
+	if mods := e.modsLog(); mods != nil {
+		if cerr := mods.Close(); err == nil {
 			err = cerr
 		}
 	}
 	if e.wal != nil {
-		if cerr := e.wal.Close(); err == nil {
+		e.walMu.Lock()
+		cerr := e.wal.Close()
+		e.walMu.Unlock()
+		if err == nil {
 			err = cerr
 		}
 	}
@@ -780,62 +914,77 @@ func (e *Engine) Close() error {
 // closed, nothing is flushed, the WAL is left as-is. Crash-recovery tests
 // pair it with a fresh Open over the same directory.
 func (e *Engine) Kill() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
+	e.lockAll()
+	defer e.unlockAll()
+	if e.closed.Load() {
 		return
 	}
-	e.closed = true
+	e.closed.Store(true)
 	e.closeFiles()
-	if e.mods != nil {
-		e.mods.Close()
+	if mods := e.modsLog(); mods != nil {
+		mods.Close()
 	}
 	if e.wal != nil {
+		e.walMu.Lock()
 		e.wal.Close()
+		e.walMu.Unlock()
 	}
 }
 
-// replayWAL applies one recovered WAL record to the memtable.
+// replayWAL applies one recovered WAL record to the owning shard's
+// memtable. Sharded records (ops 3 and 4) carry the writer's shard index
+// for debuggability, but routing always re-hashes the series id so a
+// directory reopens correctly under a different NumShards. Runs
+// single-threaded during Open.
 func (e *Engine) replayWAL(rec []byte) error {
 	if len(rec) == 0 {
 		return errors.New("empty record")
 	}
-	switch rec[0] {
-	case walOpInsert:
-		id, pts, err := decodeInsert(rec[1:])
+	op := rec[0]
+	body := rec[1:]
+	if op == walOpInsertSharded || op == walOpDeleteSharded {
+		var err error
+		if _, body, err = encoding.Uvarint(body); err != nil {
+			return fmt.Errorf("wal shard tag: %w", err)
+		}
+	}
+	switch op {
+	case walOpInsert, walOpInsertSharded:
+		id, pts, err := decodeInsert(body)
 		if err != nil {
 			return err
 		}
-		e.mem[id] = append(e.mem[id], pts...)
-		e.memPts += len(pts)
+		sh, _ := e.shardFor(id)
+		sh.mem[id] = append(sh.mem[id], pts...)
+		sh.memPts.Add(int64(len(pts)))
 		return nil
-	case walOpDelete:
-		d, err := decodeWALDelete(rec[1:])
+	case walOpDelete, walOpDeleteSharded:
+		d, err := decodeWALDelete(body)
 		if err != nil {
 			return err
 		}
 		// A delete reaches the WAL before the mods sidecar; a crash between
 		// the two appends leaves it in the WAL only. Re-append it so the
 		// delete applies to flushed chunks, not just replayed points.
+		mods := e.modsLog()
 		present := false
-		for _, m := range e.mods.All() {
+		for _, m := range mods.All() {
 			if m == d {
 				present = true
 				break
 			}
 		}
 		if !present {
-			if err := e.mods.Append(d); err != nil {
+			if err := mods.Append(d); err != nil {
 				return err
 			}
-			if d.Version >= e.nextVer {
-				e.nextVer = d.Version + 1
-			}
+			e.bumpVersion(d.Version)
 		}
-		e.applyDeleteToMem(d)
+		sh, _ := e.shardFor(d.SeriesID)
+		sh.applyDeleteToMem(d)
 		return nil
 	default:
-		return fmt.Errorf("unknown wal op %d", rec[0])
+		return fmt.Errorf("unknown wal op %d", op)
 	}
 }
 

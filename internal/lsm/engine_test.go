@@ -258,12 +258,7 @@ func TestWALRecovery(t *testing.T) {
 	e.Delete("s1", 20, 20)
 	e.Write("s1", pts(30, 3)...)
 	// Simulate crash: no Flush, no Close. Reopen from disk state.
-	e.mu.Lock()
-	e.closed = true
-	e.closeFiles()
-	e.mods.Close()
-	e.wal.Close()
-	e.mu.Unlock()
+	e.Kill()
 
 	e2, err := Open(Options{Dir: dir})
 	if err != nil {

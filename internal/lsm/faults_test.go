@@ -240,7 +240,7 @@ type sourceFunc struct {
 }
 
 func (s sourceFunc) ReadChunk(m storage.ChunkMeta) (series.Series, error) { return s.read(m) }
-func (s sourceFunc) ReadTimes(m storage.ChunkMeta) ([]int64, error)      { return s.times(m) }
+func (s sourceFunc) ReadTimes(m storage.ChunkMeta) ([]int64, error)       { return s.times(m) }
 
 func pick(faulty bool, a, b storage.ChunkSource) storage.ChunkSource {
 	if faulty {

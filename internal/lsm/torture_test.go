@@ -2,8 +2,10 @@ package lsm
 
 import (
 	"errors"
+	"math/rand"
 	"reflect"
 	"sort"
+	"sync"
 	"testing"
 
 	"m4lsm/internal/faultfs"
@@ -11,6 +13,7 @@ import (
 	"m4lsm/internal/m4lsm"
 	"m4lsm/internal/m4udf"
 	"m4lsm/internal/series"
+	"m4lsm/internal/storage"
 )
 
 // The crash-recovery torture kills the write path at every step-hook site —
@@ -107,12 +110,14 @@ func execOp(e *Engine, op tortureOp) error {
 
 // runTortureAt executes the workload with a crash armed at the failAt-th
 // write-path step (0 = never), kills the engine, reopens the directory and
-// verifies recovery. It returns the number of steps observed.
-func runTortureAt(t *testing.T, failAt int64) int64 {
+// verifies recovery. The engine runs with shards shards and recovers with
+// reopenShards (shard-tagged WAL records must replay into any layout). It
+// returns the number of steps observed.
+func runTortureAt(t *testing.T, failAt int64, shards, reopenShards int) int64 {
 	t.Helper()
 	dir := t.TempDir()
 	inj := faultfs.NewStepInjector(failAt)
-	e, err := Open(Options{Dir: dir, FlushThreshold: 8, StepHook: inj.Step})
+	e, err := Open(Options{Dir: dir, FlushThreshold: 8, StepHook: inj.Step, NumShards: shards})
 	if err != nil {
 		t.Fatalf("failAt %d: open: %v", failAt, err)
 	}
@@ -148,7 +153,7 @@ func runTortureAt(t *testing.T, failAt int64) int64 {
 		withCrash.apply(*crashed)
 	}
 
-	e2, err := Open(Options{Dir: dir})
+	e2, err := Open(Options{Dir: dir, NumShards: reopenShards})
 	if err != nil {
 		t.Fatalf("failAt %d (site %v): recovery failed: %v", failAt, lastSite(inj), err)
 	}
@@ -220,12 +225,26 @@ func seriesEqual(a, b series.Series) bool {
 }
 
 func TestCrashRecoveryTorture(t *testing.T) {
-	total := runTortureAt(t, 0)
+	total := runTortureAt(t, 0, 1, 1)
 	if total < 20 {
 		t.Fatalf("workload hits only %d step sites; too small to be a torture", total)
 	}
 	for failAt := int64(1); failAt <= total; failAt++ {
-		runTortureAt(t, failAt)
+		runTortureAt(t, failAt, 1, 1)
+	}
+}
+
+// TestShardCrashRecoveryTorture reruns the crash matrix on a sharded
+// engine, recovering into a *different* shard count each time: the WAL's
+// shard tags are routing hints, not layout commitments, so replay must
+// re-hash every record into whatever layout the reopening engine has.
+func TestShardCrashRecoveryTorture(t *testing.T) {
+	total := runTortureAt(t, 0, 3, 2)
+	if total < 20 {
+		t.Fatalf("workload hits only %d step sites; too small to be a torture", total)
+	}
+	for failAt := int64(1); failAt <= total; failAt++ {
+		runTortureAt(t, failAt, 3, 2)
 	}
 }
 
@@ -260,6 +279,175 @@ func TestTortureSitesCovered(t *testing.T) {
 		}
 		if !found {
 			t.Errorf("no step at site %q (sites: %v)", prefix, seen)
+		}
+	}
+}
+
+// TestShardConcurrentTorture exercises the tentpole's concurrency claims
+// all at once: per-series writer goroutines (each series has exactly one
+// writer, so its oracle needs no locking), a wildcard-style batched M4
+// reader over every listed series, and a compaction loop, all racing on a
+// sharded engine. Run under -race by `make check`. While the storm runs,
+// only success and internal consistency are asserted (reads race with
+// writes); after the writers join and the readers stop, the engine must
+// hold exactly the oracles' data and both operators must agree with the
+// reference scan.
+func TestShardConcurrentTorture(t *testing.T) {
+	const (
+		nSeries = 6
+		nOps    = 120
+	)
+	e, err := Open(Options{Dir: t.TempDir(), FlushThreshold: 16, NumShards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	ids := make([]string, nSeries)
+	oracles := make([]oracle, nSeries)
+	for s := range ids {
+		ids[s] = string(rune('a' + s))
+		oracles[s] = oracle{}
+	}
+
+	errCh := make(chan error, nSeries+2)
+	stop := make(chan struct{})
+
+	var writers sync.WaitGroup
+	for s := 0; s < nSeries; s++ {
+		writers.Add(1)
+		go func(s int) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + s)))
+			id := ids[s]
+			for i := 0; i < nOps; i++ {
+				switch rng.Intn(10) {
+				case 0:
+					start := rng.Int63n(500)
+					end := start + rng.Int63n(60)
+					if err := e.Delete(id, start, end); err != nil {
+						errCh <- err
+						return
+					}
+					oracles[s].apply(tortureOp{kind: 'd', id: id, start: start, end: end})
+				case 1:
+					if err := e.Flush(); err != nil {
+						errCh <- err
+						return
+					}
+				default:
+					n := 1 + rng.Intn(5)
+					batch := make([]series.Point, n)
+					for j := range batch {
+						batch[j] = series.Point{T: rng.Int63n(500), V: float64(rng.Intn(100))}
+					}
+					if err := e.Write(id, batch...); err != nil {
+						errCh <- err
+						return
+					}
+					oracles[s].apply(tortureOp{kind: 'w', id: id, pts: batch})
+				}
+			}
+		}(s)
+	}
+
+	var aux sync.WaitGroup
+	// Wildcard reader: expand the sorted series list, snapshot each, run
+	// the batched operator.
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		q := m4.Query{Tqs: 0, Tqe: 512, W: 16}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			listed := e.SeriesIDs()
+			if !sort.StringsAreSorted(listed) {
+				errCh <- errors.New("SeriesIDs not sorted")
+				return
+			}
+			snaps := make([]*storage.Snapshot, 0, len(listed))
+			for _, id := range listed {
+				snap, err := e.Snapshot(id, q.Range())
+				if err != nil {
+					errCh <- err
+					return
+				}
+				snaps = append(snaps, snap)
+			}
+			if _, err := m4lsm.ComputeMulti(snaps, q); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	// Compaction loop.
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := e.Compact(); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+
+	writers.Wait()
+	close(stop)
+	aux.Wait()
+
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	// Quiesced: the engine must now hold exactly the oracles' data.
+	q := m4.Query{Tqs: 0, Tqe: 512, W: 16}
+	full := series.TimeRange{Start: -1 << 40, End: 1 << 40}
+	for s, id := range ids {
+		snap, err := e.Snapshot(id, full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := materialize(t, snap, full)
+		want := oracles[s].series(id)
+		if !seriesEqual(got, want) {
+			t.Fatalf("series %s: got %v, want %v", id, got, want)
+		}
+		ref, err := m4.ComputeSeries(q, want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err = e.Snapshot(id, q.Range())
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsmAggs, err := m4lsm.Compute(snap, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err = e.Snapshot(id, q.Range())
+		if err != nil {
+			t.Fatal(err)
+		}
+		udfAggs, err := m4udf.Compute(snap, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if !m4.Equivalent(lsmAggs[i], ref[i]) || !m4.Equivalent(udfAggs[i], ref[i]) {
+				t.Fatalf("series %s span %d: lsm %v, udf %v, want %v", id, i, lsmAggs[i], udfAggs[i], ref[i])
+			}
 		}
 	}
 }

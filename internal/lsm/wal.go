@@ -13,11 +13,29 @@ import (
 // WAL payloads. Record framing (length + CRC) is provided by
 // tsfile.RecordLog; these encode the payload bytes only.
 //
-//	insert: 0x01 | uvarint len(id) | id | uvarint n | n × (varint t, 8B v)
-//	delete: 0x02 | uvarint len(id) | id | uvarint version | varint start | varint end
+//	insert:         0x01 | body
+//	delete:         0x02 | body
+//	insert sharded: 0x03 | uvarint shard | body
+//	delete sharded: 0x04 | uvarint shard | body
+//
+//	insert body: uvarint len(id) | id | uvarint n | n × (varint t, 8B v)
+//	delete body: uvarint len(id) | id | uvarint version | varint start | varint end
+//
+// The sharded forms (what the engine writes) prefix the body with the
+// writing shard's index. The tag is diagnostic: replay always re-routes by
+// hashing the series id, so WALs survive a NumShards change, and the
+// untagged legacy forms still decode.
 
 func encodeInsert(seriesID string, pts []series.Point) []byte {
-	buf := []byte{walOpInsert}
+	return appendInsertBody([]byte{walOpInsert}, seriesID, pts)
+}
+
+func encodeInsertSharded(shard int, seriesID string, pts []series.Point) []byte {
+	buf := encoding.AppendUvarint([]byte{walOpInsertSharded}, uint64(shard))
+	return appendInsertBody(buf, seriesID, pts)
+}
+
+func appendInsertBody(buf []byte, seriesID string, pts []series.Point) []byte {
 	buf = encoding.AppendUvarint(buf, uint64(len(seriesID)))
 	buf = append(buf, seriesID...)
 	buf = encoding.AppendUvarint(buf, uint64(len(pts)))
@@ -68,7 +86,15 @@ func decodeInsert(b []byte) (string, []series.Point, error) {
 }
 
 func encodeDelete(d storage.Delete) []byte {
-	buf := []byte{walOpDelete}
+	return appendDeleteBody([]byte{walOpDelete}, d)
+}
+
+func encodeDeleteSharded(shard int, d storage.Delete) []byte {
+	buf := encoding.AppendUvarint([]byte{walOpDeleteSharded}, uint64(shard))
+	return appendDeleteBody(buf, d)
+}
+
+func appendDeleteBody(buf []byte, d storage.Delete) []byte {
 	buf = encoding.AppendUvarint(buf, uint64(len(d.SeriesID)))
 	buf = append(buf, d.SeriesID...)
 	buf = encoding.AppendUvarint(buf, uint64(d.Version))

@@ -32,8 +32,6 @@ package m4lsm
 import (
 	"context"
 	"fmt"
-	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -91,168 +89,19 @@ func ComputeWithOptions(snap *storage.Snapshot, q m4.Query, opts Options) ([]m4.
 // the worker pool at the next task or chunk-load boundary and returns
 // ctx.Err(). The snapshot's cost counters are final once ComputeContext
 // returns — every worker has joined, cancelled or not.
+//
+// The implementation is a one-series batch: see ComputeMultiContext in
+// multi.go, which plans the (span, G) task decomposition, runs the two
+// waves (FP first, then LP/BP/TP for the surviving spans) over the shared
+// worker pool, and assembles the aggregates. The decomposition is identical
+// at every parallelism level and batch size, so the output is byte-identical
+// whatever the worker count.
 func ComputeContext(ctx context.Context, snap *storage.Snapshot, q m4.Query, opts Options) ([]m4.Aggregate, error) {
-	if err := q.Validate(); err != nil {
+	outs, err := ComputeMultiContext(ctx, []*storage.Snapshot{snap}, q, opts)
+	if err != nil {
 		return nil, err
 	}
-	op := &operator{ctx: ctx, snap: snap, q: q, opts: opts, stats: snap.Stats}
-	if op.stats == nil {
-		op.stats = &storage.Stats{}
-	}
-	// Tracing and metrics share one guard: when both are off (the common
-	// case) the only cost below is a handful of nil checks.
-	op.tr = obs.TraceOf(ctx)
-	op.met = obs.NewOperatorMetrics(opts.Metrics, "lsm")
-	var start, phaseStart time.Time
-	var statsBefore storage.Stats
-	instrumented := op.tr != nil || op.met != nil
-	if instrumented {
-		start = time.Now()
-		phaseStart = start
-		statsBefore = op.stats.Load()
-	}
-	phase := func(name string) {
-		if op.tr != nil {
-			now := time.Now()
-			op.tr.Phase(name, now.Sub(phaseStart))
-			phaseStart = now
-		}
-	}
-	// One shared state per chunk: loads and indexes are reused across
-	// spans and representation functions.
-	op.states = make([]*chunkState, len(snap.Chunks))
-	for i, ref := range snap.Chunks {
-		op.states[i] = &chunkState{ref: ref, meta: ref.Meta}
-	}
-	// Deletes sorted by version so bound-tightening chains terminate; the
-	// interval index answers per-point coverage checks during metadata
-	// recalculation in O(log D) (the delete-sort of reference [1]).
-	op.deletes = append([]storage.Delete(nil), snap.Deletes...)
-	sort.Slice(op.deletes, func(i, j int) bool { return op.deletes[i].Version < op.deletes[j].Version })
-	op.deleteIx = storage.NewDeleteIndex(op.deletes)
-
-	// Distribute chunks to spans by index interval instead of scanning
-	// all chunks per span.
-	perSpan := make([][]*chunkState, q.W)
-	for _, cs := range op.states {
-		lo := clampSpan(q, cs.meta.First.T)
-		hi := clampSpan(q, cs.meta.Last.T)
-		for i := lo; i <= hi; i++ {
-			// Guard against zero-width spans produced by W > range.
-			if s := q.Span(i); cs.meta.OverlapsRange(s) {
-				perSpan[i] = append(perSpan[i], cs)
-			}
-		}
-	}
-
-	// The (span, G) tasks are independent: each gets its own views (the
-	// per-span restriction of chunk metadata) and only shares the
-	// read-only snapshot, the delete index and the singleflight-gated
-	// chunk states. Tasks run in two waves so the paper's lazy-load
-	// guarantees survive the fan-out: FP tasks first — FP proves span
-	// emptiness by chaining delete bounds without loading — then LP/BP/TP
-	// only for spans FP found non-empty (a BP/TP task on an all-deleted
-	// span would load its chunks just to discover there is nothing left).
-	// Spans with no overlapping chunks answer Empty without any task.
-	// The decomposition is identical at every parallelism level, so the
-	// output is byte-identical whatever the worker count.
-	out := make([]m4.Aggregate, q.W)
-	work := make([]int, 0, q.W) // span indexes with at least one chunk
-	for i := 0; i < q.W; i++ {
-		if q.Span(i).Empty() || len(perSpan[i]) == 0 {
-			out[i] = m4.Aggregate{Empty: true}
-			continue
-		}
-		work = append(work, i)
-	}
-	par := opts.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
-	phase("plan")
-
-	firsts := make([]gResult, len(work))
-	runPool(par, len(work), func(t int) error {
-		span := work[t]
-		pt, ok, err := op.timedG(span, q.Span(span), perSpan[span], gFP)
-		firsts[t] = gResult{pt: pt, ok: ok, err: err}
-		return err
-	})
-	phase("wave-fp")
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	live := make([]int, 0, len(work)) // indexes into work with surviving points
-	for k, i := range work {
-		if err := firsts[k].err; err != nil {
-			return nil, fmt.Errorf("m4lsm: span %d: %w", i, err)
-		}
-		if firsts[k].ok {
-			live = append(live, k)
-		} else {
-			out[i] = m4.Aggregate{Empty: true}
-		}
-	}
-
-	const restCount = gCount - 1 // LP, BP, TP
-	rests := make([]gResult, restCount*len(live))
-	runPool(par, len(rests), func(t int) error {
-		span := work[live[t/restCount]]
-		pt, ok, err := op.timedG(span, q.Span(span), perSpan[span], gLP+gKind(t%restCount))
-		rests[t] = gResult{pt: pt, ok: ok, err: err}
-		return err
-	})
-	phase("wave-rest")
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	// Report the first error in span order before assembling: after a
-	// failure the pool stops early, leaving later tasks with zero results
-	// that must not be mistaken for empty spans.
-	for j, k := range live {
-		i := work[k]
-		for _, r := range rests[restCount*j : restCount*j+restCount] {
-			if r.err != nil {
-				return nil, fmt.Errorf("m4lsm: span %d: %w", i, r.err)
-			}
-		}
-	}
-	for j, k := range live {
-		i := work[k]
-		g := rests[restCount*j : restCount*j+restCount]
-		for kind, r := range g {
-			if !r.ok {
-				// With chunks dropped mid-query, a function can come up
-				// empty on a span FP proved non-empty (FP answered from
-				// metadata, the data load failed later). FP's point is a
-				// real surviving point of the span, so substitute it — a
-				// valid, if non-extremal, representation — and warn.
-				if !opts.Strict && op.degraded.Load() {
-					g[kind] = gResult{pt: firsts[k].pt, ok: true}
-					snap.Warnings.Add("span %d: %v lost to unreadable chunks, substituted FP", i, gLP+gKind(kind))
-					continue
-				}
-				return nil, fmt.Errorf("internal: span %d: %v empty after FP found %v", i, gLP+gKind(kind), firsts[k].pt)
-			}
-		}
-		out[i] = m4.Aggregate{First: firsts[k].pt, Last: g[0].pt, Bottom: g[1].pt, Top: g[2].pt}
-	}
-	// Workers have joined; the chunk-state flags are safe to read plainly.
-	pruned := int64(0)
-	for _, cs := range op.states {
-		if !cs.hasData && !cs.hasTimes {
-			pruned++
-		}
-	}
-	atomic.AddInt64(&op.stats.ChunksPruned, pruned)
-	if instrumented {
-		phase("assemble")
-		delta := op.stats.Load().Sub(statsBefore)
-		op.met.RecordQuery(time.Since(start), delta.ChunksLoaded, delta.ChunksPruned,
-			delta.TimeBlocksLoaded, delta.PointsDecoded, delta.CacheHits)
-		op.tr.SetCounters(delta.Map())
-	}
-	return out, nil
+	return outs[0], nil
 }
 
 // timedG wraps computeG with per-task timing when tracing or metrics are

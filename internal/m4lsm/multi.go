@@ -1,0 +1,266 @@
+package m4lsm
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"m4lsm/internal/m4"
+	"m4lsm/internal/obs"
+	"m4lsm/internal/storage"
+)
+
+// ComputeMulti runs one M4 query over several series with default options.
+func ComputeMulti(snaps []*storage.Snapshot, q m4.Query) ([][]m4.Aggregate, error) {
+	return ComputeMultiContext(context.Background(), snaps, q, Options{})
+}
+
+// ComputeMultiContext evaluates one M4 query over several series' snapshots
+// as a single batch: the series×span×G tasks of every series feed one shared
+// worker pool, so a fleet-style dashboard query (one chart per sensor) costs
+// two pool waves total instead of two per series. Results are positional —
+// out[i] belongs to snaps[i] — and byte-identical to running ComputeContext
+// on each snapshot alone: the decomposition into tasks is the same, only the
+// scheduling is batched. Per-series cost counters, warnings and degradation
+// stay attributed to each snapshot's own Stats and Warnings.
+//
+// The single-series ComputeContext is this batch with one plan, so there is
+// exactly one candidate-loop implementation to keep correct.
+func ComputeMultiContext(ctx context.Context, snaps []*storage.Snapshot, q m4.Query, opts Options) ([][]m4.Aggregate, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if len(snaps) == 0 {
+		return nil, nil
+	}
+	tr := obs.TraceOf(ctx)
+	met := obs.NewOperatorMetrics(opts.Metrics, "lsm")
+	instrumented := tr != nil || met != nil
+	var start, phaseStart time.Time
+	if instrumented {
+		start = time.Now()
+		phaseStart = start
+	}
+	phase := func(name string) {
+		if tr != nil {
+			now := time.Now()
+			tr.Phase(name, now.Sub(phaseStart))
+			phaseStart = now
+		}
+	}
+	// seriesErr attributes a task failure: single-series batches keep the
+	// historical "m4lsm: span %d" shape, multi-series batches name the
+	// series so a fleet query's error is actionable.
+	seriesErr := func(p *seriesPlan, span int, err error) error {
+		if len(snaps) == 1 {
+			return fmt.Errorf("m4lsm: span %d: %w", span, err)
+		}
+		return fmt.Errorf("m4lsm: series %q span %d: %w", p.op.snap.SeriesID, span, err)
+	}
+
+	plans := make([]*seriesPlan, len(snaps))
+	for i, snap := range snaps {
+		plans[i] = newSeriesPlan(ctx, snap, q, opts, tr, met, instrumented)
+	}
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	phase("plan")
+
+	// Wave 1: every series' FP tasks in one pool. FP proves span emptiness
+	// by chaining delete bounds without loading chunk data, so LP/BP/TP
+	// work only the spans that survive (see ComputeContext's two-wave
+	// rationale — batching does not change the per-series decomposition).
+	type fpRef struct{ plan, k int } // k indexes plan.work
+	var fpTasks []fpRef
+	for pi, p := range plans {
+		for k := range p.work {
+			fpTasks = append(fpTasks, fpRef{pi, k})
+		}
+	}
+	runPool(par, len(fpTasks), func(t int) error {
+		ref := fpTasks[t]
+		p := plans[ref.plan]
+		span := p.work[ref.k]
+		pt, ok, err := p.op.timedG(span, q.Span(span), p.perSpan[span], gFP)
+		p.firsts[ref.k] = gResult{pt: pt, ok: ok, err: err}
+		return err
+	})
+	phase("wave-fp")
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, p := range plans {
+		for k, i := range p.work {
+			if err := p.firsts[k].err; err != nil {
+				return nil, seriesErr(p, i, err)
+			}
+			if p.firsts[k].ok {
+				p.live = append(p.live, k)
+			} else {
+				p.out[i] = m4.Aggregate{Empty: true}
+			}
+		}
+	}
+
+	// Wave 2: LP/BP/TP for every live span of every series, one pool.
+	const restCount = gCount - 1
+	type restRef struct{ plan, j, kind int } // j indexes plan.live
+	var restTasks []restRef
+	for pi, p := range plans {
+		p.rests = make([]gResult, restCount*len(p.live))
+		for j := range p.live {
+			for kind := 0; kind < restCount; kind++ {
+				restTasks = append(restTasks, restRef{pi, j, kind})
+			}
+		}
+	}
+	runPool(par, len(restTasks), func(t int) error {
+		ref := restTasks[t]
+		p := plans[ref.plan]
+		span := p.work[p.live[ref.j]]
+		pt, ok, err := p.op.timedG(span, q.Span(span), p.perSpan[span], gLP+gKind(ref.kind))
+		p.rests[restCount*ref.j+ref.kind] = gResult{pt: pt, ok: ok, err: err}
+		return err
+	})
+	phase("wave-rest")
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Report the first error in (series, span) order before assembling:
+	// after a failure the pool stops early, leaving later tasks with zero
+	// results that must not be mistaken for empty spans.
+	for _, p := range plans {
+		for j, k := range p.live {
+			i := p.work[k]
+			for _, r := range p.rests[restCount*j : restCount*j+restCount] {
+				if r.err != nil {
+					return nil, seriesErr(p, i, r.err)
+				}
+			}
+		}
+	}
+	outs := make([][]m4.Aggregate, len(plans))
+	for pi, p := range plans {
+		if err := p.assemble(); err != nil {
+			return nil, err
+		}
+		outs[pi] = p.out
+	}
+	if instrumented {
+		phase("assemble")
+		elapsed := time.Since(start)
+		total := map[string]int64{}
+		for _, p := range plans {
+			delta := p.op.stats.Load().Sub(p.statsBefore)
+			met.RecordQuery(elapsed, delta.ChunksLoaded, delta.ChunksPruned,
+				delta.TimeBlocksLoaded, delta.PointsDecoded, delta.CacheHits)
+			for k, v := range delta.Map() {
+				total[k] += v
+			}
+		}
+		tr.SetCounters(total)
+	}
+	return outs, nil
+}
+
+// seriesPlan is one series' share of a batched query: its operator (chunk
+// states, delete index, per-series stats), the span→chunk distribution, and
+// the task-result slots the two waves fill in.
+type seriesPlan struct {
+	op          *operator
+	perSpan     [][]*chunkState
+	out         []m4.Aggregate
+	work        []int // span indexes with at least one chunk
+	firsts      []gResult
+	live        []int // indexes into work with surviving points
+	rests       []gResult
+	statsBefore storage.Stats
+}
+
+// newSeriesPlan builds the per-series operator state exactly the way the
+// single-series path always has: one shared chunkState per chunk (the
+// singleflight gate), deletes sorted by version, chunks distributed to
+// spans by index interval, and spans with no chunks answered Empty with no
+// task at all.
+func newSeriesPlan(ctx context.Context, snap *storage.Snapshot, q m4.Query, opts Options, tr *obs.Trace, met *obs.OperatorMetrics, instrumented bool) *seriesPlan {
+	op := &operator{ctx: ctx, snap: snap, q: q, opts: opts, stats: snap.Stats, tr: tr, met: met}
+	if op.stats == nil {
+		op.stats = &storage.Stats{}
+	}
+	op.states = make([]*chunkState, len(snap.Chunks))
+	for i, ref := range snap.Chunks {
+		op.states[i] = &chunkState{ref: ref, meta: ref.Meta}
+	}
+	op.deletes = append([]storage.Delete(nil), snap.Deletes...)
+	sort.Slice(op.deletes, func(i, j int) bool { return op.deletes[i].Version < op.deletes[j].Version })
+	op.deleteIx = storage.NewDeleteIndex(op.deletes)
+
+	p := &seriesPlan{op: op}
+	if instrumented {
+		p.statsBefore = op.stats.Load()
+	}
+	p.perSpan = make([][]*chunkState, q.W)
+	for _, cs := range op.states {
+		lo := clampSpan(q, cs.meta.First.T)
+		hi := clampSpan(q, cs.meta.Last.T)
+		for i := lo; i <= hi; i++ {
+			// Guard against zero-width spans produced by W > range.
+			if s := q.Span(i); cs.meta.OverlapsRange(s) {
+				p.perSpan[i] = append(p.perSpan[i], cs)
+			}
+		}
+	}
+	p.out = make([]m4.Aggregate, q.W)
+	p.work = make([]int, 0, q.W)
+	for i := 0; i < q.W; i++ {
+		if q.Span(i).Empty() || len(p.perSpan[i]) == 0 {
+			p.out[i] = m4.Aggregate{Empty: true}
+			continue
+		}
+		p.work = append(p.work, i)
+	}
+	p.firsts = make([]gResult, len(p.work))
+	return p
+}
+
+// assemble combines the wave results into the series' aggregates, applying
+// the FP-substitution rule for degraded (non-strict, chunk-dropped) queries
+// and folding the pruned-chunk count into the series' stats.
+func (p *seriesPlan) assemble() error {
+	const restCount = gCount - 1
+	op := p.op
+	for j, k := range p.live {
+		i := p.work[k]
+		g := p.rests[restCount*j : restCount*j+restCount]
+		for kind, r := range g {
+			if !r.ok {
+				// With chunks dropped mid-query, a function can come up
+				// empty on a span FP proved non-empty (FP answered from
+				// metadata, the data load failed later). FP's point is a
+				// real surviving point of the span, so substitute it — a
+				// valid, if non-extremal, representation — and warn.
+				if !op.opts.Strict && op.degraded.Load() {
+					g[kind] = gResult{pt: p.firsts[k].pt, ok: true}
+					op.snap.Warnings.Add("span %d: %v lost to unreadable chunks, substituted FP", i, gLP+gKind(kind))
+					continue
+				}
+				return fmt.Errorf("internal: span %d: %v empty after FP found %v", i, gLP+gKind(kind), p.firsts[k].pt)
+			}
+		}
+		p.out[i] = m4.Aggregate{First: p.firsts[k].pt, Last: g[0].pt, Bottom: g[1].pt, Top: g[2].pt}
+	}
+	// Workers have joined; the chunk-state flags are safe to read plainly.
+	pruned := int64(0)
+	for _, cs := range op.states {
+		if !cs.hasData && !cs.hasTimes {
+			pruned++
+		}
+	}
+	atomic.AddInt64(&op.stats.ChunksPruned, pruned)
+	return nil
+}

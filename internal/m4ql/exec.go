@@ -34,18 +34,69 @@ type Result struct {
 	Partial  bool     `json:"partial,omitempty"`
 	Warnings []string `json:"warnings,omitempty"`
 
+	// Series holds the per-series row blocks of a multi-series statement
+	// (`FROM s1, s2` or `FROM root.*`), in sorted-id order for wildcards
+	// and FROM order otherwise. Single-series statements leave it nil and
+	// keep the historical flat shape; for multi-series statements the
+	// top-level Rows stay nil, Stats sums every series' counters, and
+	// Partial/Warnings aggregate with series attribution.
+	Series []SeriesResult `json:"series,omitempty"`
+
 	// Trace is the structured execution trace, present when the statement
 	// had a TRACE clause or the context carried an armed trace.
 	Trace *obs.Snapshot `json:"trace,omitempty"`
 }
 
-// Text renders the result as an aligned table for CLI output.
+// SeriesResult is one series' block of a multi-series result: its rows in
+// the same span/column layout as the single-series form, with the series'
+// own cost counters and degradation status.
+type SeriesResult struct {
+	SeriesID string        `json:"seriesId"`
+	Rows     [][]float64   `json:"rows"`
+	Stats    storage.Stats `json:"stats"`
+	Partial  bool          `json:"partial,omitempty"`
+	Warnings []string      `json:"warnings,omitempty"`
+}
+
+// Text renders the result as an aligned table for CLI output; multi-series
+// results render one block per series.
 func (r *Result) Text() string {
 	var sb strings.Builder
-	widths := make([]int, len(r.Columns))
-	cells := make([][]string, 0, len(r.Rows)+1)
-	cells = append(cells, r.Columns)
-	for _, row := range r.Rows {
+	if len(r.Series) > 0 {
+		for i := range r.Series {
+			s := &r.Series[i]
+			fmt.Fprintf(&sb, "-- series %s --\n", s.SeriesID)
+			writeTable(&sb, r.Columns, s.Rows)
+			fmt.Fprintf(&sb, "-- %d of %d spans non-empty, %v\n", len(s.Rows), r.SpanCount, &s.Stats)
+			if s.Partial {
+				fmt.Fprintf(&sb, "-- PARTIAL RESULT: %d unreadable chunk(s) skipped\n", len(s.Warnings))
+				for _, w := range s.Warnings {
+					fmt.Fprintf(&sb, "--   warning: %s\n", w)
+				}
+			}
+		}
+		fmt.Fprintf(&sb, "-- %d series, %s, %v, %v\n",
+			len(r.Series), r.Operator, r.Elapsed.Round(time.Microsecond), &r.Stats)
+		return sb.String()
+	}
+	writeTable(&sb, r.Columns, r.Rows)
+	fmt.Fprintf(&sb, "-- %d of %d spans non-empty, %s, %v, %v\n",
+		len(r.Rows), r.SpanCount, r.Operator, r.Elapsed.Round(time.Microsecond), &r.Stats)
+	if r.Partial {
+		fmt.Fprintf(&sb, "-- PARTIAL RESULT: %d unreadable chunk(s) skipped\n", len(r.Warnings))
+		for _, w := range r.Warnings {
+			fmt.Fprintf(&sb, "--   warning: %s\n", w)
+		}
+	}
+	return sb.String()
+}
+
+// writeTable renders one aligned column/row block.
+func writeTable(sb *strings.Builder, columns []string, rows [][]float64) {
+	widths := make([]int, len(columns))
+	cells := make([][]string, 0, len(rows)+1)
+	cells = append(cells, columns)
+	for _, row := range rows {
 		line := make([]string, len(row))
 		for i, v := range row {
 			line[i] = strconv.FormatFloat(v, 'g', -1, 64)
@@ -64,19 +115,10 @@ func (r *Result) Text() string {
 			if i > 0 {
 				sb.WriteString("  ")
 			}
-			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+			fmt.Fprintf(sb, "%-*s", widths[i], c)
 		}
 		sb.WriteByte('\n')
 	}
-	fmt.Fprintf(&sb, "-- %d of %d spans non-empty, %s, %v, %v\n",
-		len(r.Rows), r.SpanCount, r.Operator, r.Elapsed.Round(time.Microsecond), &r.Stats)
-	if r.Partial {
-		fmt.Fprintf(&sb, "-- PARTIAL RESULT: %d unreadable chunk(s) skipped\n", len(r.Warnings))
-		for _, w := range r.Warnings {
-			fmt.Fprintf(&sb, "--   warning: %s\n", w)
-		}
-	}
-	return sb.String()
 }
 
 // Execute runs a parsed statement against the engine.
@@ -90,6 +132,9 @@ func ExecuteContext(ctx context.Context, e *lsm.Engine, stmt Statement) (*Result
 	tr := obs.TraceOf(ctx)
 	if tr == nil && stmt.Trace {
 		ctx, tr = obs.WithTrace(ctx)
+	}
+	if stmt.Multi() {
+		return executeMulti(ctx, e, stmt, tr)
 	}
 	if len(stmt.Aggregates) > 0 {
 		return executeGroupBy(ctx, e, stmt)
@@ -141,6 +186,151 @@ func ExecuteContext(ctx context.Context, e *lsm.Engine, stmt Statement) (*Result
 	}
 	if tr != nil {
 		tr.Warn(warnings...)
+		res.Trace = tr.Finish()
+	}
+	return res, nil
+}
+
+// resolveSeries turns the statement's FROM clause into the concrete series
+// list: explicit lists pass through in FROM order, wildcards expand against
+// the engine's sorted SeriesIDs filtered by prefix. An empty wildcard match
+// is a valid (empty) result, not an error — dashboards issue `root.*`
+// against empty databases all the time.
+func resolveSeries(e *lsm.Engine, stmt Statement) []string {
+	if !stmt.Wildcard {
+		return stmt.Series
+	}
+	var ids []string
+	for _, id := range e.SeriesIDs() {
+		if strings.HasPrefix(id, stmt.WildcardPrefix) {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// executeMulti runs a multi-series statement (`FROM s1, s2` or a wildcard)
+// as one batched query: all series' snapshots are taken first, then the
+// series×span×G tasks feed a single shared worker pool via the operators'
+// ComputeMultiContext. Each series keeps its own rows, cost counters and
+// degradation status; the top-level Stats is their sum and Partial/Warnings
+// aggregate with series attribution.
+func executeMulti(ctx context.Context, e *lsm.Engine, stmt Statement, tr *obs.Trace) (*Result, error) {
+	ids := resolveSeries(e, stmt)
+	snaps := make([]*storage.Snapshot, len(ids))
+	for i, id := range ids {
+		snap, err := e.Snapshot(id, stmt.Query.Range())
+		if err != nil {
+			return nil, fmt.Errorf("m4ql: series %q: %w", id, err)
+		}
+		if stmt.Strict {
+			if ws := snap.Warnings.List(); len(ws) > 0 {
+				return nil, fmt.Errorf("m4ql: strict read: series %q: %s", id, ws[0])
+			}
+		}
+		snaps[i] = snap
+	}
+	start := time.Now()
+	var outs [][]m4.Aggregate
+	var err error
+	if len(stmt.Aggregates) > 0 {
+		// GROUP BY aggregates scan merged streams per series; there is no
+		// batched operator for them, so loop sequentially.
+		return executeGroupByMulti(ctx, e, stmt, tr, ids, snaps, start)
+	}
+	switch stmt.Operator {
+	case OpUDF:
+		outs, err = m4udf.ComputeMultiContext(ctx, snaps, stmt.Query, m4udf.Options{Parallelism: stmt.Parallelism, Strict: stmt.Strict, Metrics: e.Metrics()})
+	default:
+		outs, err = m4lsm.ComputeMultiContext(ctx, snaps, stmt.Query, m4lsm.Options{Parallelism: stmt.Parallelism, Strict: stmt.Strict, Metrics: e.Metrics()})
+	}
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	res := &Result{
+		Columns:   append([]string{"span"}, columnStrings(stmt.Columns)...),
+		Operator:  stmt.Operator.String(),
+		Elapsed:   elapsed,
+		SpanCount: stmt.Query.W,
+		Series:    make([]SeriesResult, len(ids)),
+	}
+	for si, id := range ids {
+		sr := SeriesResult{SeriesID: id, Stats: snaps[si].Stats.Load()}
+		sr.Warnings = snaps[si].Warnings.List()
+		sr.Partial = len(sr.Warnings) > 0
+		for i, a := range outs[si] {
+			if a.Empty {
+				continue
+			}
+			row := make([]float64, 0, len(stmt.Columns)+1)
+			row = append(row, float64(i))
+			for _, c := range stmt.Columns {
+				row = append(row, cell(a, c))
+			}
+			sr.Rows = append(sr.Rows, row)
+		}
+		res.Stats.Add(sr.Stats)
+		if sr.Partial {
+			res.Partial = true
+			for _, w := range sr.Warnings {
+				res.Warnings = append(res.Warnings, fmt.Sprintf("series %s: %s", id, w))
+			}
+		}
+		res.Series[si] = sr
+	}
+	if tr != nil {
+		tr.Warn(res.Warnings...)
+		res.Trace = tr.Finish()
+	}
+	return res, nil
+}
+
+// executeGroupByMulti is the aggregate form over several series: a
+// sequential per-series groupby.Compute with the same per-series result
+// blocks as the M4 form.
+func executeGroupByMulti(ctx context.Context, e *lsm.Engine, stmt Statement, tr *obs.Trace, ids []string, snaps []*storage.Snapshot, start time.Time) (*Result, error) {
+	res := &Result{
+		Columns:   []string{"span"},
+		Operator:  stmt.Operator.String(),
+		SpanCount: stmt.Query.W,
+		Series:    make([]SeriesResult, len(ids)),
+	}
+	for _, f := range stmt.Aggregates {
+		res.Columns = append(res.Columns, f.String())
+	}
+	for si, id := range ids {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rows, err := groupby.Compute(snaps[si], stmt.Query, stmt.Aggregates)
+		if err != nil {
+			return nil, fmt.Errorf("m4ql: series %q: %w", id, err)
+		}
+		sr := SeriesResult{SeriesID: id, Stats: snaps[si].Stats.Load()}
+		sr.Warnings = snaps[si].Warnings.List()
+		sr.Partial = len(sr.Warnings) > 0
+		for _, r := range rows {
+			row := make([]float64, 0, len(r.Values)+1)
+			row = append(row, float64(r.Span))
+			row = append(row, r.Values...)
+			sr.Rows = append(sr.Rows, row)
+		}
+		res.Stats.Add(sr.Stats)
+		if sr.Partial {
+			res.Partial = true
+			for _, w := range sr.Warnings {
+				res.Warnings = append(res.Warnings, fmt.Sprintf("series %s: %s", id, w))
+			}
+		}
+		res.Series[si] = sr
+	}
+	res.Elapsed = time.Since(start)
+	if tr != nil {
+		tr.Phase("groupby", res.Elapsed)
+		tr.Warn(res.Warnings...)
+		tr.SetCounters(res.Stats.Map())
 		res.Trace = tr.Finish()
 	}
 	return res, nil
@@ -229,7 +419,14 @@ func ExplainContext(ctx context.Context, e *lsm.Engine, stmt Statement) (string,
 		op = "M4-UDF (load all chunks, k-way merge, scan)"
 	}
 	fmt.Fprintf(&sb, "M4 representation query\n")
-	fmt.Fprintf(&sb, "  series:   %s\n", stmt.SeriesID)
+	switch {
+	case stmt.Wildcard:
+		fmt.Fprintf(&sb, "  series:   %s* (%d matched)\n", stmt.WildcardPrefix, len(res.Series))
+	case len(stmt.Series) > 1:
+		fmt.Fprintf(&sb, "  series:   %s\n", strings.Join(stmt.Series, ", "))
+	default:
+		fmt.Fprintf(&sb, "  series:   %s\n", stmt.SeriesID)
+	}
 	fmt.Fprintf(&sb, "  range:    [%d, %d) in %d spans\n", stmt.Query.Tqs, stmt.Query.Tqe, stmt.Query.W)
 	fmt.Fprintf(&sb, "  operator: %s\n", op)
 	if stmt.Parallelism > 0 {
@@ -247,7 +444,11 @@ func ExplainContext(ctx context.Context, e *lsm.Engine, stmt Statement) (string,
 	fmt.Fprintf(&sb, "  candidate rounds:     %d\n", s.CandidateRounds)
 	fmt.Fprintf(&sb, "  index probes:         %d (%d existence, %d boundary)\n",
 		s.IndexProbes, s.ExistProbes, s.BoundaryProbes)
-	fmt.Fprintf(&sb, "  non-empty spans:      %d of %d\n", len(res.Rows), res.SpanCount)
+	nonEmpty := len(res.Rows)
+	for i := range res.Series {
+		nonEmpty += len(res.Series[i].Rows)
+	}
+	fmt.Fprintf(&sb, "  non-empty spans:      %d of %d\n", nonEmpty, res.SpanCount)
 	return sb.String(), nil
 }
 

@@ -20,6 +20,7 @@ func TestParseM4Star(t *testing.T) {
 	want := Statement{
 		Columns:  AllColumns(),
 		SeriesID: "root.kob",
+		Series:   []string{"root.kob"},
 		Query:    m4.Query{Tqs: 0, Tqe: 1000, W: 10},
 		Operator: OpLSM,
 	}
@@ -416,4 +417,119 @@ func mustParse(t *testing.T, q string) Statement {
 		t.Fatal(err)
 	}
 	return stmt
+}
+
+func TestParseMultiSeries(t *testing.T) {
+	stmt := mustParse(t, `SELECT M4(*) FROM s1, s2, "s 3" WHERE time >= 0 AND time < 100 GROUP BY SPANS(4)`)
+	if !reflect.DeepEqual(stmt.Series, []string{"s1", "s2", "s 3"}) {
+		t.Fatalf("series = %v", stmt.Series)
+	}
+	if stmt.SeriesID != "s1" || !stmt.Multi() || stmt.Wildcard {
+		t.Fatalf("stmt = %+v", stmt)
+	}
+
+	stmt = mustParse(t, `SELECT M4(*) FROM root.* WHERE time >= 0 AND time < 100 GROUP BY SPANS(4)`)
+	if !stmt.Wildcard || stmt.WildcardPrefix != "root." || !stmt.Multi() {
+		t.Fatalf("stmt = %+v", stmt)
+	}
+	stmt = mustParse(t, `SELECT M4(*) FROM * WHERE time >= 0 AND time < 100 GROUP BY SPANS(4)`)
+	if !stmt.Wildcard || stmt.WildcardPrefix != "" {
+		t.Fatalf("stmt = %+v", stmt)
+	}
+
+	bad := []string{
+		`SELECT M4(*) FROM root.*, s2 WHERE time >= 0 AND time < 100 GROUP BY SPANS(4)`,
+		`SELECT M4(*) FROM s1, root.* WHERE time >= 0 AND time < 100 GROUP BY SPANS(4)`,
+		`SELECT M4(*) FROM s1, s1 WHERE time >= 0 AND time < 100 GROUP BY SPANS(4)`,
+		`SELECT M4(*) FROM s1, WHERE time >= 0 AND time < 100 GROUP BY SPANS(4)`,
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("accepted: %s", q)
+		}
+	}
+}
+
+func TestExecuteMultiSeries(t *testing.T) {
+	e := newEngine(t)
+	for i := 0; i < 60; i++ {
+		e.Write("root.a", series.Point{T: int64(i * 10), V: float64(i % 5)})
+		e.Write("root.b", series.Point{T: int64(i * 10), V: float64(i % 9)})
+		e.Write("other", series.Point{T: int64(i * 10), V: 1})
+	}
+	e.Flush()
+	for _, op := range []string{"LSM", "UDF"} {
+		res, err := Run(e, `SELECT M4(*) FROM root.* WHERE time >= 0 AND time < 600 GROUP BY SPANS(4) USING `+op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Series) != 2 || res.Series[0].SeriesID != "root.a" || res.Series[1].SeriesID != "root.b" {
+			t.Fatalf("%s series = %+v", op, res.Series)
+		}
+		if res.Rows != nil {
+			t.Errorf("%s top-level rows present in multi result", op)
+		}
+		// Each series' block must match its own single-series run.
+		for _, sr := range res.Series {
+			single, err := Run(e, `SELECT M4(*) FROM "`+sr.SeriesID+`" WHERE time >= 0 AND time < 600 GROUP BY SPANS(4) USING `+op)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(sr.Rows, single.Rows) {
+				t.Errorf("%s %s rows diverge from single-series run", op, sr.SeriesID)
+			}
+		}
+		if res.Text() == "" {
+			t.Error("empty text rendering")
+		}
+	}
+	// Explicit list preserves FROM order.
+	res, err := Run(e, `SELECT M4(*) FROM root.b, root.a WHERE time >= 0 AND time < 600 GROUP BY SPANS(4)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 || res.Series[0].SeriesID != "root.b" {
+		t.Fatalf("series = %+v", res.Series)
+	}
+	// Empty wildcard match is an empty result, not an error.
+	res, err = Run(e, `SELECT M4(*) FROM nothing.* WHERE time >= 0 AND time < 600 GROUP BY SPANS(4)`)
+	if err != nil || len(res.Series) != 0 {
+		t.Fatalf("empty wildcard: %+v %v", res, err)
+	}
+}
+
+func TestExecuteMultiSeriesAggregates(t *testing.T) {
+	e := newEngine(t)
+	for i := 0; i < 20; i++ {
+		e.Write("root.a", series.Point{T: int64(i * 10), V: float64(i)})
+		e.Write("root.b", series.Point{T: int64(i * 10), V: float64(-i)})
+	}
+	e.Flush()
+	res, err := Run(e, `SELECT COUNT(v), MIN(v) FROM root.* WHERE time >= 0 AND time < 200 GROUP BY SPANS(2)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("series = %+v", res.Series)
+	}
+	if got := res.Series[0].Rows[0]; got[1] != 10 || got[2] != 0 {
+		t.Fatalf("root.a row0 = %v", got)
+	}
+	if got := res.Series[1].Rows[1]; got[1] != 10 || got[2] != -19 {
+		t.Fatalf("root.b row1 = %v", got)
+	}
+}
+
+func TestExplainMultiSeries(t *testing.T) {
+	e := newEngine(t)
+	e.Write("root.a", series.Point{T: 1, V: 1})
+	e.Write("root.b", series.Point{T: 1, V: 2})
+	e.Flush()
+	text, err := Explain(e, mustParse(t, `SELECT M4(*) FROM root.* WHERE time >= 0 AND time < 10 GROUP BY SPANS(1)`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "root.* (2 matched)") {
+		t.Errorf("explain output:\n%s", text)
+	}
 }

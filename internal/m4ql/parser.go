@@ -65,10 +65,21 @@ func (o Operator) String() string {
 
 // Statement is a parsed M4 query.
 type Statement struct {
-	Columns  []Column // projected M4 columns, in order (M4 form)
+	Columns []Column // projected M4 columns, in order (M4 form)
+	// SeriesID is the first explicit FROM series (empty for wildcard
+	// statements); single-series callers keep reading it unchanged.
 	SeriesID string
-	Query    m4.Query
-	Operator Operator
+	// Series is the explicit FROM list. A statement is multi-series when
+	// the list has more than one entry or Wildcard is set; execution then
+	// reports per-series row blocks (Result.Series).
+	Series []string
+	// Wildcard marks a `FROM <prefix>*` statement: the series set is
+	// expanded at execution time against the engine's sorted series ids,
+	// keeping only those with the (possibly empty) WildcardPrefix.
+	Wildcard       bool
+	WildcardPrefix string
+	Query          m4.Query
+	Operator       Operator
 	// Parallelism is the PARALLEL n clause: worker goroutines for the
 	// operator. 0 (clause absent) lets the operator default to GOMAXPROCS;
 	// PARALLEL 1 forces a sequential run.
@@ -138,11 +149,9 @@ func Parse(input string) (Statement, error) {
 	if err := p.expectKeyword("from"); err != nil {
 		return Statement{}, err
 	}
-	t := p.next()
-	if t.kind != tokIdent && t.kind != tokString {
-		return Statement{}, fmt.Errorf("m4ql: expected series id after FROM, got %s", t)
+	if err := p.parseSeriesList(&stmt); err != nil {
+		return Statement{}, err
 	}
-	stmt.SeriesID = t.text
 
 	if err := p.expectKeyword("where"); err != nil {
 		return Statement{}, err
@@ -237,6 +246,56 @@ func Parse(input string) (Statement, error) {
 		return Statement{}, err
 	}
 	return stmt, nil
+}
+
+// parseSeriesList handles the FROM clause: a single series, a comma list
+// (`FROM s1, s2`), or a prefix wildcard (`FROM root.*`, or bare `FROM *`
+// for every series). The lexer folds dots into identifiers, so `root.*`
+// arrives as the ident "root." followed by a star token.
+func (p *parser) parseSeriesList(stmt *Statement) error {
+	t := p.next()
+	switch {
+	case t.kind == tokStar:
+		stmt.Wildcard = true
+	case t.kind == tokIdent && strings.HasSuffix(t.text, ".") && p.peek().kind == tokStar:
+		p.next()
+		stmt.Wildcard = true
+		stmt.WildcardPrefix = t.text
+	case t.kind == tokIdent || t.kind == tokString:
+		stmt.Series = append(stmt.Series, t.text)
+	default:
+		return fmt.Errorf("m4ql: expected series id after FROM, got %s", t)
+	}
+	if stmt.Wildcard {
+		if p.peek().kind == tokComma {
+			return fmt.Errorf("m4ql: a FROM wildcard cannot be combined with other series")
+		}
+		return nil
+	}
+	for p.peek().kind == tokComma {
+		p.next()
+		t := p.next()
+		if t.kind != tokIdent && t.kind != tokString {
+			return fmt.Errorf("m4ql: expected series id after comma, got %s", t)
+		}
+		stmt.Series = append(stmt.Series, t.text)
+	}
+	seen := make(map[string]bool, len(stmt.Series))
+	for _, id := range stmt.Series {
+		if seen[id] {
+			return fmt.Errorf("m4ql: duplicate series %q in FROM", id)
+		}
+		seen[id] = true
+	}
+	stmt.SeriesID = stmt.Series[0]
+	return nil
+}
+
+// Multi reports whether the statement queries more than one series: an
+// explicit FROM list or a wildcard (multi even when it expands to one
+// match, so the result shape is decided by the statement, not the data).
+func (s *Statement) Multi() bool {
+	return s.Wildcard || len(s.Series) > 1
 }
 
 // parseProjection handles three projection families: `M4(*)`, a list of

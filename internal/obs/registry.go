@@ -206,9 +206,9 @@ var defaultBuckets = []float64{
 // histogramBuckets is the atomic state of one histogram: cumulative
 // exposition is computed at read time from per-bucket counts.
 type histogramBuckets struct {
-	bounds []float64
-	counts []atomic.Int64 // len(bounds)+1, last = +Inf overflow
-	count  atomic.Int64
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1, last = +Inf overflow
+	count   atomic.Int64
 	sumBits atomic.Uint64 // float64 sum, CAS-updated
 }
 

@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strconv"
+	"strings"
 	"time"
 
 	"m4lsm/internal/lsm"
@@ -22,6 +23,8 @@ import (
 	"m4lsm/internal/m4lsm"
 	"m4lsm/internal/m4ql"
 	"m4lsm/internal/obs"
+	"m4lsm/internal/series"
+	"m4lsm/internal/storage"
 	"m4lsm/internal/viz"
 )
 
@@ -304,17 +307,50 @@ func traceOn(v string) bool {
 	return err == nil && on
 }
 
-// render draws a two-color PNG line chart of a series over a time range.
-// Parameters: series, tqs, tqe, w (pixel columns = M4 spans), h (pixel
-// rows, default 400). Unknown series answer 404. When the result is
-// partial — unreadable chunks skipped at snapshot time, or the operator
-// substituted FP for a representation point lost to a mid-query chunk
-// failure — the image still renders, the response carries an X-M4-Partial
-// header counting the warnings, and render_partial_total is incremented.
+// expandSeriesParam turns the "series" URL parameter into concrete series
+// ids: a comma-separated list passes through in order, and a trailing "*"
+// expands as a prefix wildcard against the engine's sorted series ids (bare
+// "*" matches everything). An empty expansion returns nil.
+func (h *Handler) expandSeriesParam(param string) ([]string, error) {
+	if strings.HasSuffix(param, "*") {
+		prefix := strings.TrimSuffix(param, "*")
+		if strings.Contains(prefix, ",") {
+			return nil, fmt.Errorf("a series wildcard cannot be combined with a list")
+		}
+		var ids []string
+		for _, id := range h.engine.SeriesIDs() {
+			if strings.HasPrefix(id, prefix) {
+				ids = append(ids, id)
+			}
+		}
+		return ids, nil
+	}
+	var ids []string
+	seen := map[string]bool{}
+	for _, id := range strings.Split(param, ",") {
+		if id == "" || seen[id] {
+			continue
+		}
+		seen[id] = true
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// render draws a two-color PNG line chart over a time range. Parameters:
+// series (one id, a comma-separated list, or a prefix wildcard like
+// "root.*" — multiple series overlay on one canvas with a shared
+// viewport), tqs, tqe, w (pixel columns = M4 spans), h (pixel rows,
+// default 400). When nothing matches the request answers 404. When the
+// result is partial — unreadable chunks skipped at snapshot time, or the
+// operator substituted FP for a representation point lost to a mid-query
+// chunk failure — the image still renders, the response carries an
+// X-M4-Partial header counting the warnings, and render_partial_total is
+// incremented.
 func (h *Handler) render(w http.ResponseWriter, r *http.Request) {
 	params := r.URL.Query()
-	seriesID := params.Get("series")
-	if seriesID == "" {
+	seriesParam := params.Get("series")
+	if seriesParam == "" {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("missing series parameter"))
 		return
 	}
@@ -338,16 +374,31 @@ func (h *Handler) render(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	if !h.engine.HasSeries(seriesID) {
-		httpError(w, http.StatusNotFound, fmt.Errorf("series %q not found", seriesID))
-		return
-	}
-	snap, err := h.engine.Snapshot(seriesID, q.Range())
+	ids, err := h.expandSeriesParam(seriesParam)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	aggs, err := m4lsm.ComputeContext(r.Context(), snap, q, m4lsm.Options{Metrics: h.reg})
+	for _, id := range ids {
+		if !h.engine.HasSeries(id) {
+			httpError(w, http.StatusNotFound, fmt.Errorf("series %q not found", id))
+			return
+		}
+	}
+	if len(ids) == 0 {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no series match %q", seriesParam))
+		return
+	}
+	snaps := make([]*storage.Snapshot, len(ids))
+	for i, id := range ids {
+		snap, err := h.engine.Snapshot(id, q.Range())
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		snaps[i] = snap
+	}
+	outs, err := m4lsm.ComputeMultiContext(r.Context(), snaps, q, m4lsm.Options{Metrics: h.reg})
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			httpError(w, http.StatusServiceUnavailable, err)
@@ -356,15 +407,25 @@ func (h *Handler) render(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	reduced := m4.Points(aggs)
-	vp := viz.ViewportFor(reduced, tqs, tqe)
-	canvas := viz.Rasterize(reduced, vp, width, height)
-	// Warnings collected after ComputeContext cover both snapshot-time
+	reduced := make([]series.Series, len(outs))
+	for i, aggs := range outs {
+		reduced[i] = m4.Points(aggs)
+	}
+	vp := viz.ViewportForAll(reduced, tqs, tqe)
+	canvas := viz.NewCanvas(width, height)
+	for _, s := range reduced {
+		viz.RasterizeOnto(canvas, s, vp)
+	}
+	// Warnings collected after the compute cover both snapshot-time
 	// quarantines and operator-level degradation (FP substitution).
-	if n := snap.Warnings.Len(); n > 0 {
-		w.Header().Set("X-M4-Partial", strconv.Itoa(n))
+	warnings := 0
+	for _, snap := range snaps {
+		warnings += snap.Warnings.Len()
+	}
+	if warnings > 0 {
+		w.Header().Set("X-M4-Partial", strconv.Itoa(warnings))
 		h.renderPartial.Inc()
-		obs.Logger(r.Context()).Warn("partial render", "series", seriesID, "warnings", n)
+		obs.Logger(r.Context()).Warn("partial render", "series", seriesParam, "warnings", warnings)
 	}
 	w.Header().Set("Content-Type", "image/png")
 	if err := canvas.WritePNG(w); err != nil {

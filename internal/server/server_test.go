@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"image"
 	"image/png"
 	"net/http"
 	"net/http/httptest"
@@ -189,5 +190,90 @@ func TestUIPage(t *testing.T) {
 	resp2.Body.Close()
 	if resp2.StatusCode != 404 {
 		t.Errorf("unknown path status %d", resp2.StatusCode)
+	}
+}
+
+func TestRenderMultiSeries(t *testing.T) {
+	e, err := lsm.Open(lsm.Options{Dir: t.TempDir(), Metrics: obs.NewRegistry(), NumShards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		e.Write("root.a", series.Point{T: int64(i * 10), V: float64(i % 17)})
+		e.Write("root.b", series.Point{T: int64(i * 10), V: float64(100 + i%13)})
+	}
+	e.Flush()
+	srv := httptest.NewServer(New(e))
+	t.Cleanup(func() {
+		srv.Close()
+		e.Close()
+	})
+	decode := func(url string) image.Image {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d", url, resp.StatusCode)
+		}
+		img, err := png.Decode(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return img
+	}
+	wild := decode(srv.URL + "/render?series=root.*&tqs=0&tqe=2000&w=80&h=40")
+	list := decode(srv.URL + "/render?series=root.a,root.b&tqs=0&tqe=2000&w=80&h=40")
+	if wild.Bounds() != list.Bounds() {
+		t.Fatalf("bounds differ: %v vs %v", wild.Bounds(), list.Bounds())
+	}
+	// Wildcard expansion and the explicit list draw the same overlay.
+	for y := 0; y < 40; y++ {
+		for x := 0; x < 80; x++ {
+			if wild.At(x, y) != list.At(x, y) {
+				t.Fatalf("pixel (%d,%d) differs between wildcard and list render", x, y)
+			}
+		}
+	}
+	// The overlay must differ from a single-series render (shared viewport
+	// spans both bands).
+	single := decode(srv.URL + "/render?series=root.a&tqs=0&tqe=2000&w=80&h=40")
+	same := true
+	for y := 0; y < 40 && same; y++ {
+		for x := 0; x < 80; x++ {
+			if wild.At(x, y) != single.At(x, y) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("overlay render identical to single-series render")
+	}
+	// Nothing matched: 404.
+	if code := getJSON(t, srv.URL+"/render?series=zzz.*&tqs=0&tqe=2000&w=80", nil); code != 404 {
+		t.Errorf("empty wildcard status %d, want 404", code)
+	}
+	if code := getJSON(t, srv.URL+"/render?series=root.a,nope&tqs=0&tqe=2000&w=80", nil); code != 404 {
+		t.Errorf("missing series in list status %d, want 404", code)
+	}
+	if code := getJSON(t, srv.URL+"/render?series=root.a,root.*&tqs=0&tqe=2000&w=80", nil); code != 400 {
+		t.Errorf("wildcard+list status %d, want 400", code)
+	}
+	// Wildcard m4ql through /query.
+	var res struct {
+		Series []struct {
+			SeriesID string      `json:"seriesId"`
+			Rows     [][]float64 `json:"rows"`
+		} `json:"series"`
+	}
+	q := "SELECT M4(*) FROM root.* WHERE time >= 0 AND time < 2000 GROUP BY SPANS(4)"
+	if code := getJSON(t, srv.URL+"/query?q="+strings.ReplaceAll(q, " ", "+"), &res); code != 200 {
+		t.Fatalf("wildcard query status %d", code)
+	}
+	if len(res.Series) != 2 || res.Series[0].SeriesID != "root.a" || len(res.Series[0].Rows) != 4 {
+		t.Fatalf("wildcard query result = %+v", res)
 	}
 }

@@ -174,6 +174,25 @@ func ViewportFor(s series.Series, tqs, tqe int64) Viewport {
 	return vp
 }
 
+// ViewportForAll derives one shared viewport spanning the value bounds of
+// several series over a query range, so overlaid charts share a y-axis.
+func ViewportForAll(ss []series.Series, tqs, tqe int64) Viewport {
+	vp := Viewport{Tqs: tqs, Tqe: tqe, VMin: math.Inf(1), VMax: math.Inf(-1)}
+	for _, s := range ss {
+		for _, p := range s {
+			if p.T < tqs || p.T >= tqe {
+				continue
+			}
+			vp.VMin = math.Min(vp.VMin, p.V)
+			vp.VMax = math.Max(vp.VMax, p.V)
+		}
+	}
+	if vp.VMin > vp.VMax { // no points in range
+		vp.VMin, vp.VMax = 0, 1
+	}
+	return vp
+}
+
 // X maps a timestamp to its pixel column using the span mapping of
 // Definition 2.3.
 func (vp Viewport) X(t int64, w int) int {
@@ -201,6 +220,14 @@ func (vp Viewport) Y(v float64, h int) int {
 // the chart matches what an M4 query over [Tqs, Tqe) represents.
 func Rasterize(s series.Series, vp Viewport, w, h int) *Canvas {
 	c := NewCanvas(w, h)
+	RasterizeOnto(c, s, vp)
+	return c
+}
+
+// RasterizeOnto draws s into an existing canvas, for overlaying several
+// series (a multi-series render) on one shared viewport.
+func RasterizeOnto(c *Canvas, s series.Series, vp Viewport) {
+	w, h := c.W, c.H
 	havePrev := false
 	var px, py int
 	for _, p := range s {
@@ -215,5 +242,4 @@ func Rasterize(s series.Series, vp Viewport, w, h int) *Canvas {
 		}
 		px, py, havePrev = x, y, true
 	}
-	return c
 }

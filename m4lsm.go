@@ -91,6 +91,7 @@ type config struct {
 	syncWAL        bool
 	disableWAL     bool
 	cacheBytes     int64
+	numShards      int
 }
 
 // WithFlushThreshold sets the number of buffered points per series that
@@ -124,6 +125,15 @@ func WithChunkCache(bytes int64) Option {
 	return func(c *config) { c.cacheBytes = bytes }
 }
 
+// WithShards partitions the engine into n shards by series hash: each shard
+// owns its memtables, chunk registry and flush accounting under its own
+// lock, so writers and flushes of different series proceed concurrently.
+// Default 1. The on-disk WAL stays a single file (records are shard-tagged),
+// and a database may be reopened with a different shard count.
+func WithShards(n int) Option {
+	return func(c *config) { c.numShards = n }
+}
+
 // DB is an LSM time-series store rooted at a directory. All methods are
 // safe for concurrent use.
 type DB struct {
@@ -148,6 +158,7 @@ func Open(dir string, opts ...Option) (*DB, error) {
 		SyncWAL:         cfg.syncWAL,
 		DisableWAL:      cfg.disableWAL,
 		ChunkCacheBytes: cfg.cacheBytes,
+		NumShards:       cfg.numShards,
 	})
 	if err != nil {
 		return nil, err
@@ -283,6 +294,75 @@ func (db *DB) M4Context(ctx context.Context, seriesID string, tqs, tqe int64, w 
 	}, nil
 }
 
+// SeriesAggregates is one series' share of a multi-series M4 query.
+type SeriesAggregates struct {
+	SeriesID   string
+	Aggregates []Aggregate
+	// Stats counts only this series' work; sum across the slice for the
+	// query's total cost.
+	Stats Stats
+	// Partial/Warnings report degradation of this series' read path.
+	Partial  bool
+	Warnings []string
+}
+
+// M4Multi runs one M4 query over several series as a single batch: all
+// series' span×function tasks share one worker pool instead of queueing
+// series by series. Results are positional — out[i] belongs to ids[i] — and
+// identical to per-series M4 calls. Like M4, the plain form reads strictly.
+func (db *DB) M4Multi(ids []string, tqs, tqe int64, w int) ([]SeriesAggregates, error) {
+	return db.M4MultiContext(context.Background(), ids, tqs, tqe, w, M4Options{StrictReads: true})
+}
+
+// M4MultiContext is M4Multi under a context with explicit options.
+// Cancellation stops the shared pool and returns ctx.Err(); without
+// opts.StrictReads, unreadable chunks degrade only the series they belong
+// to, reported in that series' Partial/Warnings.
+func (db *DB) M4MultiContext(ctx context.Context, ids []string, tqs, tqe int64, w int, opts M4Options) ([]SeriesAggregates, error) {
+	q := m4.Query{Tqs: tqs, Tqe: tqe, W: w}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	snaps := make([]*storage.Snapshot, len(ids))
+	for i, id := range ids {
+		snap, err := db.engine.Snapshot(id, q.Range())
+		if err != nil {
+			return nil, fmt.Errorf("m4lsm: series %q: %w", id, err)
+		}
+		if opts.StrictReads {
+			if ws := snap.Warnings.List(); len(ws) > 0 {
+				return nil, fmt.Errorf("m4lsm: strict read: series %q: %s", id, ws[0])
+			}
+		}
+		snaps[i] = snap
+	}
+	var outs [][]m4.Aggregate
+	var err error
+	switch opts.Operator {
+	case OperatorLSM:
+		outs, err = intm4lsm.ComputeMultiContext(ctx, snaps, q, intm4lsm.Options{Parallelism: opts.Parallelism, Strict: opts.StrictReads, Metrics: db.engine.Metrics()})
+	case OperatorUDF:
+		outs, err = m4udf.ComputeMultiContext(ctx, snaps, q, m4udf.Options{Parallelism: opts.Parallelism, Strict: opts.StrictReads, Metrics: db.engine.Metrics()})
+	default:
+		return nil, fmt.Errorf("m4lsm: unknown operator %d", opts.Operator)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res := make([]SeriesAggregates, len(ids))
+	for i, id := range ids {
+		warnings := snaps[i].Warnings.List()
+		res[i] = SeriesAggregates{
+			SeriesID:   id,
+			Aggregates: publicAggregates(outs[i]),
+			Stats:      publicStats(snaps[i].Stats.Load()),
+			Partial:    len(warnings) > 0,
+			Warnings:   warnings,
+		}
+	}
+	return res, nil
+}
+
 // Query parses and executes a query in the SQL-ish form of the paper's
 // Appendix A.1, e.g.
 //
@@ -316,6 +396,7 @@ type Info struct {
 	Chunks         int
 	MemtablePoints int
 	Deletes        int
+	Shards         int
 
 	// BadFiles counts chunk files quarantined on disk (renamed *.bad)
 	// during crash recovery.
@@ -334,6 +415,7 @@ func (db *DB) Info() Info {
 		Chunks:            i.Chunks,
 		MemtablePoints:    i.MemtablePoints,
 		Deletes:           i.Deletes,
+		Shards:            i.Shards,
 		BadFiles:          i.BadFiles,
 		QuarantinedChunks: i.QuarantinedChunks,
 	}

@@ -3,7 +3,6 @@ package m4lsm
 import (
 	"bytes"
 	"fmt"
-	"sync"
 
 	"m4lsm/internal/m4"
 	intm4lsm "m4lsm/internal/m4lsm"
@@ -32,44 +31,6 @@ func (db *DB) Raw(seriesID string, tqs, tqe int64) ([]Point, error) {
 	out := make([]Point, len(merged))
 	for i, p := range merged {
 		out[i] = Point{Time: p.T, Value: p.V}
-	}
-	return out, nil
-}
-
-// M4Multi runs the same M4 representation query over several series
-// concurrently — the dashboard pattern, where one screen draws many
-// aligned charts. Results are keyed by series id; an error on any series
-// fails the call.
-func (db *DB) M4Multi(seriesIDs []string, tqs, tqe int64, w int) (map[string][]Aggregate, error) {
-	q := m4.Query{Tqs: tqs, Tqe: tqe, W: w}
-	if err := q.Validate(); err != nil {
-		return nil, err
-	}
-	var (
-		mu       sync.Mutex
-		wg       sync.WaitGroup
-		firstErr error
-		out      = make(map[string][]Aggregate, len(seriesIDs))
-	)
-	for _, id := range seriesIDs {
-		wg.Add(1)
-		go func(id string) {
-			defer wg.Done()
-			aggs, _, err := db.M4(id, tqs, tqe, w)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("m4lsm: series %s: %w", id, err)
-				}
-				return
-			}
-			out[id] = aggs
-		}(id)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
 	}
 	return out, nil
 }

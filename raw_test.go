@@ -77,7 +77,10 @@ func TestM4Multi(t *testing.T) {
 		t.Fatalf("series = %d", len(got))
 	}
 	for s, id := range ids {
-		aggs := got[id]
+		if got[s].SeriesID != id {
+			t.Fatalf("series %d = %q, want %q", s, got[s].SeriesID, id)
+		}
+		aggs := got[s].Aggregates
 		if len(aggs) != 4 {
 			t.Fatalf("%s: %d spans", id, len(aggs))
 		}
