@@ -5,7 +5,7 @@ FUZZTIME ?= 10s
 # examples/ at 0%, so 70 fails on a real regression, not on noise.
 COVER_FLOOR ?= 70
 
-.PHONY: build test race race-short vet lint check cover difftest bench bench-parallel bench-shards bench-obs fuzz torture profile
+.PHONY: build test race race-short vet lint check cover difftest bench bench-parallel bench-shards bench-obs bench-overload fuzz torture soak profile
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,13 @@ cover:
 torture:
 	$(GO) test -race -run 'Torture|Fault|TornWAL|Quarantine|Cancel' -count=1 ./internal/lsm ./internal/m4lsm ./internal/faultfs
 
+# soak is the short overload torture: admission-control shedding, per-query
+# budgets, deadline races in the worker pool, and disk-full degradation, all
+# under the race detector. `make check` includes it.
+soak:
+	$(GO) test -race -count=1 -run 'Overload|Admission|Budget|DeadlineRace|ENOSPC|ReadOnly|BodyBounds' \
+		./internal/server ./internal/lsm ./internal/m4lsm ./internal/m4ql ./internal/govern
+
 # fuzz exercises the crash-recovery parsers (WAL payloads, chunk-file
 # footers, record logs). Go allows one -fuzz target per invocation, so each
 # runs separately for FUZZTIME (the seed corpus also runs in plain `make
@@ -68,12 +75,21 @@ lint:
 		echo "lint: use log/slog instead of log.Print*/fmt.Print* in library code:"; \
 		echo "$$bad"; exit 1; \
 	fi
+	@bad=$$(grep -rnE 'time\.Sleep' --include='*.go' --exclude='*_test.go' \
+		internal/ *.go 2>/dev/null \
+		| grep -v 'internal/govern/backoff\.go' \
+		| grep -v 'internal/faultfs/faultfs\.go'; true); \
+	if [ -n "$$bad" ]; then \
+		echo "lint: library code must not call time.Sleep for backoff; use govern.SleepBackoff"; \
+		echo "(deterministic jitter, context-aware). Exempt: govern/backoff.go, faultfs (injected latency)."; \
+		echo "$$bad"; exit 1; \
+	fi
 
 # check is the standard gate for this repo: static analysis, the logging
-# lint, the suite (including the crash-recovery torture and the short-mode
-# differential harness) under the race detector, the coverage floor, and a
-# short fuzz pass over the recovery parsers.
-check: vet lint race-short cover
+# and backoff lints, the suite (including the crash-recovery torture and the
+# short-mode differential harness) under the race detector, the overload
+# soak, the coverage floor, and a short fuzz pass over the recovery parsers.
+check: vet lint race-short soak cover
 	$(MAKE) fuzz FUZZTIME=3s
 
 bench:
@@ -86,6 +102,10 @@ bench-parallel:
 # bench-shards regenerates the sharding sweep of BENCH_shard.json.
 bench-shards:
 	$(GO) run ./cmd/m4bench -exp shards -scale 0.05 -series 16 -reps 10
+
+# bench-overload regenerates the admission-control sweep of BENCH_overload.json.
+bench-overload:
+	$(GO) run ./cmd/m4bench -exp overload -scale 0.02 -clients 12
 
 # bench-obs regenerates the observability-overhead numbers of BENCH_obs.json
 # (instrumentation off vs metrics vs metrics+trace).

@@ -39,6 +39,7 @@ func main() {
 		datasets = flag.String("datasets", "", "comma-separated dataset filter (e.g. MF03,KOB); empty = all")
 		faults   = flag.Bool("faults", false, "shorthand for -exp faults (deterministic fault-injection sweep)")
 		nSeries  = flag.Int("series", 16, "series count for the shards experiment (concurrent writers / wildcard query width)")
+		nClients = flag.Int("clients", 16, "concurrent clients for the overload experiment")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -83,7 +84,7 @@ func main() {
 		names = exper.ExpNames()
 	}
 	for _, name := range names {
-		if err := run(os.Stdout, name, cfg, *markdown, *nSeries); err != nil {
+		if err := run(os.Stdout, name, cfg, *markdown, *nSeries, *nClients); err != nil {
 			fmt.Fprintf(os.Stderr, "m4bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -108,8 +109,15 @@ func writeHeapProfile(path string) {
 	}
 }
 
-func run(out io.Writer, name string, cfg exper.Config, markdown bool, nSeries int) error {
+func run(out io.Writer, name string, cfg exper.Config, markdown bool, nSeries, nClients int) error {
 	switch name {
+	case "overload":
+		ms, err := exper.RunOverload(cfg, nClients)
+		if err != nil {
+			return err
+		}
+		exper.WriteOverload(out, exper.OverloadTitle(nClients), ms)
+		return nil
 	case "shards":
 		ms, err := exper.RunShards(cfg, nSeries)
 		if err != nil {

@@ -57,6 +57,15 @@ func main() {
 		slowQuery = flag.Duration("slow-query", 100*time.Millisecond, "minimum /query latency recorded in /debug/slowlog")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		shards    = flag.Int("shards", 1, "engine shard count (series are hash-partitioned for concurrent writes and flushes)")
+
+		queryTimeout = flag.Duration("query-timeout", 0, "default per-query wall-clock budget (a statement TIMEOUT clause overrides it; 0 disables)")
+		querySlots   = flag.Int("query-slots", 0, "max concurrently executing /query and /render requests (0 disables admission control)")
+		queryQueue   = flag.Int("query-queue", 16, "queued query-class requests beyond the running ones before shedding with 429")
+		queueWait    = flag.Duration("queue-wait", time.Second, "max time a queued request waits for a slot before 429 (negative sheds immediately)")
+		maxBody      = flag.Int64("max-body-bytes", 1<<20, "request body size bound; oversized bodies answer 400")
+		maxChunks    = flag.Int64("max-chunks-per-query", 0, "default cap on physical chunk loads per query (0 = unlimited)")
+		maxPoints    = flag.Int64("max-points-per-query", 0, "default cap on decoded points per query (0 = unlimited)")
+		readRetries  = flag.Int("read-retries", 0, "retry attempts for transient chunk-read failures (0 = engine default)")
 	)
 	flag.Parse()
 
@@ -69,7 +78,7 @@ func main() {
 	slog.SetDefault(logger)
 
 	reg := obs.NewRegistry()
-	engine, err := lsm.Open(lsm.Options{Dir: *dir, Metrics: reg, NumShards: *shards})
+	engine, err := lsm.Open(lsm.Options{Dir: *dir, Metrics: reg, NumShards: *shards, ReadRetries: *readRetries})
 	if err != nil {
 		logger.Error("open engine", "dir", *dir, "err", err)
 		os.Exit(1)
@@ -77,7 +86,17 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.NewWith(engine, server.Config{Logger: logger, SlowQueryThreshold: *slowQuery}),
+		Handler: server.NewWith(engine, server.Config{
+			Logger:             logger,
+			SlowQueryThreshold: *slowQuery,
+			QuerySlots:         *querySlots,
+			QueryQueueDepth:    *queryQueue,
+			QueryQueueWait:     *queueWait,
+			QueryTimeout:       *queryTimeout,
+			MaxChunksPerQuery:  *maxChunks,
+			MaxPointsPerQuery:  *maxPoints,
+			MaxBodyBytes:       *maxBody,
+		}),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,

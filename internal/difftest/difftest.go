@@ -18,7 +18,9 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
+	"m4lsm/internal/govern"
 	"m4lsm/internal/lsm"
 	"m4lsm/internal/m4"
 	"m4lsm/internal/m4lsm"
@@ -286,7 +288,68 @@ func (c *Case) Check() error {
 			}
 		}
 	}
+	if err := c.checkBudget(); err != nil {
+		return err
+	}
 	return c.checkPixels()
+}
+
+// checkBudget asserts budget equivalence: a query run under a generous
+// per-query budget (limits far above what the workload can consume) must
+// return bit-for-bit the unbudgeted answer in both operators, with no
+// degradation warnings — budget accounting may never change a result that
+// fits the budget.
+func (c *Case) checkBudget() error {
+	q := m4.Query{Tqs: 0, Tqe: c.tMax, W: 31}
+	generous := govern.Limits{MaxChunks: 1 << 30, MaxPoints: 1 << 40, Timeout: time.Hour}
+	// Ties in value may resolve to different (equally valid) representative
+	// timestamps between the two operators, so each operator is compared
+	// against its own unbudgeted run, not against the other's.
+	ops := []struct {
+		name string
+		run  func(*storage.Snapshot, *govern.Budget) ([]m4.Aggregate, error)
+	}{
+		{"m4lsm", func(s *storage.Snapshot, b *govern.Budget) ([]m4.Aggregate, error) {
+			return m4lsm.ComputeWithOptions(s, q, m4lsm.Options{Budget: b})
+		}},
+		{"m4udf", func(s *storage.Snapshot, b *govern.Budget) ([]m4.Aggregate, error) {
+			return m4udf.ComputeWithOptions(s, q, m4udf.Options{Budget: b})
+		}},
+	}
+	for _, id := range c.ids {
+		for _, op := range ops {
+			snap, err := c.engine.Snapshot(id, q.Range())
+			if err != nil {
+				return err
+			}
+			plain, err := op.run(snap, nil)
+			if err != nil {
+				return err
+			}
+			snap, err = c.engine.Snapshot(id, q.Range())
+			if err != nil {
+				return err
+			}
+			before := snap.Warnings.Len()
+			budgeted, err := op.run(snap, govern.NewBudget(generous))
+			if err != nil {
+				return fmt.Errorf("seed %d: %s %s under generous budget: %w", c.Seed, op.name, id, err)
+			}
+			if snap.Warnings.Len() != before {
+				return fmt.Errorf("seed %d: %s %s: generous budget produced warnings", c.Seed, op.name, id)
+			}
+			if len(budgeted) != len(plain) {
+				return fmt.Errorf("seed %d: %s %s: budgeted span count %d != %d", c.Seed, op.name, id, len(budgeted), len(plain))
+			}
+			for i := range plain {
+				if budgeted[i] != plain[i] {
+					return fmt.Errorf("seed %d: %s %s span %d: budgeted %v != unbudgeted %v",
+						c.Seed, op.name, id, i, budgeted[i], plain[i])
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // checkPixels asserts the error-free visualization guarantee on this case:

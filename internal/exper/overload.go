@@ -1,0 +1,200 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"m4lsm/internal/faultfs"
+	"m4lsm/internal/lsm"
+	"m4lsm/internal/obs"
+	"m4lsm/internal/server"
+	"m4lsm/internal/storage"
+	"m4lsm/internal/workload"
+)
+
+// OverloadSlots is the admission-gate sweep of the overload experiment.
+var OverloadSlots = []int{1, 2, 4, 8}
+
+// OverloadMeasurement is one point of the overload experiment: a server
+// with an admission gate of Slots concurrent queries (plus a short queue)
+// under a burst of concurrent slow queries.
+type OverloadMeasurement struct {
+	Slots   int
+	Queue   int
+	Clients int
+	Reqs    int // total requests issued across all clients
+
+	OK   int64 // 200 responses
+	Shed int64 // 429 responses (all carried Retry-After)
+	// ShedCounter is http_shed_total as the server's own metrics registry
+	// reports it; the harness fails if it disagrees with Shed.
+	ShedCounter int64
+
+	Elapsed    time.Duration // wall clock for the whole burst
+	MaxLatency time.Duration // slowest individual request
+}
+
+// RunOverload measures admission-control behavior under synthetic overload:
+// an engine whose chunk reads carry a deterministic faultfs-injected delay
+// is served over HTTP with a gate of 1..k slots, and nClients concurrent
+// clients fire slow wildcard queries at it. Every response must be either
+// 200 or 429-with-Retry-After — anything else fails the run — and the
+// server's shed counter must match the observed 429s exactly. The sweep
+// shows the tradeoff the gate buys: fewer slots shed more but keep the
+// surviving queries' latency bounded.
+func RunOverload(cfg Config, nClients int) ([]OverloadMeasurement, error) {
+	cfg = cfg.withDefaults()
+	if nClients <= 0 {
+		nClients = 16
+	}
+	const reqsPerClient = 4
+	const queue = 2
+
+	preset := workload.KOB()
+	n := int(float64(preset.Points) * cfg.Scale)
+	if n < 200 {
+		n = 200
+	}
+	data := preset.Generate(n, cfg.Seed)
+
+	var out []OverloadMeasurement
+	for _, slots := range OverloadSlots {
+		reg := obs.NewRegistry()
+		dir, cleanup, err := tempDir(cfg, fmt.Sprintf("overload-%d", slots))
+		if err != nil {
+			return nil, err
+		}
+		inj := faultfs.NewInjector(faultfs.Config{Seed: cfg.Seed, SlowRate: 1, Latency: 2 * time.Millisecond})
+		e, err := lsm.Open(lsm.Options{
+			Dir:            dir,
+			FlushThreshold: cfg.ChunkSize,
+			DisableWAL:     true,
+			Metrics:        reg,
+			WrapSource: func(src storage.ChunkSource) storage.ChunkSource {
+				return faultfs.Wrap(src, inj)
+			},
+		})
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		if err := workload.Load(e, preset.Name, data, workload.LoadOptions{
+			ChunkSize:       cfg.ChunkSize,
+			OverlapFraction: 0.1,
+			Seed:            cfg.Seed,
+		}); err != nil {
+			e.Close()
+			cleanup()
+			return nil, err
+		}
+		m, err := runOverloadPoint(e, reg, slots, queue, nClients, reqsPerClient, data[0].T, data[len(data)-1].T+1)
+		e.Close()
+		cleanup()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func runOverloadPoint(e *lsm.Engine, reg *obs.Registry, slots, queue, nClients, reqsPerClient int, tqs, tqe int64) (OverloadMeasurement, error) {
+	m := OverloadMeasurement{Slots: slots, Queue: queue, Clients: nClients, Reqs: nClients * reqsPerClient}
+	srv := httptest.NewServer(server.NewWith(e, server.Config{
+		QuerySlots:      slots,
+		QueryQueueDepth: queue,
+		QueryQueueWait:  50 * time.Millisecond,
+	}))
+	defer srv.Close()
+
+	qv := url.Values{}
+	qv.Set("q", fmt.Sprintf(
+		"SELECT M4(*) FROM %s WHERE time >= %d AND time < %d GROUP BY SPANS(31) USING LSM",
+		workload.KOB().Name, tqs, tqe))
+	target := srv.URL + "/query?" + qv.Encode()
+
+	var ok, shed atomic.Int64
+	var maxNs atomic.Int64
+	errCh := make(chan error, nClients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < nClients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < reqsPerClient; r++ {
+				t0 := time.Now()
+				resp, err := http.Get(target)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				resp.Body.Close()
+				d := time.Since(t0)
+				for {
+					cur := maxNs.Load()
+					if int64(d) <= cur || maxNs.CompareAndSwap(cur, int64(d)) {
+						break
+					}
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok.Add(1)
+				case http.StatusTooManyRequests:
+					if resp.Header.Get("Retry-After") == "" {
+						errCh <- fmt.Errorf("slots=%d: 429 without Retry-After", slots)
+						return
+					}
+					shed.Add(1)
+				default:
+					errCh <- fmt.Errorf("slots=%d: unexpected status %d", slots, resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	m.Elapsed = time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		return m, err
+	}
+	m.OK, m.Shed = ok.Load(), shed.Load()
+	m.MaxLatency = time.Duration(maxNs.Load())
+	if v, okv := reg.Snapshot()["http_shed_total"].(float64); okv {
+		m.ShedCounter = int64(v)
+	}
+	if m.ShedCounter != m.Shed {
+		return m, fmt.Errorf("slots=%d: http_shed_total %d != observed 429s %d", slots, m.ShedCounter, m.Shed)
+	}
+	if m.OK+m.Shed != int64(m.Reqs) {
+		return m, fmt.Errorf("slots=%d: accounted for %d of %d requests", slots, m.OK+m.Shed, m.Reqs)
+	}
+	return m, nil
+}
+
+// OverloadTitle names the experiment with its burst shape.
+func OverloadTitle(nClients int) string {
+	if nClients <= 0 {
+		nClients = 16
+	}
+	return fmt.Sprintf("Overload: admission control under %d concurrent slow-query clients", nClients)
+}
+
+// WriteOverload renders the overload sweep as an aligned text table.
+func WriteOverload(w io.Writer, title string, ms []OverloadMeasurement) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	fmt.Fprintf(w, "%-7s %6s %8s %6s %6s %6s %10s %10s %10s\n",
+		"slots", "queue", "clients", "reqs", "ok", "shed", "shedCtr", "elapsed", "maxLat")
+	for _, m := range ms {
+		fmt.Fprintf(w, "%-7d %6d %8d %6d %6d %6d %10d %10s %10s\n",
+			m.Slots, m.Queue, m.Clients, m.Reqs, m.OK, m.Shed, m.ShedCounter,
+			fmtDur(m.Elapsed), fmtDur(m.MaxLatency))
+	}
+}

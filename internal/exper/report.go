@@ -160,9 +160,10 @@ var Titles = map[string]string{
 	"shards":    "Sharding: shard count vs write throughput and wildcard query",
 	"ablations": "Ablations: M4-LSM design choices",
 	"faults":    "Fault injection: graceful degradation under chunk-read faults",
+	"overload":  "Overload: admission control under concurrent slow queries",
 }
 
 // ExpNames lists the experiments in presentation order.
 func ExpNames() []string {
-	return []string{"table2", "fig1", "fig8", "fig10", "fig11", "fig12", "fig13", "fig14", "scaling", "shards", "ablations", "faults"}
+	return []string{"table2", "fig1", "fig8", "fig10", "fig11", "fig12", "fig13", "fig14", "scaling", "shards", "ablations", "faults", "overload"}
 }

@@ -76,6 +76,13 @@ type Config struct {
 	ShortRate float64       // short read
 	SlowRate  float64       // delayed read
 	Latency   time.Duration // delay applied by FaultSlow (default 1ms)
+
+	// PerAttempt models transient faults: each repeat access of the same
+	// site appends an attempt counter to the site key, so a retry draws an
+	// independent — still seed-deterministic — fault decision instead of
+	// re-failing identically forever. Off by default: the classic mode
+	// keeps a site's fate fixed, which the degradation tests rely on.
+	PerAttempt bool
 }
 
 // Stats counts the faults actually injected, by kind.
@@ -92,6 +99,9 @@ type Injector struct {
 	flips  atomic.Int64
 	shorts atomic.Int64
 	slows  atomic.Int64
+
+	mu       sync.Mutex
+	attempts map[string]int // per-site access counts (PerAttempt mode)
 }
 
 // NewInjector builds an injector for the config.
@@ -99,7 +109,24 @@ func NewInjector(cfg Config) *Injector {
 	if cfg.Latency <= 0 {
 		cfg.Latency = time.Millisecond
 	}
-	return &Injector{cfg: cfg}
+	return &Injector{cfg: cfg, attempts: make(map[string]int)}
+}
+
+// attemptSite returns the effective site key: unchanged on the first
+// access (and always, outside PerAttempt mode), "#a<n>"-suffixed on the
+// n-th repeat so retries re-draw their fate deterministically.
+func (in *Injector) attemptSite(site string) string {
+	if !in.cfg.PerAttempt {
+		return site
+	}
+	in.mu.Lock()
+	n := in.attempts[site]
+	in.attempts[site] = n + 1
+	in.mu.Unlock()
+	if n == 0 {
+		return site
+	}
+	return fmt.Sprintf("%s#a%d", site, n)
 }
 
 // mix64 finalizes a hash (murmur3's fmix64): FNV-1a alone avalanches too
@@ -184,7 +211,7 @@ func WrapFile(ra io.ReaderAt, name string, inj *Injector) *File {
 
 // ReadAt implements io.ReaderAt with faults applied to the result.
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
-	site := fmt.Sprintf("file:%s@%d+%d", f.name, off, len(p))
+	site := f.inj.attemptSite(fmt.Sprintf("file:%s@%d+%d", f.name, off, len(p)))
 	fault := f.inj.Decide(site)
 	switch fault {
 	case FaultErr:
@@ -237,7 +264,7 @@ func Wrap(src storage.ChunkSource, inj *Injector) *Source {
 }
 
 func (s *Source) fault(meta storage.ChunkMeta, op string) error {
-	site := fmt.Sprintf("chunk:%s/v%d/%s", meta.SeriesID, meta.Version, op)
+	site := s.inj.attemptSite(fmt.Sprintf("chunk:%s/v%d/%s", meta.SeriesID, meta.Version, op))
 	fault := s.inj.Decide(site)
 	switch fault {
 	case FaultNone:

@@ -1,0 +1,52 @@
+package faultfs
+
+import "testing"
+
+func TestAttemptSiteKeying(t *testing.T) {
+	in := NewInjector(Config{Seed: 1, PerAttempt: true})
+	if got := in.attemptSite("chunk:s/v1/data"); got != "chunk:s/v1/data" {
+		t.Fatalf("first access rekeyed: %q", got)
+	}
+	if got := in.attemptSite("chunk:s/v1/data"); got != "chunk:s/v1/data#a1" {
+		t.Fatalf("second access: %q", got)
+	}
+	if got := in.attemptSite("chunk:s/v1/data"); got != "chunk:s/v1/data#a2" {
+		t.Fatalf("third access: %q", got)
+	}
+	// Distinct sites count independently.
+	if got := in.attemptSite("chunk:s/v2/data"); got != "chunk:s/v2/data" {
+		t.Fatalf("other site inherited attempts: %q", got)
+	}
+}
+
+func TestAttemptSiteOffByDefault(t *testing.T) {
+	in := NewInjector(Config{Seed: 1})
+	for i := 0; i < 3; i++ {
+		if got := in.attemptSite("chunk:s/v1/data"); got != "chunk:s/v1/data" {
+			t.Fatalf("classic mode rekeyed access %d: %q", i, got)
+		}
+	}
+}
+
+// TestPerAttemptRedrawsFate: with per-attempt keying a site that faults on
+// the first access can succeed on a retry — deterministically for a given
+// seed. Seed 3 with ErrRate 0.5 produces such a flip within 64 sites.
+func TestPerAttemptRedrawsFate(t *testing.T) {
+	in := NewInjector(Config{Seed: 3, ErrRate: 0.5, PerAttempt: true})
+	flipped := false
+	for i := 0; i < 64 && !flipped; i++ {
+		site := in.attemptSite(siteN(i)) // first access
+		first := in.Decide(site)
+		retry := in.Decide(in.attemptSite(siteN(i)))
+		if first == FaultErr && retry == FaultNone {
+			flipped = true
+		}
+	}
+	if !flipped {
+		t.Fatal("no site's fate changed between attempts; per-attempt keying is not independent")
+	}
+}
+
+func siteN(i int) string {
+	return "chunk:s/v" + string(rune('0'+i%10)) + "/data" + string(rune('a'+i/10))
+}

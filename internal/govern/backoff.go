@@ -1,0 +1,54 @@
+package govern
+
+import (
+	"context"
+	"time"
+)
+
+// Backoff returns the delay before retry `attempt` (1-based): exponential
+// from base, capped at max, with deterministic jitter in [50%, 100%] of
+// the exponential value drawn from (seed, attempt). Determinism matters
+// for the fault-injection harness: a retry schedule must reproduce from a
+// seed exactly like the faults it answers.
+func Backoff(attempt int, base, max time.Duration, seed uint64) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if max <= 0 {
+		max = 100 * time.Millisecond
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// splitmix64 of (seed, attempt) -> uniform fraction in [0.5, 1.0).
+	x := seed + uint64(attempt)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	frac := 0.5 + 0.5*float64(x>>11)/float64(1<<53)
+	return time.Duration(float64(d) * frac)
+}
+
+// SleepBackoff sleeps for Backoff(attempt, base, max, seed), returning
+// early with ctx.Err() on cancellation. It is the one sanctioned backoff
+// sleep in library code (the Makefile lint enforces this).
+func SleepBackoff(ctx context.Context, attempt int, base, max time.Duration, seed uint64) error {
+	d := Backoff(attempt, base, max, seed)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,154 @@
+package govern
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ErrOverloaded is the sentinel for admission-control rejections. The
+// server maps it to 429 with a Retry-After header.
+var ErrOverloaded = errors.New("server overloaded")
+
+// OverloadError carries the shed decision. It unwraps to ErrOverloaded.
+type OverloadError struct {
+	// Queued reports whether the request waited in the queue before being
+	// shed (wait timeout) or was rejected at the door (queue full).
+	Queued bool
+	// RetryAfter is the suggested client backoff.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	if e.Queued {
+		return fmt.Sprintf("server overloaded: queue wait timed out (retry after %s)", e.RetryAfter)
+	}
+	return fmt.Sprintf("server overloaded: admission queue full (retry after %s)", e.RetryAfter)
+}
+
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
+
+// Gate is a bounded admission controller: Slots requests run, up to Depth
+// more wait in FIFO order for at most Wait, and everything beyond that is
+// shed immediately. A nil Gate admits everything.
+type Gate struct {
+	slots chan struct{} // capacity = concurrent executions
+	queue chan struct{} // capacity = slots + queue depth: total admitted
+	wait  time.Duration
+
+	shed    atomic.Int64
+	waiting atomic.Int64
+}
+
+// NewGate builds a gate with `slots` concurrent executions and `depth`
+// queued waiters; a waiter is shed after `wait` without a slot
+// (wait <= 0 means waiters are shed immediately when no slot is free).
+// slots <= 0 returns nil: admission control off.
+func NewGate(slots, depth int, wait time.Duration) *Gate {
+	if slots <= 0 {
+		return nil
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	return &Gate{
+		slots: make(chan struct{}, slots),
+		queue: make(chan struct{}, slots+depth),
+		wait:  wait,
+	}
+}
+
+// Acquire admits the caller or sheds it. On success the returned release
+// function must be called exactly once when the request finishes. On shed
+// it returns a *OverloadError (release is nil).
+func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
+	if g == nil {
+		return func() {}, nil
+	}
+	// The ticket bounds total admitted work (running + queued); without
+	// one the caller is shed at the door.
+	select {
+	case g.queue <- struct{}{}:
+	default:
+		g.shed.Add(1)
+		return nil, &OverloadError{RetryAfter: g.retryAfter()}
+	}
+	// Fast path: a slot is free right now.
+	select {
+	case g.slots <- struct{}{}:
+		return g.releaseFunc(), nil
+	default:
+	}
+	g.waiting.Add(1)
+	defer g.waiting.Add(-1)
+	var timeout <-chan time.Time
+	if g.wait > 0 {
+		t := time.NewTimer(g.wait)
+		defer t.Stop()
+		timeout = t.C
+	} else {
+		ch := make(chan time.Time)
+		close(ch)
+		timeout = ch
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return g.releaseFunc(), nil
+	case <-timeout:
+		<-g.queue
+		g.shed.Add(1)
+		return nil, &OverloadError{Queued: true, RetryAfter: g.retryAfter()}
+	case <-ctx.Done():
+		<-g.queue
+		return nil, ctx.Err()
+	}
+}
+
+func (g *Gate) releaseFunc() func() {
+	var once atomic.Bool
+	return func() {
+		if once.Swap(true) {
+			return
+		}
+		<-g.slots
+		<-g.queue
+	}
+}
+
+// retryAfter suggests how long a shed client should back off: the queue
+// wait (the horizon after which admission chances reset), floored at one
+// second so Retry-After headers stay meaningful.
+func (g *Gate) retryAfter() time.Duration {
+	if g.wait >= time.Second {
+		return g.wait
+	}
+	return time.Second
+}
+
+// Shed returns how many requests this gate has rejected (0 on nil).
+func (g *Gate) Shed() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.shed.Load()
+}
+
+// InFlight returns how many admitted requests currently hold a slot
+// (0 on nil).
+func (g *Gate) InFlight() int64 {
+	if g == nil {
+		return 0
+	}
+	return int64(len(g.slots))
+}
+
+// Waiting returns how many admitted requests are queued for a slot
+// (0 on nil).
+func (g *Gate) Waiting() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.waiting.Load()
+}

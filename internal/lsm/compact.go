@@ -26,6 +26,9 @@ import (
 // metadata is exact again (no pending deletes or overwrites), so M4-LSM
 // degenerates to its pure metadata fast path.
 func (e *Engine) Compact() error {
+	if err := e.writable(); err != nil {
+		return err
+	}
 	e.lockAll()
 	defer e.unlockAll()
 	if e.closed.Load() {
@@ -135,7 +138,7 @@ func (e *Engine) Compact() error {
 				os.Remove(g.path)
 			}
 		}
-		return err
+		return e.classifyWrite(err)
 	}
 
 	// Swap in the new generation: the old files are unlinked but their

@@ -83,6 +83,21 @@ type Options struct {
 	// injecting chunk-level read faults at query time only — file opens
 	// and footer parses stay clean. Applied beneath the chunk cache.
 	WrapSource func(src storage.ChunkSource) storage.ChunkSource
+	// ReadRetries bounds how many times a transient chunk-read fault is
+	// retried (with deterministic jittered backoff) before it surfaces to
+	// the query. 0 means the default of 2 retries (3 attempts total);
+	// DisableReadRetry turns retrying off entirely. Detected corruption
+	// is never retried. RetryBaseDelay/RetryMaxDelay shape the backoff
+	// (defaults 1ms/50ms).
+	ReadRetries      int
+	DisableReadRetry bool
+	RetryBaseDelay   time.Duration
+	RetryMaxDelay    time.Duration
+	// SpaceProbeInterval rate-limits the disk-space probe that recovers
+	// the engine from read-only degraded mode after ENOSPC. 0 means the
+	// default of one probe per second; negative probes on every write
+	// attempt (tests).
+	SpaceProbeInterval time.Duration
 	// Metrics, when set, receives the engine's runtime metrics: write/
 	// flush/compaction counters and latency histograms, WAL size, memtable
 	// and chunk gauges, quarantine state, and chunk-cache effectiveness.
@@ -166,6 +181,19 @@ type Engine struct {
 	// while other queries hold shard read locks.
 	quarMu      sync.Mutex
 	quarantined map[chunkID]error
+
+	// Read-only degraded mode (disk full): readOnly is the hot-path flag,
+	// roMu guards the reason string, lastProbe rate-limits recovery
+	// probes, roTrips counts entries into the mode. Transient-read retry
+	// accounting (readRetries/retryExhausted) lives here too: the retry
+	// wrapper outlives individual snapshots.
+	readOnly       atomic.Bool
+	roMu           sync.Mutex
+	roReason       string
+	roTrips        atomic.Int64
+	lastProbe      atomic.Int64
+	readRetries    atomic.Int64
+	retryExhausted atomic.Int64
 
 	// met holds pre-resolved write-path instruments; every field is
 	// nil-safe, so instrumented code records unconditionally and a nil
@@ -295,6 +323,15 @@ func (e *Engine) registerMetrics(reg *obs.Registry) {
 	reg.GaugeFunc("lsm_bad_files", info(func(i Info) float64 { return float64(i.BadFiles) }))
 	reg.GaugeFunc("lsm_quarantined_chunks", info(func(i Info) float64 { return float64(i.QuarantinedChunks) }))
 	reg.GaugeFunc("lsm_delete_tombstones", info(func(i Info) float64 { return float64(i.Deletes) }))
+	reg.GaugeFunc("lsm_read_only", func() float64 {
+		if e.readOnly.Load() {
+			return 1
+		}
+		return 0
+	})
+	reg.CounterFunc("lsm_read_only_trips_total", func() float64 { return float64(e.roTrips.Load()) })
+	reg.CounterFunc("lsm_read_retries_total", func() float64 { return float64(e.readRetries.Load()) })
+	reg.CounterFunc("lsm_read_retry_exhausted_total", func() float64 { return float64(e.retryExhausted.Load()) })
 	reg.GaugeFunc("lsm_wal_bytes", func() float64 {
 		if e.wal == nil || e.closed.Load() {
 			return 0
@@ -471,6 +508,9 @@ func (e *Engine) Write(seriesID string, pts ...series.Point) error {
 			return fmt.Errorf("lsm: NaN value at t=%d", p.T)
 		}
 	}
+	if err := e.writable(); err != nil {
+		return err
+	}
 	sh, shardIx := e.shardFor(seriesID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -493,7 +533,7 @@ func (e *Engine) Write(seriesID string, pts ...series.Point) error {
 		e.walMu.Unlock()
 		if err != nil {
 			sh.memPts.Add(-int64(len(pts)))
-			return err
+			return e.classifyWrite(err)
 		}
 		e.met.walAppends.Inc()
 		if err := e.step("wal.appended"); err != nil {
@@ -506,7 +546,10 @@ func (e *Engine) Write(seriesID string, pts ...series.Point) error {
 	if len(sh.mem[seriesID]) >= e.opts.FlushThreshold {
 		n, err := e.flushShardLocked(sh)
 		if err != nil {
-			return err
+			// The points themselves are durable (memtable + WAL); only
+			// the flush failed. Classify so disk-full surfaces as the
+			// retryable degraded-mode error.
+			return e.classifyWrite(err)
 		}
 		if n > 0 {
 			return e.maybeResetWAL()
@@ -521,6 +564,9 @@ func (e *Engine) Write(seriesID string, pts ...series.Point) error {
 func (e *Engine) Delete(seriesID string, start, end int64) error {
 	if end < start {
 		return fmt.Errorf("lsm: inverted delete range [%d,%d]", start, end)
+	}
+	if err := e.writable(); err != nil {
+		return err
 	}
 	sh, shardIx := e.shardFor(seriesID)
 	sh.mu.Lock()
@@ -542,7 +588,7 @@ func (e *Engine) Delete(seriesID string, start, end int64) error {
 		err := e.wal.Append(encodeDeleteSharded(shardIx, d), e.opts.SyncWAL)
 		e.walMu.Unlock()
 		if err != nil {
-			return err
+			return e.classifyWrite(err)
 		}
 		e.met.walAppends.Inc()
 	}
@@ -550,7 +596,7 @@ func (e *Engine) Delete(seriesID string, start, end int64) error {
 		return err
 	}
 	if err := e.modsLog().Append(d); err != nil {
-		return err
+		return e.classifyWrite(err)
 	}
 	e.met.deletes.Inc()
 	sh.applyDeleteToMem(d)
@@ -560,6 +606,9 @@ func (e *Engine) Delete(seriesID string, start, end int64) error {
 // Flush persists every shard's memtable as chunk files and clears the WAL.
 // Shards flush concurrently (sequentially under a StepHook).
 func (e *Engine) Flush() error {
+	if err := e.writable(); err != nil {
+		return err
+	}
 	var flushed atomic.Int64
 	err := runShardPool(e.shardParallelism(), len(e.shards), func(i int) error {
 		sh := e.shards[i]
@@ -573,7 +622,7 @@ func (e *Engine) Flush() error {
 		return err
 	})
 	if err != nil {
-		return err
+		return e.classifyWrite(err)
 	}
 	if flushed.Load() > 0 {
 		return e.maybeResetWAL()
@@ -829,6 +878,17 @@ type Info struct {
 	// QuarantinedChunks counts chunks excluded from snapshots after a
 	// CRC or decode failure during a query.
 	QuarantinedChunks int
+
+	// ReadOnly reports the disk-full degraded mode: writes are rejected
+	// with ErrReadOnly (retryable), queries keep serving, and the engine
+	// auto-recovers when a space probe succeeds. ReadOnlyReason carries
+	// the triggering error.
+	ReadOnly       bool
+	ReadOnlyReason string
+	// ReadRetries / ReadRetryExhausted count transient chunk-read
+	// retries and reads that failed even after all attempts.
+	ReadRetries        int64
+	ReadRetryExhausted int64
 }
 
 // Info returns a snapshot of engine statistics.
@@ -848,16 +908,21 @@ func (e *Engine) Info() Info {
 	e.quarMu.Lock()
 	quar := len(e.quarantined)
 	e.quarMu.Unlock()
+	ro, roReason := e.ReadOnly()
 	return Info{
-		Shards:            len(e.shards),
-		Files:             files,
-		UnseqFiles:        unseq,
-		Chunks:            chunks,
-		MemtablePoints:    memPts,
-		NextVersion:       storage.Version(e.nextVer.Load()),
-		Deletes:           e.modsLog().Len(),
-		BadFiles:          bad,
-		QuarantinedChunks: quar,
+		Shards:             len(e.shards),
+		Files:              files,
+		UnseqFiles:         unseq,
+		Chunks:             chunks,
+		MemtablePoints:     memPts,
+		NextVersion:        storage.Version(e.nextVer.Load()),
+		Deletes:            e.modsLog().Len(),
+		BadFiles:           bad,
+		QuarantinedChunks:  quar,
+		ReadOnly:           ro,
+		ReadOnlyReason:     roReason,
+		ReadRetries:        e.readRetries.Load(),
+		ReadRetryExhausted: e.retryExhausted.Load(),
 	}
 }
 
@@ -989,13 +1054,16 @@ func (e *Engine) replayWAL(rec []byte) error {
 }
 
 // sourceFor wraps a chunk file reader with query-time fault injection
-// (innermost, so cached loads are not re-faulted) and the engine's shared
-// cache when caching is enabled.
+// (innermost, so cached loads are not re-faulted), the transient-read
+// retry layer (above injection, so a retry re-draws the fault; below the
+// cache, so only settled reads are cached) and the engine's shared cache
+// when caching is enabled.
 func (e *Engine) sourceFor(r *tsfile.Reader) storage.ChunkSource {
 	var src storage.ChunkSource = r
 	if e.opts.WrapSource != nil {
 		src = e.opts.WrapSource(src)
 	}
+	src = storage.WithRetry(src, e.retryPolicy())
 	if e.cache == nil {
 		return src
 	}

@@ -1,0 +1,141 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"m4lsm/internal/storage"
+	"m4lsm/internal/tsfile"
+)
+
+// ErrReadOnly marks writes rejected while the engine is in read-only
+// degraded mode (disk full). The condition is transient: the engine
+// probes for space on later write attempts and recovers automatically, so
+// callers should back off and retry rather than give up.
+var ErrReadOnly = errors.New("lsm: engine is read-only (out of disk space)")
+
+// isNoSpace classifies the errors that flip the engine read-only: real
+// ENOSPC from the filesystem, or a faultfs-injected error wrapping it.
+func isNoSpace(err error) bool {
+	return errors.Is(err, syscall.ENOSPC)
+}
+
+// classifyWrite inspects a write-path error. Out-of-space flips the
+// engine into read-only degraded mode — queries keep serving, writes get
+// a typed retryable error — instead of surfacing as an anonymous I/O
+// failure. Every other error passes through unchanged (including
+// faultfs.ErrCrash, which the torture harness expects verbatim).
+func (e *Engine) classifyWrite(err error) error {
+	if err == nil || !isNoSpace(err) {
+		return err
+	}
+	e.enterReadOnly(err)
+	return fmt.Errorf("%w: %v", ErrReadOnly, err)
+}
+
+// enterReadOnly flips the degraded flag once and records the cause.
+func (e *Engine) enterReadOnly(cause error) {
+	e.roMu.Lock()
+	defer e.roMu.Unlock()
+	if e.readOnly.Load() {
+		return
+	}
+	e.roReason = cause.Error()
+	e.readOnly.Store(true)
+	e.roTrips.Add(1)
+}
+
+// exitReadOnly clears the degraded flag after a successful space probe.
+func (e *Engine) exitReadOnly() {
+	e.roMu.Lock()
+	e.roReason = ""
+	e.readOnly.Store(false)
+	e.roMu.Unlock()
+}
+
+// ReadOnly reports whether the engine is currently degraded to read-only
+// and, if so, why.
+func (e *Engine) ReadOnly() (bool, string) {
+	if !e.readOnly.Load() {
+		return false, ""
+	}
+	e.roMu.Lock()
+	defer e.roMu.Unlock()
+	return e.readOnly.Load(), e.roReason
+}
+
+// writable gates the mutating entry points while degraded: it re-probes
+// for disk space (rate-limited) and either recovers the engine or
+// returns the typed retryable error.
+func (e *Engine) writable() error {
+	if !e.readOnly.Load() {
+		return nil
+	}
+	if e.tryRecover() {
+		return nil
+	}
+	e.roMu.Lock()
+	reason := e.roReason
+	e.roMu.Unlock()
+	return fmt.Errorf("%w: %s", ErrReadOnly, reason)
+}
+
+// tryRecover probes whether the directory accepts writes again, at most
+// once per SpaceProbeInterval. The probe is a tiny create-write-remove in
+// the database directory, routed through the "probe.space" step site so
+// fault harnesses can keep it failing while simulated space is gone.
+func (e *Engine) tryRecover() bool {
+	interval := e.opts.SpaceProbeInterval
+	if interval == 0 {
+		interval = time.Second
+	}
+	if interval > 0 {
+		now := time.Now().UnixNano()
+		last := e.lastProbe.Load()
+		if now-last < int64(interval) {
+			return false
+		}
+		if !e.lastProbe.CompareAndSwap(last, now) {
+			return false // another writer is probing
+		}
+	}
+	if err := e.step("probe.space"); err != nil {
+		return false
+	}
+	probe := filepath.Join(e.opts.Dir, ".space-probe")
+	if err := os.WriteFile(probe, []byte("m4lsm space probe\n"), 0o644); err != nil {
+		os.Remove(probe)
+		return false
+	}
+	os.Remove(probe)
+	e.exitReadOnly()
+	return true
+}
+
+// retryPolicy is the transient-read retry configuration of this engine's
+// chunk sources: bounded attempts with deterministic jittered backoff.
+// Detected corruption (tsfile.ErrCorrupt) is permanent — the bytes on
+// disk are wrong, re-reading cannot help — so it fails immediately and
+// keeps the quarantine path intact.
+func (e *Engine) retryPolicy() storage.RetryPolicy {
+	if e.opts.DisableReadRetry {
+		return storage.RetryPolicy{}
+	}
+	retries := e.opts.ReadRetries
+	if retries <= 0 {
+		retries = 2
+	}
+	return storage.RetryPolicy{
+		MaxAttempts: retries + 1,
+		BaseDelay:   e.opts.RetryBaseDelay,
+		MaxDelay:    e.opts.RetryMaxDelay,
+		Seed:        uint64(e.opts.FlushThreshold)*0x9e37 + 1, // any fixed, config-stable seed
+		IsPermanent: func(err error) bool { return errors.Is(err, tsfile.ErrCorrupt) },
+		OnRetry:     func() { e.readRetries.Add(1) },
+		OnExhausted: func() { e.retryExhausted.Add(1) },
+	}
+}

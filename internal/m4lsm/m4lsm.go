@@ -31,11 +31,13 @@ package m4lsm
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"m4lsm/internal/govern"
 	"m4lsm/internal/m4"
 	"m4lsm/internal/obs"
 	"m4lsm/internal/series"
@@ -72,6 +74,16 @@ type Options struct {
 	// latency histograms (labelled op="lsm"). Nil — the default — skips
 	// all instrumentation on the hot path.
 	Metrics *obs.Registry
+	// Budget, when non-nil, caps the resources this query may spend: every
+	// physical load (timestamps or full data) charges one chunk, a full
+	// load additionally charges the chunk's point count, and the budget's
+	// deadline is checked at task boundaries. An exhausted budget behaves
+	// like an unreadable chunk: under Strict the query fails with an error
+	// wrapping govern.ErrBudgetExceeded; otherwise the affected chunks are
+	// dropped with a warning and the result degrades exactly like the
+	// fault-tolerance path (FP substitution and all). The same *Budget may
+	// be shared by the batched multi-series path and the UDF baseline.
+	Budget *govern.Budget
 }
 
 // Compute runs the M4 representation query with default options.
@@ -200,6 +212,14 @@ func (op *operator) computeG(span series.TimeRange, chunks []*chunkState, g gKin
 	if err := op.ctx.Err(); err != nil {
 		return series.Point{}, false, err
 	}
+	// Strict queries abort outright on a blown deadline; lenient ones keep
+	// going — the candidate loop itself is metadata-cheap, and any further
+	// chunk load is refused by ChargeChunk and degrades via chunkFailed.
+	if op.opts.Strict {
+		if err := op.budget.CheckDeadline(); err != nil {
+			return series.Point{}, false, err
+		}
+	}
 	sc := &spanComputer{op: op, span: span, views: make([]*view, len(chunks))}
 	defer func() { op.stats.Add(sc.local) }()
 	for i, cs := range chunks {
@@ -245,7 +265,8 @@ type operator struct {
 	states   []*chunkState
 	deletes  []storage.Delete // sorted by version
 	deleteIx *storage.DeleteIndex
-	degraded atomic.Bool // a chunk was dropped; the result is partial
+	budget   *govern.Budget // nil: unbudgeted (methods are nil-safe)
+	degraded atomic.Bool    // a chunk was dropped; the result is partial
 
 	tr  *obs.Trace           // nil unless the query context carries a trace
 	met *obs.OperatorMetrics // nil unless Options.Metrics is set
@@ -261,6 +282,21 @@ func (op *operator) reportBad(cs *chunkState, err error) {
 	cs.mu.Unlock()
 	if !already {
 		op.snap.ReportBadChunk(cs.meta, err)
+	}
+}
+
+// budgetDenied records a chunk the budget refused to load: the result is
+// degraded and a warning names the chunk, but — unlike reportBad — the
+// snapshot producer is NOT notified, because nothing is wrong with the
+// chunk's bytes and it must not be quarantined.
+func (op *operator) budgetDenied(cs *chunkState, err error) {
+	op.degraded.Store(true)
+	cs.mu.Lock()
+	already := cs.reported
+	cs.reported = true
+	cs.mu.Unlock()
+	if !already {
+		op.snap.Warnings.Add("chunk %s v%d skipped by budget: %v", cs.meta.SeriesID, cs.meta.Version, err)
 	}
 }
 
@@ -296,10 +332,14 @@ func (op *operator) ensureTimes(cs *chunkState) error {
 	if op.opts.DisablePartialLoad {
 		return op.ensureDataLocked(cs)
 	}
-	// Cancellation is checked before I/O only and never made sticky: a
-	// cancelled load must not poison the chunk state for other queries'
-	// semantics or mask the real error classification.
+	// Cancellation and budget are checked before I/O only and never made
+	// sticky: a cancelled or budget-refused load must not poison the chunk
+	// state for other queries' semantics or mask the real error
+	// classification. (A later query with a fresh budget may load it.)
 	if err := op.ctx.Err(); err != nil {
+		return err
+	}
+	if err := op.budget.ChargeChunk(0); err != nil {
 		return err
 	}
 	ts, err := cs.ref.LoadTimes()
@@ -327,6 +367,9 @@ func (op *operator) ensureDataLocked(cs *chunkState) error {
 		return nil
 	}
 	if err := op.ctx.Err(); err != nil {
+		return err
+	}
+	if err := op.budget.ChargeChunk(int64(cs.meta.Count)); err != nil {
 		return err
 	}
 	data, err := cs.ref.Load()
@@ -453,6 +496,11 @@ func (sc *spanComputer) chunkFailed(v *view, err error) error {
 	}
 	if sc.op.opts.Strict {
 		return err
+	}
+	if errors.Is(err, govern.ErrBudgetExceeded) {
+		sc.op.budgetDenied(v.cs, err)
+		v.dead = true
+		return nil
 	}
 	sc.op.reportBad(v.cs, err)
 	v.dead = true

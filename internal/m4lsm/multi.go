@@ -188,7 +188,7 @@ type seriesPlan struct {
 // spans by index interval, and spans with no chunks answered Empty with no
 // task at all.
 func newSeriesPlan(ctx context.Context, snap *storage.Snapshot, q m4.Query, opts Options, tr *obs.Trace, met *obs.OperatorMetrics, instrumented bool) *seriesPlan {
-	op := &operator{ctx: ctx, snap: snap, q: q, opts: opts, stats: snap.Stats, tr: tr, met: met}
+	op := &operator{ctx: ctx, snap: snap, q: q, opts: opts, stats: snap.Stats, budget: opts.Budget, tr: tr, met: met}
 	if op.stats == nil {
 		op.stats = &storage.Stats{}
 	}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"m4lsm/internal/govern"
 	"m4lsm/internal/groupby"
 	"m4lsm/internal/lsm"
 	"m4lsm/internal/m4"
@@ -121,6 +122,16 @@ func writeTable(sb *strings.Builder, columns []string, rows [][]float64) {
 	}
 }
 
+// queryBudget builds the statement's resource budget: the TIMEOUT clause
+// overrides the server-wide defaults the context carries (installed via
+// govern.WithLimits), and chunk/point caps come from those defaults alone.
+// Returns nil — no budget at all — when neither source sets a limit. The
+// budget is shared across every series of a multi-series statement: the
+// limits govern the query, not each series.
+func queryBudget(ctx context.Context, stmt Statement) *govern.Budget {
+	return govern.NewBudget(govern.Limits{Timeout: stmt.Timeout}.Merge(govern.LimitsOf(ctx)))
+}
+
 // Execute runs a parsed statement against the engine.
 func Execute(e *lsm.Engine, stmt Statement) (*Result, error) {
 	return ExecuteContext(context.Background(), e, stmt)
@@ -150,13 +161,14 @@ func ExecuteContext(ctx context.Context, e *lsm.Engine, stmt Statement) (*Result
 			return nil, fmt.Errorf("m4ql: strict read: %s", ws[0])
 		}
 	}
+	budget := queryBudget(ctx, stmt)
 	start := time.Now()
 	var aggs []m4.Aggregate
 	switch stmt.Operator {
 	case OpUDF:
-		aggs, err = m4udf.ComputeContext(ctx, snap, stmt.Query, m4udf.Options{Parallelism: stmt.Parallelism, Strict: stmt.Strict, Metrics: e.Metrics()})
+		aggs, err = m4udf.ComputeContext(ctx, snap, stmt.Query, m4udf.Options{Parallelism: stmt.Parallelism, Strict: stmt.Strict, Metrics: e.Metrics(), Budget: budget})
 	default:
-		aggs, err = m4lsm.ComputeContext(ctx, snap, stmt.Query, m4lsm.Options{Parallelism: stmt.Parallelism, Strict: stmt.Strict, Metrics: e.Metrics()})
+		aggs, err = m4lsm.ComputeContext(ctx, snap, stmt.Query, m4lsm.Options{Parallelism: stmt.Parallelism, Strict: stmt.Strict, Metrics: e.Metrics(), Budget: budget})
 	}
 	if err != nil {
 		return nil, err
@@ -238,11 +250,12 @@ func executeMulti(ctx context.Context, e *lsm.Engine, stmt Statement, tr *obs.Tr
 		// batched operator for them, so loop sequentially.
 		return executeGroupByMulti(ctx, e, stmt, tr, ids, snaps, start)
 	}
+	budget := queryBudget(ctx, stmt)
 	switch stmt.Operator {
 	case OpUDF:
-		outs, err = m4udf.ComputeMultiContext(ctx, snaps, stmt.Query, m4udf.Options{Parallelism: stmt.Parallelism, Strict: stmt.Strict, Metrics: e.Metrics()})
+		outs, err = m4udf.ComputeMultiContext(ctx, snaps, stmt.Query, m4udf.Options{Parallelism: stmt.Parallelism, Strict: stmt.Strict, Metrics: e.Metrics(), Budget: budget})
 	default:
-		outs, err = m4lsm.ComputeMultiContext(ctx, snaps, stmt.Query, m4lsm.Options{Parallelism: stmt.Parallelism, Strict: stmt.Strict, Metrics: e.Metrics()})
+		outs, err = m4lsm.ComputeMultiContext(ctx, snaps, stmt.Query, m4lsm.Options{Parallelism: stmt.Parallelism, Strict: stmt.Strict, Metrics: e.Metrics(), Budget: budget})
 	}
 	if err != nil {
 		return nil, err
@@ -433,6 +446,9 @@ func ExplainContext(ctx context.Context, e *lsm.Engine, stmt Statement) (string,
 		fmt.Fprintf(&sb, "  parallel: %d workers\n", stmt.Parallelism)
 	} else {
 		fmt.Fprintf(&sb, "  parallel: GOMAXPROCS\n")
+	}
+	if stmt.Timeout > 0 {
+		fmt.Fprintf(&sb, "  timeout:  %v (soft budget)\n", stmt.Timeout)
 	}
 	fmt.Fprintf(&sb, "  columns:  %s\n", strings.Join(columnStrings(stmt.Columns), ", "))
 	fmt.Fprintf(&sb, "executed in %v\n", res.Elapsed.Round(time.Microsecond))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"m4lsm/internal/groupby"
 	"m4lsm/internal/m4"
@@ -93,6 +94,11 @@ type Statement struct {
 	// Trace is the TRACE clause: return a structured execution trace
 	// (phases, per-task timings, I/O counters) with the result.
 	Trace bool
+	// Timeout is the TIMEOUT <ms> clause: the query's soft wall-clock
+	// budget. When it expires the query degrades to a partial result with
+	// warnings (or fails typed under STRICT); it overrides any server-wide
+	// default. 0 means no statement-level timeout.
+	Timeout time.Duration
 	// Explain requests the physical plan and cost summary instead of rows.
 	Explain bool
 }
@@ -185,9 +191,9 @@ func Parse(input string) (Statement, error) {
 		return Statement{}, err
 	}
 
-	// Trailing clauses: USING <op>, PARALLEL <n>, STRICT and TRACE, each
-	// at most once, in any order.
-	var haveUsing, haveParallel bool
+	// Trailing clauses: USING <op>, PARALLEL <n>, TIMEOUT <ms>, STRICT and
+	// TRACE, each at most once, in any order.
+	var haveUsing, haveParallel, haveTimeout bool
 	for {
 		switch {
 		case keywordIs(p.peek(), "strict"):
@@ -235,6 +241,22 @@ func Parse(input string) (Statement, error) {
 				return Statement{}, fmt.Errorf("m4ql: PARALLEL wants a positive worker count, got %q", nTok.text)
 			}
 			stmt.Parallelism = n
+			continue
+		case keywordIs(p.peek(), "timeout"):
+			if haveTimeout {
+				return Statement{}, fmt.Errorf("m4ql: duplicate TIMEOUT clause")
+			}
+			haveTimeout = true
+			p.next()
+			msTok, err := p.expect(tokNumber, "timeout milliseconds")
+			if err != nil {
+				return Statement{}, err
+			}
+			ms, err := strconv.ParseInt(msTok.text, 10, 64)
+			if err != nil || ms < 1 {
+				return Statement{}, fmt.Errorf("m4ql: TIMEOUT wants positive milliseconds, got %q", msTok.text)
+			}
+			stmt.Timeout = time.Duration(ms) * time.Millisecond
 			continue
 		}
 		break

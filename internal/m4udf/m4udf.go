@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"m4lsm/internal/govern"
 	"m4lsm/internal/m4"
 	"m4lsm/internal/mergeread"
 	"m4lsm/internal/obs"
@@ -40,6 +41,10 @@ type Options struct {
 	// Metrics, when non-nil, receives the operator's query counters and
 	// latency histograms (labelled op="udf").
 	Metrics *obs.Registry
+	// Budget, when non-nil, caps the chunks and points the merge may load
+	// and bounds its wall clock; see mergeread.LoadOptions.Budget for the
+	// exact semantics.
+	Budget *govern.Budget
 }
 
 // Compute runs the M4 representation query against a snapshot by merging
@@ -98,7 +103,7 @@ func ComputeContext(ctx context.Context, snap *storage.Snapshot, q m4.Query, opt
 			delta.TimeBlocksLoaded, delta.PointsDecoded, delta.CacheHits)
 		tr.SetCounters(delta.Map())
 	}
-	loaded, err := mergeread.LoadContext(ctx, snap, mergeread.LoadOptions{Parallelism: par, Strict: opts.Strict})
+	loaded, err := mergeread.LoadContext(ctx, snap, mergeread.LoadOptions{Parallelism: par, Strict: opts.Strict, Budget: opts.Budget})
 	if err != nil {
 		return nil, err
 	}

@@ -10,11 +10,13 @@ package mergeread
 import (
 	"container/heap"
 	"context"
+	"errors"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"m4lsm/internal/govern"
 	"m4lsm/internal/obs"
 	"m4lsm/internal/series"
 	"m4lsm/internal/storage"
@@ -50,6 +52,13 @@ type LoadOptions struct {
 	// default drops unreadable chunks, reporting each through the
 	// snapshot's Warnings/OnQuarantine, and merges the rest.
 	Strict bool
+	// Budget, when non-nil, caps the load: each chunk charges one chunk
+	// plus its point count before it is read, and the budget's deadline is
+	// checked with the same charge. A refused chunk fails the load under
+	// Strict (the error wraps govern.ErrBudgetExceeded) and is otherwise
+	// dropped from the merge with a warning — never a quarantine, since
+	// its bytes are fine.
+	Budget *govern.Budget
 }
 
 // LoadContext decodes every chunk of the snapshot under a context.
@@ -64,6 +73,9 @@ func LoadContext(ctx context.Context, snap *storage.Snapshot, opts LoadOptions) 
 	tr := obs.TraceOf(ctx)
 	load := func(i int) {
 		if errs[i] = ctx.Err(); errs[i] != nil {
+			return
+		}
+		if errs[i] = opts.Budget.ChargeChunk(int64(snap.Chunks[i].Meta.Count)); errs[i] != nil {
 			return
 		}
 		var t0 time.Time
@@ -124,7 +136,14 @@ func LoadContext(ctx context.Context, snap *storage.Snapshot, opts LoadOptions) 
 		if opts.Strict {
 			return nil, err
 		}
-		snap.ReportBadChunk(snap.Chunks[i].Meta, err)
+		if errors.Is(err, govern.ErrBudgetExceeded) {
+			// Nothing is wrong with the chunk's bytes: warn, don't
+			// quarantine.
+			m := snap.Chunks[i].Meta
+			snap.Warnings.Add("chunk %s v%d skipped by budget: %v", m.SeriesID, m.Version, err)
+		} else {
+			snap.ReportBadChunk(snap.Chunks[i].Meta, err)
+		}
 		l.chunks[i] = loadedChunk{} // empty series: dropped from the merge
 	}
 	return l, nil

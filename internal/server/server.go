@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"m4lsm/internal/govern"
 	"m4lsm/internal/lsm"
 	"m4lsm/internal/m4"
 	"m4lsm/internal/m4lsm"
@@ -38,6 +39,33 @@ type Config struct {
 	SlowQueryThreshold time.Duration
 	// SlowLogCapacity bounds the slow-query ring buffer (default 128).
 	SlowLogCapacity int
+
+	// QuerySlots bounds concurrently executing query-class requests
+	// (/query and /render; health and metrics endpoints are never gated).
+	// 0 disables admission control.
+	QuerySlots int
+	// QueryQueueDepth is how many query-class requests may wait for a slot
+	// beyond the ones running; anything past that is shed immediately with
+	// 429 and a Retry-After header.
+	QueryQueueDepth int
+	// QueryQueueWait bounds how long a queued request waits for a slot
+	// before being shed (default 1s; negative sheds immediately when no
+	// slot is free).
+	QueryQueueWait time.Duration
+
+	// QueryTimeout is the default soft wall-clock budget per query-class
+	// request; a statement-level TIMEOUT clause overrides it. When the
+	// budget expires the query degrades to a partial result with warnings
+	// (or fails with 503 under STRICT). 0 means no default.
+	QueryTimeout time.Duration
+	// MaxChunksPerQuery / MaxPointsPerQuery are default per-query resource
+	// caps (physical chunk loads / decoded points); 0 means unlimited.
+	MaxChunksPerQuery int64
+	MaxPointsPerQuery int64
+
+	// MaxBodyBytes bounds request bodies (default 1 MiB). Oversized or
+	// malformed bodies answer 400, never a 500.
+	MaxBodyBytes int64
 }
 
 // Handler serves the HTTP API for one engine.
@@ -48,6 +76,10 @@ type Handler struct {
 	slowLog *obs.SlowLog
 	log     *slog.Logger
 	start   time.Time
+
+	gate    *govern.Gate  // nil: admission control off
+	limits  govern.Limits // default per-query budget (zero: unbudgeted)
+	maxBody int64
 
 	renderPartial *obs.Counter
 }
@@ -74,6 +106,16 @@ func NewWith(e *lsm.Engine, cfg Config) *Handler {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	wait := cfg.QueryQueueWait
+	if wait == 0 {
+		wait = time.Second
+	} else if wait < 0 {
+		wait = 0
+	}
+	maxBody := cfg.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = 1 << 20
+	}
 	h := &Handler{
 		engine:        e,
 		mux:           http.NewServeMux(),
@@ -81,17 +123,79 @@ func NewWith(e *lsm.Engine, cfg Config) *Handler {
 		slowLog:       obs.NewSlowLog(threshold, cfg.SlowLogCapacity),
 		log:           logger,
 		start:         time.Now(),
+		gate:          govern.NewGate(cfg.QuerySlots, cfg.QueryQueueDepth, wait),
+		limits:        govern.Limits{MaxChunks: cfg.MaxChunksPerQuery, MaxPoints: cfg.MaxPointsPerQuery, Timeout: cfg.QueryTimeout},
+		maxBody:       maxBody,
 		renderPartial: reg.Counter("render_partial_total"),
 	}
+	reg.CounterFunc("http_shed_total", func() float64 { return float64(h.gate.Shed()) })
+	reg.GaugeFunc("http_query_inflight", func() float64 { return float64(h.gate.InFlight()) })
+	reg.GaugeFunc("http_query_waiting", func() float64 { return float64(h.gate.Waiting()) })
 	h.handle("/", h.ui)
 	h.handle("/healthz", h.health)
 	h.handle("/series", h.series)
-	h.handle("/query", h.query)
-	h.handle("/render", h.render)
+	h.handle("/query", h.gated(h.query))
+	h.handle("/render", h.gated(h.render))
 	h.handle("/metrics", h.metrics)
 	h.handle("/varz", h.varz)
 	h.handle("/debug/slowlog", h.slowlog)
 	return h
+}
+
+// gated wraps a query-class endpoint with admission control and the default
+// per-query budget. Introspection endpoints (health, metrics, slowlog) stay
+// ungated so operators can always see an overloaded server. Shed requests
+// answer 429 with Retry-After; a client that disconnects while queued gets
+// 503 and is not counted as shed.
+func (h *Handler) gated(fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, err := h.gate.Acquire(r.Context())
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				httpError(w, http.StatusServiceUnavailable, err)
+				return
+			}
+			retry := time.Second
+			var oe *govern.OverloadError
+			if errors.As(err, &oe) {
+				retry = oe.RetryAfter
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
+			w.Header().Set("X-M4-Error", "overloaded")
+			httpError(w, http.StatusTooManyRequests, err)
+			return
+		}
+		defer release()
+		fn(w, r.WithContext(govern.WithLimits(r.Context(), h.limits)))
+	}
+}
+
+// mapQueryError classifies operator and engine errors that deserve a
+// specific status code and X-M4-Error header; (0, "") leaves the decision
+// to the endpoint (400 for /query parse errors, 500 for /render internals).
+func mapQueryError(err error) (code int, kind string) {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable, "canceled"
+	case errors.Is(err, govern.ErrBudgetExceeded):
+		return http.StatusServiceUnavailable, "budget-exceeded"
+	case errors.Is(err, govern.ErrOverloaded):
+		return http.StatusTooManyRequests, "overloaded"
+	case errors.Is(err, lsm.ErrReadOnly):
+		return http.StatusServiceUnavailable, "read-only"
+	}
+	return 0, ""
+}
+
+// writeMappedError answers a classified error: the X-M4-Error header names
+// the condition machine-readably, and retryable conditions (overload,
+// read-only disk) carry a Retry-After hint.
+func writeMappedError(w http.ResponseWriter, code int, kind string, err error) {
+	w.Header().Set("X-M4-Error", kind)
+	if kind == "overloaded" || kind == "read-only" {
+		w.Header().Set("Retry-After", "1")
+	}
+	httpError(w, code, err)
 }
 
 // Metrics returns the registry the handler reports into.
@@ -197,6 +301,11 @@ func (h *Handler) health(w http.ResponseWriter, _ *http.Request) {
 	if info.BadFiles > 0 || info.QuarantinedChunks > 0 {
 		status = "degraded"
 	}
+	if info.ReadOnly {
+		// Disk-full degradation outranks quarantine noise: writes are
+		// refused until the engine's space probe sees room again.
+		status = "read-only"
+	}
 	version, revision := buildInfo()
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"status":            status,
@@ -204,6 +313,8 @@ func (h *Handler) health(w http.ResponseWriter, _ *http.Request) {
 		"chunks":            info.Chunks,
 		"badFiles":          info.BadFiles,
 		"quarantinedChunks": info.QuarantinedChunks,
+		"readOnly":          info.ReadOnly,
+		"readOnlyReason":    info.ReadOnlyReason,
 		"uptimeSeconds":     time.Since(h.start).Seconds(),
 		"goVersion":         runtime.Version(),
 		"goroutines":        runtime.NumGoroutine(),
@@ -248,10 +359,16 @@ func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 	case http.MethodGet:
 		q = r.URL.Query().Get("q")
 	case http.MethodPost:
+		r.Body = http.MaxBytesReader(w, r.Body, h.maxBody)
 		var body struct {
 			Query string `json:"query"`
 		}
 		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+				return
+			}
 			httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 			return
 		}
@@ -279,12 +396,10 @@ func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		entry.Error = err.Error()
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			// The client is gone (or the server is shutting down);
-			// nobody reads this body, but close out the exchange.
-			entry.Status = http.StatusServiceUnavailable
+		if code, kind := mapQueryError(err); code != 0 {
+			entry.Status = code
 			h.slowLog.Record(entry)
-			httpError(w, http.StatusServiceUnavailable, err)
+			writeMappedError(w, code, kind, err)
 			return
 		}
 		entry.Status = http.StatusBadRequest
@@ -398,10 +513,13 @@ func (h *Handler) render(w http.ResponseWriter, r *http.Request) {
 		}
 		snaps[i] = snap
 	}
-	outs, err := m4lsm.ComputeMultiContext(r.Context(), snaps, q, m4lsm.Options{Metrics: h.reg})
+	outs, err := m4lsm.ComputeMultiContext(r.Context(), snaps, q, m4lsm.Options{
+		Metrics: h.reg,
+		Budget:  govern.NewBudget(govern.LimitsOf(r.Context())),
+	})
 	if err != nil {
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			httpError(w, http.StatusServiceUnavailable, err)
+		if code, kind := mapQueryError(err); code != 0 {
+			writeMappedError(w, code, kind, err)
 			return
 		}
 		httpError(w, http.StatusInternalServerError, err)

@@ -1,0 +1,114 @@
+package storage
+
+import (
+	"context"
+	"time"
+
+	"m4lsm/internal/govern"
+	"m4lsm/internal/series"
+)
+
+// RetryPolicy bounds how a retrying chunk source re-reads after transient
+// faults. The zero policy (MaxAttempts <= 1) disables retrying.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of read attempts, including the
+	// first (<= 1 means no retries).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 1ms);
+	// MaxDelay caps the exponential growth (default 50ms).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Seed drives the deterministic jitter (govern.Backoff), so a retry
+	// schedule reproduces exactly under the fault-injection harness.
+	Seed uint64
+	// IsPermanent reports errors that must not be retried — detected
+	// corruption stays corrupt no matter how often it is re-read.
+	IsPermanent func(error) bool
+	// OnRetry fires before each retry, OnExhausted once when the attempts
+	// run out with the read still failing. Both may be nil; both must be
+	// safe for concurrent use (they feed metrics counters).
+	OnRetry     func()
+	OnExhausted func()
+}
+
+// retrySource retries transient read faults of the wrapped source. It sits
+// below the chunk cache (so only settled reads are cached) and above the
+// fault-injection wrapper (so a retry re-draws the fault decision).
+type retrySource struct {
+	inner ChunkSource
+	p     RetryPolicy
+}
+
+// WithRetry wraps src with the retry policy; a policy without retries
+// returns src unchanged.
+func WithRetry(src ChunkSource, p RetryPolicy) ChunkSource {
+	if p.MaxAttempts <= 1 {
+		return src
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 50 * time.Millisecond
+	}
+	return &retrySource{inner: src, p: p}
+}
+
+// do runs read up to MaxAttempts times. The backoff sleep is bounded and
+// small, so it deliberately runs uncancelled: ChunkSource has no context,
+// and the operators re-check theirs at the next task boundary.
+func (r *retrySource) do(read func() error) error {
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = read()
+		if err == nil {
+			return nil
+		}
+		if r.p.IsPermanent != nil && r.p.IsPermanent(err) {
+			return err
+		}
+		if attempt >= r.p.MaxAttempts {
+			break
+		}
+		if r.p.OnRetry != nil {
+			r.p.OnRetry()
+		}
+		if serr := govern.SleepBackoff(context.Background(), attempt, r.p.BaseDelay, r.p.MaxDelay, r.p.Seed); serr != nil {
+			break
+		}
+	}
+	if r.p.OnExhausted != nil {
+		r.p.OnExhausted()
+	}
+	return err
+}
+
+// ReadChunk implements ChunkSource.
+func (r *retrySource) ReadChunk(meta ChunkMeta) (series.Series, error) {
+	var out series.Series
+	err := r.do(func() error {
+		var e error
+		out, e = r.inner.ReadChunk(meta)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadTimes implements ChunkSource.
+func (r *retrySource) ReadTimes(meta ChunkMeta) ([]int64, error) {
+	var out []int64
+	err := r.do(func() error {
+		var e error
+		out, e = r.inner.ReadTimes(meta)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+var _ ChunkSource = (*retrySource)(nil)

@@ -29,8 +29,10 @@ package m4lsm
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"m4lsm/internal/encoding"
+	"m4lsm/internal/govern"
 	"m4lsm/internal/lsm"
 	"m4lsm/internal/m4"
 	intm4lsm "m4lsm/internal/m4lsm"
@@ -213,6 +215,20 @@ type M4Options struct {
 	// was skipped; persistently corrupt chunks (CRC/decode failures) are
 	// additionally quarantined out of future queries.
 	StrictReads bool
+	// MaxChunks, MaxPoints and Timeout set the query's resource budget:
+	// at most MaxChunks physical chunk loads, at most MaxPoints decoded
+	// points, at most Timeout of wall clock. Zero fields are unlimited.
+	// An exceeded budget behaves like an unreadable chunk: the query fails
+	// typed (wrapping govern.ErrBudgetExceeded) under StrictReads, and
+	// otherwise degrades to a Partial result with warnings.
+	MaxChunks int64
+	MaxPoints int64
+	Timeout   time.Duration
+}
+
+// budget builds the options' resource budget (nil when unlimited).
+func (o M4Options) budget() *govern.Budget {
+	return govern.NewBudget(govern.Limits{MaxChunks: o.MaxChunks, MaxPoints: o.MaxPoints, Timeout: o.Timeout})
 }
 
 // M4 runs an M4 representation query with the default operator (M4-LSM):
@@ -273,12 +289,13 @@ func (db *DB) M4Context(ctx context.Context, seriesID string, tqs, tqe int64, w 
 			return nil, fmt.Errorf("m4lsm: strict read: %s", ws[0])
 		}
 	}
+	budget := opts.budget()
 	var aggs []m4.Aggregate
 	switch opts.Operator {
 	case OperatorLSM:
-		aggs, err = intm4lsm.ComputeContext(ctx, snap, q, intm4lsm.Options{Parallelism: opts.Parallelism, Strict: opts.StrictReads, Metrics: db.engine.Metrics()})
+		aggs, err = intm4lsm.ComputeContext(ctx, snap, q, intm4lsm.Options{Parallelism: opts.Parallelism, Strict: opts.StrictReads, Metrics: db.engine.Metrics(), Budget: budget})
 	case OperatorUDF:
-		aggs, err = m4udf.ComputeContext(ctx, snap, q, m4udf.Options{Parallelism: opts.Parallelism, Strict: opts.StrictReads, Metrics: db.engine.Metrics()})
+		aggs, err = m4udf.ComputeContext(ctx, snap, q, m4udf.Options{Parallelism: opts.Parallelism, Strict: opts.StrictReads, Metrics: db.engine.Metrics(), Budget: budget})
 	default:
 		return nil, fmt.Errorf("m4lsm: unknown operator %d", opts.Operator)
 	}
@@ -336,13 +353,14 @@ func (db *DB) M4MultiContext(ctx context.Context, ids []string, tqs, tqe int64, 
 		}
 		snaps[i] = snap
 	}
+	budget := opts.budget()
 	var outs [][]m4.Aggregate
 	var err error
 	switch opts.Operator {
 	case OperatorLSM:
-		outs, err = intm4lsm.ComputeMultiContext(ctx, snaps, q, intm4lsm.Options{Parallelism: opts.Parallelism, Strict: opts.StrictReads, Metrics: db.engine.Metrics()})
+		outs, err = intm4lsm.ComputeMultiContext(ctx, snaps, q, intm4lsm.Options{Parallelism: opts.Parallelism, Strict: opts.StrictReads, Metrics: db.engine.Metrics(), Budget: budget})
 	case OperatorUDF:
-		outs, err = m4udf.ComputeMultiContext(ctx, snaps, q, m4udf.Options{Parallelism: opts.Parallelism, Strict: opts.StrictReads, Metrics: db.engine.Metrics()})
+		outs, err = m4udf.ComputeMultiContext(ctx, snaps, q, m4udf.Options{Parallelism: opts.Parallelism, Strict: opts.StrictReads, Metrics: db.engine.Metrics(), Budget: budget})
 	default:
 		return nil, fmt.Errorf("m4lsm: unknown operator %d", opts.Operator)
 	}
@@ -404,6 +422,11 @@ type Info struct {
 	// QuarantinedChunks counts chunks excluded from queries after a CRC
 	// or decode failure.
 	QuarantinedChunks int
+	// ReadOnly reports disk-full degraded mode: writes are rejected with
+	// a retryable error while queries keep serving; the engine recovers
+	// automatically once space returns. ReadOnlyReason says what tripped it.
+	ReadOnly       bool
+	ReadOnlyReason string
 }
 
 // Info returns storage statistics.
@@ -418,6 +441,8 @@ func (db *DB) Info() Info {
 		Shards:            i.Shards,
 		BadFiles:          i.BadFiles,
 		QuarantinedChunks: i.QuarantinedChunks,
+		ReadOnly:          i.ReadOnly,
+		ReadOnlyReason:    i.ReadOnlyReason,
 	}
 }
 
