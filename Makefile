@@ -5,7 +5,7 @@ FUZZTIME ?= 10s
 # examples/ at 0%, so 70 fails on a real regression, not on noise.
 COVER_FLOOR ?= 70
 
-.PHONY: build test race race-short vet lint check cover difftest bench bench-parallel bench-shards bench-obs bench-overload fuzz torture soak profile
+.PHONY: build test race race-short vet lint check cover difftest bench bench-parallel bench-shards bench-obs bench-overload bench-pyramid fuzz torture soak profile
 
 build:
 	$(GO) build ./...
@@ -106,6 +106,12 @@ bench-shards:
 # bench-overload regenerates the admission-control sweep of BENCH_overload.json.
 bench-overload:
 	$(GO) run ./cmd/m4bench -exp overload -scale 0.02 -clients 12
+
+# bench-pyramid regenerates the rollup-pyramid sweep of BENCH_pyramid.json:
+# fixed-w query latency across three orders of magnitude of data size,
+# pyramid on vs off.
+bench-pyramid:
+	$(GO) run ./cmd/m4bench -exp pyramid -reps 5
 
 # bench-obs regenerates the observability-overhead numbers of BENCH_obs.json
 # (instrumentation off vs metrics vs metrics+trace).

@@ -145,6 +145,13 @@ func run(out io.Writer, name string, cfg exper.Config, markdown bool, nSeries, n
 	case "fig8":
 		exper.WriteFig8(out, exper.RunFig8(cfg))
 		return nil
+	case "pyramid":
+		ms, err := exper.RunPyramid(cfg)
+		if err != nil {
+			return err
+		}
+		exper.WritePyramid(out, exper.PyramidTitle(), ms)
+		return nil
 	case "faults":
 		rows, err := exper.RunFaults(cfg, nil)
 		if err != nil {

@@ -66,6 +66,7 @@ func main() {
 		maxChunks    = flag.Int64("max-chunks-per-query", 0, "default cap on physical chunk loads per query (0 = unlimited)")
 		maxPoints    = flag.Int64("max-points-per-query", 0, "default cap on decoded points per query (0 = unlimited)")
 		readRetries  = flag.Int("read-retries", 0, "retry attempts for transient chunk-read failures (0 = engine default)")
+		pyramid      = flag.Bool("pyramid", true, "maintain the M4 rollup pyramid (precomputed multi-resolution span aggregates); false always computes from chunks")
 	)
 	flag.Parse()
 
@@ -78,7 +79,7 @@ func main() {
 	slog.SetDefault(logger)
 
 	reg := obs.NewRegistry()
-	engine, err := lsm.Open(lsm.Options{Dir: *dir, Metrics: reg, NumShards: *shards, ReadRetries: *readRetries})
+	engine, err := lsm.Open(lsm.Options{Dir: *dir, Metrics: reg, NumShards: *shards, ReadRetries: *readRetries, DisablePyramid: !*pyramid})
 	if err != nil {
 		logger.Error("open engine", "dir", *dir, "err", err)
 		os.Exit(1)

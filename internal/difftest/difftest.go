@@ -2,10 +2,11 @@
 // engine and both M4 operators: a seed-reproducible random workload runs
 // against the real engine and against a naive in-memory oracle (a
 // map[timestamp]value per series — latest write wins, deletes remove the
-// range), then every M4 query shape is answered three ways — M4-LSM,
-// M4-UDF, and the reference scan over the oracle's merged series — and the
-// answers must agree span by span. A failing case prints its seed, so one
-// integer reproduces it.
+// range), then every M4 query shape is answered four ways — M4-LSM (which
+// consults the rollup pyramid where cells are valid), M4-LSM with the
+// pyramid disabled, M4-UDF, and the reference scan over the oracle's merged
+// series — and the answers must agree span by span. A failing case prints
+// its seed, so one integer reproduces it.
 //
 // The generator deliberately concentrates probability mass where the
 // engine's invariants live: out-of-order writes, same-timestamp overwrites
@@ -80,6 +81,12 @@ type Case struct {
 	Seed   int64
 	Shards int
 	Oracle Oracle
+
+	// PyramidSpans counts query spans Check answered from rollup-pyramid
+	// cells, summed over every M4-LSM run. The differential suite asserts
+	// the total is nonzero: a pyramid that silently never engages would
+	// make every pyramid check vacuous.
+	PyramidSpans int64
 
 	engine *lsm.Engine
 	dir    string
@@ -220,8 +227,8 @@ func pick(rng *rand.Rand, weights []int) int {
 	return len(weights) - 1
 }
 
-// Check answers several M4 query shapes three ways per series and fails on
-// the first disagreement. The (tqs, tqe, w) shapes cover the full range, a
+// Check verifies the pyramid's structural invariants, then answers several
+// M4 query shapes four ways per series and fails on the first disagreement. The (tqs, tqe, w) shapes cover the full range, a
 // strict subrange, a range extending past the data, and w both smaller and
 // larger than the point count. It also cross-checks the batched multi-series
 // path against per-series queries, and rasterizes the M4 reduction against
@@ -234,6 +241,11 @@ func (c *Case) Check() error {
 		{Tqs: c.tMax / 4, Tqe: c.tMax / 2, W: 5},
 		{Tqs: c.tMax / 3, Tqe: 2 * c.tMax, W: 13},
 		{Tqs: 0, Tqe: c.tMax, W: int(c.tMax) * 2}, // w > range: zero-width spans
+	}
+	for _, id := range c.ids {
+		if err := c.engine.PyrCheckInvariants(id); err != nil {
+			return fmt.Errorf("seed %d: pyramid invariants: %w", c.Seed, err)
+		}
 	}
 	for _, q := range queries {
 		if err := q.Validate(); err != nil {
@@ -264,6 +276,15 @@ func (c *Case) Check() error {
 			if err != nil {
 				return fmt.Errorf("seed %d: m4lsm %s %+v: %w", c.Seed, id, q, err)
 			}
+			c.PyramidSpans += snap.Stats.PyramidSpans
+			snap, err = c.engine.Snapshot(id, q.Range())
+			if err != nil {
+				return err
+			}
+			noPyr, err := m4lsm.ComputeWithOptions(snap, q, m4lsm.Options{DisablePyramid: true})
+			if err != nil {
+				return fmt.Errorf("seed %d: m4lsm (pyramid off) %s %+v: %w", c.Seed, id, q, err)
+			}
 			snap, err = c.engine.Snapshot(id, q.Range())
 			if err != nil {
 				return err
@@ -276,6 +297,10 @@ func (c *Case) Check() error {
 				if !m4.Equivalent(lsmAggs[i], ref[i]) {
 					return fmt.Errorf("seed %d: %s %+v span %d: m4lsm %v != oracle %v",
 						c.Seed, id, q, i, lsmAggs[i], ref[i])
+				}
+				if !m4.Equivalent(noPyr[i], ref[i]) {
+					return fmt.Errorf("seed %d: %s %+v span %d: m4lsm (pyramid off) %v != oracle %v",
+						c.Seed, id, q, i, noPyr[i], ref[i])
 				}
 				if !m4.Equivalent(udfAggs[i], ref[i]) {
 					return fmt.Errorf("seed %d: %s %+v span %d: m4udf %v != oracle %v",

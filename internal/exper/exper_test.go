@@ -269,3 +269,38 @@ func TestRunShards(t *testing.T) {
 		t.Errorf("table output:\n%s", buf.String())
 	}
 }
+
+func TestRunPyramid(t *testing.T) {
+	ms, err := RunPyramid(Config{Scale: 0.0001, ChunkSize: 100, Reps: 1, Seed: 7, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != len(pyramidBaseSizes) {
+		t.Fatalf("points = %d, want %d", len(ms), len(pyramidBaseSizes))
+	}
+	for _, m := range ms {
+		if m.Points&(m.Points-1) != 0 {
+			t.Errorf("size %d is not a power of two", m.Points)
+		}
+		if m.OnLatency <= 0 || m.OffLatency <= 0 {
+			t.Errorf("n=%d: non-positive latency: %+v", m.Points, m)
+		}
+		// Power-of-two sizes at fixed w: every span decomposes into whole
+		// cells, so the pyramid path reads no chunks and never falls back.
+		if m.OnStats.PyramidSpans != PyramidW {
+			t.Errorf("n=%d: pyramid spans = %d, want %d", m.Points, m.OnStats.PyramidSpans, PyramidW)
+		}
+		if m.OnStats.ChunksLoaded != 0 || m.OnStats.PyramidFallbackSpans != 0 {
+			t.Errorf("n=%d: pyramid-on loaded %d chunks, %d fallback spans; want 0/0",
+				m.Points, m.OnStats.ChunksLoaded, m.OnStats.PyramidFallbackSpans)
+		}
+		if m.OffStats.ChunksLoaded == 0 {
+			t.Errorf("n=%d: pyramid-off loaded nothing", m.Points)
+		}
+	}
+	var buf bytes.Buffer
+	WritePyramid(&buf, PyramidTitle(), ms)
+	if !strings.Contains(buf.String(), "pyramidOn") || !strings.Contains(buf.String(), "pyrCells") {
+		t.Errorf("table output:\n%s", buf.String())
+	}
+}

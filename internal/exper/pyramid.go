@@ -1,0 +1,177 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"time"
+
+	"m4lsm/internal/lsm"
+	"m4lsm/internal/m4"
+	"m4lsm/internal/m4lsm"
+	"m4lsm/internal/series"
+	"m4lsm/internal/storage"
+)
+
+// PyramidW is the fixed span count of the pyramid sweep. With power-of-two
+// dataset sizes every span boundary lands exactly on a rollup-cell
+// boundary, so the pyramid path answers each span from whole cells with no
+// boundary fragments — the regime where query cost is O(w), independent of
+// data size.
+const PyramidW = 1024
+
+// pyramidBaseSizes is the unscaled point-count sweep: 2^14 .. 2^24 spans
+// three orders of magnitude.
+var pyramidBaseSizes = []int{1 << 14, 1 << 17, 1 << 20, 1 << 24}
+
+// PyramidMeasurement is one sweep point: the same fixed-w M4 query answered
+// with the rollup pyramid and with it disabled, on the same storage state.
+type PyramidMeasurement struct {
+	Points     int
+	OnLatency  time.Duration
+	OffLatency time.Duration
+	OnStats    storage.Stats
+	OffStats   storage.Stats
+}
+
+// Speedup returns pyramid-off latency / pyramid-on latency.
+func (m PyramidMeasurement) Speedup() float64 {
+	if m.OnLatency <= 0 {
+		return math.Inf(1)
+	}
+	return float64(m.OffLatency) / float64(m.OnLatency)
+}
+
+// RunPyramid measures M4 query latency at a fixed span count while the
+// dataset grows by three orders of magnitude, with the rollup pyramid on
+// and off. Sizes are powers of two (cfg.Scale shifts the sweep, rounded
+// back to a power of two) so spans decompose into whole cells: pyramid-on
+// cost is the cell count, pyramid-off cost is every chunk in the range.
+// Both answers are cross-checked span by span, and the pyramid must
+// actually engage — a run where it silently fell back everywhere fails.
+func RunPyramid(cfg Config) ([]PyramidMeasurement, error) {
+	cfg = cfg.withDefaults()
+	var out []PyramidMeasurement
+	for _, base := range pyramidBaseSizes {
+		n := pyramidSize(base, cfg.Scale)
+		dir, cleanup, err := tempDir(cfg, fmt.Sprintf("pyramid-%d", n))
+		if err != nil {
+			return nil, err
+		}
+		m, err := runPyramidSize(cfg, n, dir)
+		cleanup()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// pyramidSize scales a base size and rounds to the nearest power of two
+// (floor 2^12), preserving the cell-aligned span property at any scale.
+func pyramidSize(base int, scale float64) int {
+	n := float64(base) * scale / 0.01 // cfg default 0.01 runs the unscaled sweep
+	log := int(math.Round(math.Log2(n)))
+	if log < 12 {
+		log = 12
+	}
+	return 1 << log
+}
+
+func runPyramidSize(cfg Config, n int, dir string) (PyramidMeasurement, error) {
+	m := PyramidMeasurement{Points: n, OnLatency: math.MaxInt64, OffLatency: math.MaxInt64}
+	const name = "pyramid.sweep"
+	e, err := lsm.Open(lsm.Options{Dir: dir, FlushThreshold: cfg.ChunkSize, DisableWAL: true})
+	if err != nil {
+		return m, err
+	}
+	defer e.Close()
+
+	// One dense point per tick: a seeded random walk, written in batches;
+	// threshold flushes shape the chunks and keep the pyramid current.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	const batch = 4096
+	buf := make([]series.Point, 0, batch)
+	v := 0.0
+	for t := 0; t < n; t++ {
+		v += rng.Float64()*2 - 1
+		buf = append(buf, series.Point{T: int64(t), V: v})
+		if len(buf) == batch {
+			if err := e.Write(name, buf...); err != nil {
+				return m, err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if err := e.Write(name, buf...); err != nil {
+			return m, err
+		}
+	}
+	if err := e.Flush(); err != nil {
+		return m, err
+	}
+
+	q := m4.Query{Tqs: 0, Tqe: int64(n), W: PyramidW}
+	for rep := 0; rep < cfg.Reps; rep++ {
+		snap, err := e.Snapshot(name, q.Range())
+		if err != nil {
+			return m, err
+		}
+		start := time.Now()
+		on, err := m4lsm.ComputeWithOptions(snap, q, m4lsm.Options{Parallelism: cfg.Parallelism})
+		if err != nil {
+			return m, err
+		}
+		if d := time.Since(start); d < m.OnLatency {
+			m.OnLatency = d
+			m.OnStats = snap.Stats.Load()
+		}
+
+		snap, err = e.Snapshot(name, q.Range())
+		if err != nil {
+			return m, err
+		}
+		start = time.Now()
+		off, err := m4lsm.ComputeWithOptions(snap, q, m4lsm.Options{Parallelism: cfg.Parallelism, DisablePyramid: true})
+		if err != nil {
+			return m, err
+		}
+		if d := time.Since(start); d < m.OffLatency {
+			m.OffLatency = d
+			m.OffStats = snap.Stats.Load()
+		}
+
+		if rep == 0 {
+			for i := range on {
+				if !m4.Equivalent(on[i], off[i]) {
+					return m, fmt.Errorf("n=%d span %d: pyramid-on %v != pyramid-off %v", n, i, on[i], off[i])
+				}
+			}
+		}
+	}
+	if m.OnStats.PyramidSpans == 0 {
+		return m, fmt.Errorf("n=%d: pyramid answered zero spans (silent fallback)", n)
+	}
+	return m, nil
+}
+
+// PyramidTitle names the sweep with its fixed span count.
+func PyramidTitle() string {
+	return fmt.Sprintf("Pyramid: data size vs latency at fixed w=%d", PyramidW)
+}
+
+// WritePyramid renders the sweep as an aligned text table.
+func WritePyramid(w io.Writer, title string, ms []PyramidMeasurement) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	fmt.Fprintf(w, "%12s %14s %14s %9s %10s %10s %10s %12s\n",
+		"points", "pyramidOn", "pyramidOff", "speedup", "pyrSpans", "pyrCells", "fallback", "chunksOn/Off")
+	for _, m := range ms {
+		fmt.Fprintf(w, "%12d %14s %14s %8.1fx %10d %10d %10d %6d/%d\n",
+			m.Points, m.OnLatency.Round(time.Microsecond), m.OffLatency.Round(time.Microsecond),
+			m.Speedup(), m.OnStats.PyramidSpans, m.OnStats.PyramidCells, m.OnStats.PyramidFallbackSpans,
+			m.OnStats.ChunksLoaded, m.OffStats.ChunksLoaded)
+	}
+}

@@ -221,7 +221,16 @@ func (e *Engine) Compact() error {
 	e.quarMu.Lock()
 	e.quarantined = make(map[chunkID]error)
 	e.quarMu.Unlock()
-	return nil
+	// Compaction preserves the merged view, so existing cells stay valid;
+	// but with every memtable flushed and quarantined data folded away this
+	// is the cheapest moment to rebuild whatever is stale and persist the
+	// manifest.
+	for _, sh := range e.shards {
+		if err := e.pyrRebuildShard(sh); err != nil {
+			return err
+		}
+	}
+	return e.pyrMaybeSave()
 }
 
 // resetMods replaces the delete sidecar with an empty one. Caller holds all

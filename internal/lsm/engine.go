@@ -104,6 +104,11 @@ type Options struct {
 	// The same registry is shared with the query operators and the HTTP
 	// layer; nil (the default) disables all metric recording at zero cost.
 	Metrics *obs.Registry
+	// DisablePyramid turns off the M4 rollup pyramid: no cells are built
+	// or persisted and snapshots carry no PyramidSource, so every query
+	// takes the span×G path. The default (false) maintains the pyramid at
+	// flush/compact time. See pyramid.go.
+	DisablePyramid bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -195,6 +200,11 @@ type Engine struct {
 	readRetries    atomic.Int64
 	retryExhausted atomic.Int64
 
+	// pyr is the M4 rollup pyramid, nil when Options.DisablePyramid is
+	// set. Its internal mutex nests inside shard locks and is never held
+	// across I/O; see pyramid.go.
+	pyr *pyramid
+
 	// met holds pre-resolved write-path instruments; every field is
 	// nil-safe, so instrumented code records unconditionally and a nil
 	// Options.Metrics costs one pointer check per site.
@@ -264,6 +274,9 @@ func Open(opts Options) (*Engine, error) {
 	if opts.ChunkCacheBytes > 0 {
 		e.cache = cache.NewLRU(opts.ChunkCacheBytes)
 	}
+	if !opts.DisablePyramid {
+		e.pyr = newPyramid()
+	}
 	if err := e.loadFiles(); err != nil {
 		return nil, err
 	}
@@ -275,6 +288,10 @@ func Open(opts Options) (*Engine, error) {
 	for _, d := range mods.All() {
 		e.bumpVersion(d.Version)
 	}
+	// The pyramid manifest loads after chunks and mods (its watermark
+	// validation walks both) and before WAL replay (which marks its own
+	// replayed ranges stale).
+	e.pyrLoad()
 	if !opts.DisableWAL {
 		wal, recs, err := tsfile.OpenRecordLog(filepath.Join(opts.Dir, "wal"))
 		if err != nil {
@@ -343,6 +360,15 @@ func (e *Engine) registerMetrics(reg *obs.Registry) {
 		}
 		return float64(e.wal.Size())
 	})
+	if e.pyr != nil {
+		reg.GaugeFunc("lsm_pyramid_series", func() float64 { return float64(e.pyrInfo().series) })
+		reg.GaugeFunc("lsm_pyramid_cells", func() float64 { return float64(e.pyrInfo().cells) })
+		reg.GaugeFunc("lsm_pyramid_stale_ranges", func() float64 { return float64(e.pyrInfo().staleRanges) })
+		reg.CounterFunc("lsm_pyramid_rebuilds_total", func() float64 { return float64(e.pyr.rebuilds.Load()) })
+		reg.CounterFunc("lsm_pyramid_rebuild_errors_total", func() float64 { return float64(e.pyr.rebuildErrors.Load()) })
+		reg.CounterFunc("lsm_pyramid_invalidations_total", func() float64 { return float64(e.pyr.invalidations.Load()) })
+		reg.CounterFunc("lsm_pyramid_saves_total", func() float64 { return float64(e.pyr.saves.Load()) })
+	}
 	cs := func(f func(cache.Stats) float64) func() float64 {
 		return func() float64 { return f(e.CacheStats()) }
 	}
@@ -541,6 +567,7 @@ func (e *Engine) Write(seriesID string, pts ...series.Point) error {
 			return err
 		}
 	}
+	e.pyrMarkStalePoints(seriesID, pts)
 	sh.mem[seriesID] = append(sh.mem[seriesID], pts...)
 	e.met.pointsWritten.Add(int64(len(pts)))
 	if len(sh.mem[seriesID]) >= e.opts.FlushThreshold {
@@ -552,7 +579,10 @@ func (e *Engine) Write(seriesID string, pts ...series.Point) error {
 			return e.classifyWrite(err)
 		}
 		if n > 0 {
-			return e.maybeResetWAL()
+			if err := e.maybeResetWAL(); err != nil {
+				return err
+			}
+			return e.pyrMaybeSave()
 		}
 	}
 	return nil
@@ -575,6 +605,9 @@ func (e *Engine) Delete(seriesID string, start, end int64) error {
 		return errors.New("lsm: engine closed")
 	}
 	d := storage.Delete{SeriesID: seriesID, Version: e.allocVersion(), Start: start, End: end}
+	// Mark the range stale before anything becomes visible; over-marking
+	// on a failed append only costs rebuild work.
+	e.pyrMarkStaleClosed(seriesID, start, end)
 	// The WAL is written first and is authoritative: a crash between the two
 	// appends leaves the delete in the WAL only, and recovery re-appends it
 	// to the mods sidecar (see replayWAL). The reverse order would leave a
@@ -625,7 +658,10 @@ func (e *Engine) Flush() error {
 		return e.classifyWrite(err)
 	}
 	if flushed.Load() > 0 {
-		return e.maybeResetWAL()
+		if err := e.maybeResetWAL(); err != nil {
+			return err
+		}
+		return e.pyrMaybeSave()
 	}
 	return nil
 }
@@ -701,6 +737,12 @@ func (e *Engine) flushShardLocked(sh *shard) (int, error) {
 	}
 	sh.mem = make(map[string]series.Series)
 	sh.memPts.Store(0)
+	// The memtable is empty and the flushed chunks registered: sh.chunks
+	// plus the mods sidecar are the full merged state, so rebuild this
+	// shard's stale pyramid cells now. Only the fault hook can fail this.
+	if err := e.pyrRebuildShard(sh); err != nil {
+		return 0, err
+	}
 	e.met.flushes.Inc()
 	e.met.flushedPoints.Add(int64(flushPts))
 	e.met.flushSeconds.Observe(time.Since(flushStart).Seconds())
@@ -804,6 +846,9 @@ func (e *Engine) Snapshot(seriesID string, r series.TimeRange) (*storage.Snapsho
 		e.quarMu.Unlock()
 		if !dup {
 			e.met.quarantines.Inc()
+			// The chunk's points vanish from the merged view; cells that
+			// included them are wrong until the next rebuild.
+			e.pyrMarkStaleClosed(meta.SeriesID, meta.First.T, meta.Last.T)
 		}
 	}
 	e.quarMu.Lock()
@@ -834,6 +879,7 @@ func (e *Engine) Snapshot(seriesID string, r series.TimeRange) (*storage.Snapsho
 			snap.Deletes = append(snap.Deletes, d)
 		}
 	}
+	snap.Pyramid = e.pyrViewFor(seriesID, r)
 	return snap, nil
 }
 
@@ -889,6 +935,13 @@ type Info struct {
 	// retries and reads that failed even after all attempts.
 	ReadRetries        int64
 	ReadRetryExhausted int64
+
+	// Rollup-pyramid state: series with cells, total cells across all
+	// levels, and stale ranges awaiting rebuild. All zero when the
+	// pyramid is disabled.
+	PyramidSeries      int
+	PyramidCells       int
+	PyramidStaleRanges int
 }
 
 // Info returns a snapshot of engine statistics.
@@ -909,6 +962,7 @@ func (e *Engine) Info() Info {
 	quar := len(e.quarantined)
 	e.quarMu.Unlock()
 	ro, roReason := e.ReadOnly()
+	ps := e.pyrInfo()
 	return Info{
 		Shards:             len(e.shards),
 		Files:              files,
@@ -923,6 +977,9 @@ func (e *Engine) Info() Info {
 		ReadOnlyReason:     roReason,
 		ReadRetries:        e.readRetries.Load(),
 		ReadRetryExhausted: e.retryExhausted.Load(),
+		PyramidSeries:      ps.series,
+		PyramidCells:       ps.cells,
+		PyramidStaleRanges: ps.staleRanges,
 	}
 }
 
@@ -956,6 +1013,9 @@ func (e *Engine) Close() error {
 	}
 	if err == nil && flushed > 0 {
 		err = e.maybeResetWAL()
+	}
+	if err == nil {
+		err = e.pyrMaybeSave()
 	}
 	e.closed.Store(true)
 	e.closeFiles()
@@ -1020,6 +1080,7 @@ func (e *Engine) replayWAL(rec []byte) error {
 			return err
 		}
 		sh, _ := e.shardFor(id)
+		e.pyrMarkStalePoints(id, pts)
 		sh.mem[id] = append(sh.mem[id], pts...)
 		sh.memPts.Add(int64(len(pts)))
 		return nil
@@ -1046,6 +1107,7 @@ func (e *Engine) replayWAL(rec []byte) error {
 			e.bumpVersion(d.Version)
 		}
 		sh, _ := e.shardFor(d.SeriesID)
+		e.pyrMarkStaleClosed(d.SeriesID, d.Start, d.End)
 		sh.applyDeleteToMem(d)
 		return nil
 	default:

@@ -389,7 +389,8 @@ func TestStepHookSiteNames(t *testing.T) {
 	}
 	want := []string{"wal.append", "wal.appended", "flush.create:000000.seq.tsf",
 		"flush.chunk:000000.seq.tsf", "flush.footer:000000.seq.tsf",
-		"flush.reopen:000000.seq.tsf", "flush.walreset"}
+		"flush.reopen:000000.seq.tsf", "pyramid.rebuild", "flush.walreset",
+		"pyramid.save"}
 	if fmt.Sprint(sites) != fmt.Sprint(want) {
 		t.Errorf("sites = %v, want %v", sites, want)
 	}

@@ -1,0 +1,258 @@
+package lsm
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"m4lsm/internal/m4"
+	"m4lsm/internal/m4lsm"
+	"m4lsm/internal/series"
+)
+
+// pyrVerify answers a few query shapes over [0, tMax) through the pyramid-
+// aware operator and through the pyramid-disabled operator, compares both
+// against a reference scan of the materialized snapshot, checks structural
+// invariants, and returns how many spans the pyramid answered.
+func pyrVerify(t *testing.T, e *Engine, id string, tMax int64) int64 {
+	t.Helper()
+	if err := e.PyrCheckInvariants(id); err != nil {
+		t.Fatalf("pyramid invariants: %v", err)
+	}
+	var pyramidSpans int64
+	for _, q := range []m4.Query{
+		{Tqs: 0, Tqe: tMax, W: 4},
+		{Tqs: 0, Tqe: tMax, W: 11},
+		{Tqs: tMax / 4, Tqe: tMax, W: 3},
+	} {
+		snap, err := e.Snapshot(id, q.Range())
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := materialize(t, snap, series.TimeRange{Start: 0, End: tMax})
+		ref, err := m4.ComputeSeries(q, truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m4lsm.Compute(snap, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pyramidSpans += snap.Stats.PyramidSpans
+		snap2, err := e.Snapshot(id, q.Range())
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, err := m4lsm.ComputeWithOptions(snap2, q, m4lsm.Options{DisablePyramid: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if !m4.Equivalent(got[i], ref[i]) {
+				t.Fatalf("query %+v span %d: pyramid-on %v != reference %v", q, i, got[i], ref[i])
+			}
+			if !m4.Equivalent(off[i], ref[i]) {
+				t.Fatalf("query %+v span %d: pyramid-off %v != reference %v", q, i, off[i], ref[i])
+			}
+		}
+	}
+	return pyramidSpans
+}
+
+// A range delete whose closed [start, end] lands exactly on power-of-two
+// cell boundaries must invalidate precisely the covered cells and leave
+// every query correct: the boundary cells may not keep pre-delete data, and
+// neighbours may not be dropped.
+func TestPyramidCellBoundaryAlignedDelete(t *testing.T) {
+	e := openTestEngine(t, Options{})
+	const id = "root.sg.d0"
+	var write []series.Point
+	for tt := int64(0); tt < 256; tt++ {
+		write = append(write, series.Point{T: tt, V: float64(tt % 97)})
+	}
+	if err := e.Write(id, write...); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n := pyrVerify(t, e, id, 256); n == 0 {
+		t.Fatal("pyramid unused before delete")
+	}
+
+	// [64, 127] closed is [64, 128) half-open: aligned at every level up
+	// to log=6 (one full level-6 cell, two level-5 cells, ...).
+	if err := e.Delete(id, 64, 127); err != nil {
+		t.Fatal(err)
+	}
+	pyrVerify(t, e, id, 256) // cells over [64,128) stale -> must not serve
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n := pyrVerify(t, e, id, 256); n == 0 {
+		t.Fatal("pyramid unused after boundary-aligned delete rebuild")
+	}
+	if err := e.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	pyrVerify(t, e, id, 256)
+}
+
+// Overwrites at a chunk's min and max timestamps touch exactly the cells at
+// the chunk extent's edges; the rebuilt cells must serve the new values.
+func TestPyramidOverwriteAtChunkEdges(t *testing.T) {
+	e := openTestEngine(t, Options{})
+	const id = "root.sg.d0"
+	if err := e.Write(id, pts(10, 1, 20, 2, 30, 3, 40, 4, 50, 5)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	pyrVerify(t, e, id, 64)
+
+	// Overwrite both edge timestamps of the flushed chunk (min=10, max=50).
+	if err := e.Write(id, pts(10, 100, 50, 500)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n := pyrVerify(t, e, id, 64); n == 0 {
+		t.Fatal("pyramid unused after edge overwrite rebuild")
+	}
+
+	// The rebuilt cells must reflect the overwrite, not merely agree with
+	// a scan: pin the values through a cells-only whole-range query.
+	q := m4.Query{Tqs: 0, Tqe: 64, W: 1}
+	snap, err := e.Snapshot(id, q.Range())
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggs, err := m4lsm.Compute(snap, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aggs[0].First.V != 100 || aggs[0].Last.V != 500 {
+		t.Fatalf("edge overwrite not in cells: first=%v last=%v", aggs[0].First, aggs[0].Last)
+	}
+}
+
+// Reopening with a different shard count must keep the persisted manifest
+// usable: the pyramid is keyed by series, not shards, so resharding alone
+// may not force a rebuild or lose cells.
+func TestPyramidReopenReshard(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(Options{Dir: dir, NumShards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{"root.a", "root.b", "root.c"}
+	for _, id := range ids {
+		if err := e.Write(id, pts(1, 1, 5, 5, 9, 9, 100, 2, 200, 7)...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		pyrVerify(t, e, id, 256)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Open(Options{Dir: dir, NumShards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	for _, id := range ids {
+		// No flush has happened since reopen: nonzero pyramid spans here
+		// prove the manifest survived the reshard intact.
+		if n := pyrVerify(t, e2, id, 256); n == 0 {
+			t.Fatalf("%s: pyramid unused after reopen with different shard count", id)
+		}
+	}
+	if info := e2.Info(); info.PyramidSeries != len(ids) {
+		t.Fatalf("PyramidSeries = %d, want %d", info.PyramidSeries, len(ids))
+	}
+}
+
+// A corrupt manifest must be discarded wholesale: the engine reopens with
+// everything stale (correct fallback answers), and the next flush rebuilds
+// a working pyramid.
+func TestPyramidCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const id = "root.sg.d0"
+	if err := e.Write(id, pts(1, 1, 50, 5, 90, 9, 130, 3)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, pyramidFileName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff // flip a payload bit; the checksum must catch it
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	pyrVerify(t, e2, id, 256) // stale everywhere: fallback must stay correct
+	if err := e2.Write(id, pts(60, 6)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n := pyrVerify(t, e2, id, 256); n == 0 {
+		t.Fatal("pyramid unused after rebuild from corrupt manifest")
+	}
+}
+
+// DisablePyramid must mean exactly that: no maintenance, no manifest file,
+// no pyramid source on snapshots, and queries still correct.
+func TestPyramidDisabled(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(Options{Dir: dir, DisablePyramid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const id = "root.sg.d0"
+	if err := e.Write(id, pts(1, 1, 50, 5, 90, 9)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := e.Snapshot(id, series.TimeRange{Start: 0, End: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Pyramid != nil {
+		t.Fatal("snapshot has a pyramid source with DisablePyramid set")
+	}
+	if n := pyrVerify(t, e, id, 256); n != 0 {
+		t.Fatalf("pyramid answered %d spans while disabled", n)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, pyramidFileName)); !os.IsNotExist(err) {
+		t.Fatalf("manifest exists despite DisablePyramid (stat err = %v)", err)
+	}
+}

@@ -267,7 +267,8 @@ func TestTortureSitesCovered(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []string{"wal.append", "wal.appended", "mods.append", "flush.walreset",
-		"flush.create:", "flush.chunk:", "flush.footer:", "flush.reopen:"}
+		"flush.create:", "flush.chunk:", "flush.footer:", "flush.reopen:",
+		"pyramid.rebuild", "pyramid.save"}
 	seen := inj.Sites()
 	for _, prefix := range want {
 		found := false

@@ -119,6 +119,34 @@ func Equivalent(a, b Aggregate) bool {
 		a.Bottom.V == b.Bottom.V && a.Top.V == b.Top.V
 }
 
+// Combine folds the aggregates of consecutive sub-intervals into the
+// aggregate of their union. Parts must be in time order and must partition
+// disjoint intervals: then First is the first non-empty part's First, Last
+// the last non-empty part's Last, and Bottom/Top the extremes across parts,
+// keeping the earliest point on value ties — exactly what Observe computes
+// over the concatenated points. The rollup-pyramid planner uses this to
+// stitch precomputed cells with exactly-computed boundary fragments.
+func Combine(parts ...Aggregate) Aggregate {
+	out := Aggregate{Empty: true}
+	for _, p := range parts {
+		if p.Empty {
+			continue
+		}
+		if out.Empty {
+			out = p
+			continue
+		}
+		out.Last = p.Last
+		if p.Bottom.V < out.Bottom.V {
+			out.Bottom = p.Bottom
+		}
+		if p.Top.V > out.Top.V {
+			out.Top = p.Top
+		}
+	}
+	return out
+}
+
 // ErrUnsorted reports out-of-order input to the streaming computation.
 var ErrUnsorted = errors.New("m4: input points not in increasing time order")
 

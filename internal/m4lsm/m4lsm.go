@@ -84,6 +84,11 @@ type Options struct {
 	// fault-tolerance path (FP substitution and all). The same *Budget may
 	// be shared by the batched multi-series path and the UDF baseline.
 	Budget *govern.Budget
+	// DisablePyramid makes the operator ignore the snapshot's rollup
+	// pyramid (Snapshot.Pyramid) and compute every span from chunks. The
+	// result is identical either way; the knob exists for A/B comparison
+	// and for the differential harness's pyramid-off oracle runs.
+	DisablePyramid bool
 }
 
 // Compute runs the M4 representation query with default options.
@@ -270,6 +275,16 @@ type operator struct {
 
 	tr  *obs.Trace           // nil unless the query context carries a trace
 	met *obs.OperatorMetrics // nil unless Options.Metrics is set
+}
+
+// addState materializes the shared chunkState for one snapshot chunk and
+// registers it for the end-of-query pruned sweep. The planner calls it on a
+// chunk's first span/fragment assignment only, so chunks the pyramid answers
+// around never allocate a state at all.
+func (op *operator) addState(ref storage.ChunkRef) *chunkState {
+	cs := &chunkState{ref: ref, meta: ref.Meta}
+	op.states = append(op.states, cs)
+	return cs
 }
 
 // reportBad records an unreadable chunk exactly once per query, flagging

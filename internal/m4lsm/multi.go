@@ -71,20 +71,34 @@ func ComputeMultiContext(ctx context.Context, snaps []*storage.Snapshot, q m4.Qu
 	}
 	phase("plan")
 
-	// Wave 1: every series' FP tasks in one pool. FP proves span emptiness
-	// by chaining delete bounds without loading chunk data, so LP/BP/TP
-	// work only the spans that survive (see ComputeContext's two-wave
+	// Wave 1: every series' FP tasks in one pool, alongside the pyramid
+	// spans' boundary-fragment tasks (a pyramid span needs no second wave
+	// — its one task computes all four functions from two sub-cell
+	// fragments plus the precomputed cells). FP proves span emptiness by
+	// chaining delete bounds without loading chunk data, so LP/BP/TP work
+	// only the spans that survive (see ComputeContext's two-wave
 	// rationale — batching does not change the per-series decomposition).
-	type fpRef struct{ plan, k int } // k indexes plan.work
+	type fpRef struct {
+		plan, k int  // k indexes plan.work (or plan.pyrWork)
+		pyramid bool // k is a pyramid span, not an FP task
+	}
 	var fpTasks []fpRef
 	for pi, p := range plans {
 		for k := range p.work {
-			fpTasks = append(fpTasks, fpRef{pi, k})
+			fpTasks = append(fpTasks, fpRef{pi, k, false})
+		}
+		for k := range p.pyrWork {
+			fpTasks = append(fpTasks, fpRef{pi, k, true})
 		}
 	}
 	runPool(par, len(fpTasks), func(t int) error {
 		ref := fpTasks[t]
 		p := plans[ref.plan]
+		if ref.pyramid {
+			err := p.computePyramidSpan(ref.k)
+			p.pyrErrs[ref.k] = err
+			return err
+		}
 		span := p.work[ref.k]
 		pt, ok, err := p.op.timedG(span, q.Span(span), p.perSpan[span], gFP)
 		p.firsts[ref.k] = gResult{pt: pt, ok: ok, err: err}
@@ -95,6 +109,11 @@ func ComputeMultiContext(ctx context.Context, snaps []*storage.Snapshot, q m4.Qu
 		return nil, err
 	}
 	for _, p := range plans {
+		for k, i := range p.pyrWork {
+			if err := p.pyrErrs[k]; err != nil {
+				return nil, seriesErr(p, i, err)
+			}
+		}
 		for k, i := range p.work {
 			if err := p.firsts[k].err; err != nil {
 				return nil, seriesErr(p, i, err)
@@ -159,6 +178,7 @@ func ComputeMultiContext(ctx context.Context, snaps []*storage.Snapshot, q m4.Qu
 			delta := p.op.stats.Load().Sub(p.statsBefore)
 			met.RecordQuery(elapsed, delta.ChunksLoaded, delta.ChunksPruned,
 				delta.TimeBlocksLoaded, delta.PointsDecoded, delta.CacheHits)
+			met.RecordPyramid(delta.PyramidSpans, delta.PyramidCells, delta.PyramidFallbackSpans)
 			for k, v := range delta.Map() {
 				total[k] += v
 			}
@@ -179,22 +199,21 @@ type seriesPlan struct {
 	firsts      []gResult
 	live        []int // indexes into work with surviving points
 	rests       []gResult
+	pyr         []*pyrSpanPlan // per span; nil slice when the pyramid is off
+	pyrWork     []int          // pyramid spans with boundary chunks to compute
+	pyrErrs     []error        // parallel to pyrWork, filled by wave 1
 	statsBefore storage.Stats
 }
 
 // newSeriesPlan builds the per-series operator state exactly the way the
-// single-series path always has: one shared chunkState per chunk (the
-// singleflight gate), deletes sorted by version, chunks distributed to
+// single-series path always has: one shared chunkState per assigned chunk
+// (the singleflight gate), deletes sorted by version, chunks distributed to
 // spans by index interval, and spans with no chunks answered Empty with no
 // task at all.
 func newSeriesPlan(ctx context.Context, snap *storage.Snapshot, q m4.Query, opts Options, tr *obs.Trace, met *obs.OperatorMetrics, instrumented bool) *seriesPlan {
 	op := &operator{ctx: ctx, snap: snap, q: q, opts: opts, stats: snap.Stats, budget: opts.Budget, tr: tr, met: met}
 	if op.stats == nil {
 		op.stats = &storage.Stats{}
-	}
-	op.states = make([]*chunkState, len(snap.Chunks))
-	for i, ref := range snap.Chunks {
-		op.states[i] = &chunkState{ref: ref, meta: ref.Meta}
 	}
 	op.deletes = append([]storage.Delete(nil), snap.Deletes...)
 	sort.Slice(op.deletes, func(i, j int) bool { return op.deletes[i].Version < op.deletes[j].Version })
@@ -205,26 +224,84 @@ func newSeriesPlan(ctx context.Context, snap *storage.Snapshot, q m4.Query, opts
 		p.statsBefore = op.stats.Load()
 	}
 	p.perSpan = make([][]*chunkState, q.W)
-	for _, cs := range op.states {
-		lo := clampSpan(q, cs.meta.First.T)
-		hi := clampSpan(q, cs.meta.Last.T)
+	p.pyr = planPyramid(snap, q, opts)
+	// Chunk states are materialized lazily: a chunk whose every span is
+	// answered from pyramid cells (and that misses the boundary fragments)
+	// never needs one, and on wide snapshots those per-chunk allocations
+	// would otherwise dominate an all-cells query's cost. Metadata tests
+	// run on ref.Meta directly; the state is built on first assignment.
+	for ci := range snap.Chunks {
+		meta := snap.Chunks[ci].Meta
+		lo := clampSpan(q, meta.First.T)
+		hi := clampSpan(q, meta.Last.T)
+		var cs *chunkState
 		for i := lo; i <= hi; i++ {
+			// A pyramid span needs chunks only over its boundary
+			// fragments; its interior is already folded into the cells.
+			if p.pyr != nil {
+				if pp := p.pyr[i]; pp != nil {
+					if meta.OverlapsRange(pp.leftRange) {
+						if cs == nil {
+							cs = op.addState(snap.Chunks[ci])
+						}
+						pp.leftChunks = append(pp.leftChunks, cs)
+					}
+					if meta.OverlapsRange(pp.rightRange) {
+						if cs == nil {
+							cs = op.addState(snap.Chunks[ci])
+						}
+						pp.rightChunks = append(pp.rightChunks, cs)
+					}
+					continue
+				}
+			}
 			// Guard against zero-width spans produced by W > range.
-			if s := q.Span(i); cs.meta.OverlapsRange(s) {
+			if s := q.Span(i); meta.OverlapsRange(s) {
+				if cs == nil {
+					cs = op.addState(snap.Chunks[ci])
+				}
 				p.perSpan[i] = append(p.perSpan[i], cs)
 			}
 		}
 	}
 	p.out = make([]m4.Aggregate, q.W)
 	p.work = make([]int, 0, q.W)
+	var pyrSpans, pyrCells, pyrFallback int64
 	for i := 0; i < q.W; i++ {
-		if q.Span(i).Empty() || len(p.perSpan[i]) == 0 {
+		if q.Span(i).Empty() {
 			p.out[i] = m4.Aggregate{Empty: true}
 			continue
 		}
+		if p.pyr != nil {
+			if pp := p.pyr[i]; pp != nil {
+				pyrSpans++
+				pyrCells += int64(len(pp.cells))
+				if len(pp.leftChunks) == 0 && len(pp.rightChunks) == 0 {
+					// Both fragments are provably empty: the span is
+					// answered entirely from cells, zero tasks.
+					p.out[i] = pp.cellsOnly()
+				} else {
+					p.pyrWork = append(p.pyrWork, i)
+				}
+				continue
+			}
+		}
+		if len(p.perSpan[i]) == 0 {
+			p.out[i] = m4.Aggregate{Empty: true}
+			continue
+		}
+		if p.pyr != nil {
+			pyrFallback++
+		}
 		p.work = append(p.work, i)
 	}
+	if pyrSpans+pyrFallback > 0 {
+		atomic.AddInt64(&op.stats.PyramidSpans, pyrSpans)
+		atomic.AddInt64(&op.stats.PyramidCells, pyrCells)
+		atomic.AddInt64(&op.stats.PyramidFallbackSpans, pyrFallback)
+	}
 	p.firsts = make([]gResult, len(p.work))
+	p.pyrErrs = make([]error, len(p.pyrWork))
 	return p
 }
 
@@ -255,6 +332,9 @@ func (p *seriesPlan) assemble() error {
 		p.out[i] = m4.Aggregate{First: p.firsts[k].pt, Last: g[0].pt, Bottom: g[1].pt, Top: g[2].pt}
 	}
 	// Workers have joined; the chunk-state flags are safe to read plainly.
+	// Only chunks assigned to a span or fragment have states — chunks the
+	// pyramid answered around were never candidates, so they don't count
+	// as pruned (they show up in pyramidSpans/pyramidCells instead).
 	pruned := int64(0)
 	for _, cs := range op.states {
 		if !cs.hasData && !cs.hasTimes {

@@ -15,6 +15,9 @@ type OperatorMetrics struct {
 	timeBlocks    *Counter
 	pointsDecoded *Counter
 	cacheHits     *Counter
+	pyramidSpans  *Counter
+	pyramidCells  *Counter
+	pyramidFalls  *Counter
 }
 
 // NewOperatorMetrics resolves the operator's instruments from the
@@ -33,7 +36,21 @@ func NewOperatorMetrics(r *Registry, op string) *OperatorMetrics {
 		timeBlocks:    r.Counter("m4_time_blocks_loaded_total", l...),
 		pointsDecoded: r.Counter("m4_points_decoded_total", l...),
 		cacheHits:     r.Counter("m4_cache_hits_total", l...),
+		pyramidSpans:  r.Counter("m4_pyramid_spans_total", l...),
+		pyramidCells:  r.Counter("m4_pyramid_cells_total", l...),
+		pyramidFalls:  r.Counter("m4_pyramid_fallback_spans_total", l...),
 	}
+}
+
+// RecordPyramid accumulates one query's rollup-pyramid attribution: spans
+// answered from cells, cells consulted, and spans that fell back to chunks.
+func (m *OperatorMetrics) RecordPyramid(spans, cells, fallbacks int64) {
+	if m == nil {
+		return
+	}
+	m.pyramidSpans.Add(spans)
+	m.pyramidCells.Add(cells)
+	m.pyramidFalls.Add(fallbacks)
 }
 
 // RecordTask observes one worker-pool task duration.

@@ -58,7 +58,9 @@ func (s *slowSource) ReadTimes(m storage.ChunkMeta) ([]int64, error) {
 // by wrap, and serves it with admission control per cfg.
 func newGatedServer(t *testing.T, cfg Config, wrap func(storage.ChunkSource) storage.ChunkSource) *httptest.Server {
 	t.Helper()
-	e, err := lsm.Open(lsm.Options{Dir: t.TempDir(), Metrics: obs.NewRegistry(), WrapSource: wrap})
+	// The pyramid is off: its flush-time rebuild reads chunks through the
+	// wrapped source, and blockingSource would park setup forever.
+	e, err := lsm.Open(lsm.Options{Dir: t.TempDir(), Metrics: obs.NewRegistry(), WrapSource: wrap, DisablePyramid: true})
 	if err != nil {
 		t.Fatal(err)
 	}

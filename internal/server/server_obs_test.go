@@ -116,6 +116,13 @@ func TestQueryTraceParam(t *testing.T) {
 	if _, ok := tr.Counters["chunksLoaded"]; !ok {
 		t.Errorf("counters = %v", tr.Counters)
 	}
+	// The rollup-pyramid counters ride the same stats delta: cells
+	// consulted, spans answered, spans that fell back to span×G.
+	for _, key := range []string{"pyramidSpans", "pyramidCells", "pyramidFallbackSpans"} {
+		if _, ok := tr.Counters[key]; !ok {
+			t.Errorf("trace counters missing %q: %v", key, tr.Counters)
+		}
+	}
 	// Without the parameter the response carries no trace.
 	var plain traceResult
 	if code := getJSON(t, srv.URL+"/query?q="+urlQuery(testQuery), &plain); code != 200 {

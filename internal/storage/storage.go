@@ -197,6 +197,35 @@ func (c ChunkRef) countCache(hit bool) {
 	}
 }
 
+// PyramidCell is one precomputed rollup cell handed to the planner: the M4
+// representation points of the fully merged series (latest version wins,
+// deletes applied) restricted to the half-open interval [Start, End). Empty
+// reports that the merged series has no surviving point in the interval.
+type PyramidCell struct {
+	Start, End int64
+	First      series.Point
+	Last       series.Point
+	Bottom     series.Point
+	Top        series.Point
+	Empty      bool
+}
+
+// PyramidSource exposes precomputed multi-resolution rollup cells to the
+// query planner. Implementations are snapshots: the cells they hand out
+// must reflect the same merged state as the Snapshot's chunk list, or
+// report ok=false.
+type PyramidSource interface {
+	// PlanSpan decomposes the largest cell-aligned interior of [start, end)
+	// into contiguous, non-overlapping cells in time order. ok=false means
+	// the pyramid cannot cover the span — cells there are missing or
+	// invalidated by writes the snapshot must observe — and the caller
+	// falls back to raw chunk reads for the whole span. When ok, at least
+	// one cell is returned, cells[0].Start is the first aligned instant
+	// ≥ start, and the last cell's End is ≤ end; the caller computes the
+	// two uncovered boundary fragments exactly.
+	PlanSpan(start, end int64) ([]PyramidCell, bool)
+}
+
 // Snapshot is the immutable view of one series a query executes against:
 // every chunk overlapping the query plus every delete, with shared cost
 // counters and a shared warning collector.
@@ -205,6 +234,11 @@ type Snapshot struct {
 	Chunks   []ChunkRef
 	Deletes  []Delete
 	Stats    *Stats
+
+	// Pyramid, when non-nil, offers precomputed rollup cells consistent
+	// with Chunks and Deletes. Operators may ignore it; results must be
+	// identical either way.
+	Pyramid PyramidSource
 
 	// Warnings collects degradation notes when an operator runs in
 	// non-strict mode. May be nil (warnings are discarded).
@@ -253,14 +287,21 @@ type Stats struct {
 	// how many of the loads above were served from memory vs. paid I/O.
 	CacheHits   int64
 	CacheMisses int64
+
+	// Rollup-pyramid attribution (zero when the snapshot carries no
+	// pyramid or the operator ignores it).
+	PyramidSpans         int64 // spans answered fully or partially from cells
+	PyramidCells         int64 // precomputed cells consulted
+	PyramidFallbackSpans int64 // spans that consulted the pyramid but fell back to span×G
 }
 
 // fields lists every counter address, shared by the atomic accessors.
-func (s *Stats) fields() [11]*int64 {
-	return [11]*int64{
+func (s *Stats) fields() [14]*int64 {
+	return [14]*int64{
 		&s.ChunksLoaded, &s.TimeBlocksLoaded, &s.BytesRead, &s.PointsDecoded,
 		&s.CandidateRounds, &s.IndexProbes, &s.ExistProbes, &s.BoundaryProbes,
 		&s.ChunksPruned, &s.CacheHits, &s.CacheMisses,
+		&s.PyramidSpans, &s.PyramidCells, &s.PyramidFallbackSpans,
 	}
 }
 
@@ -291,6 +332,10 @@ func (s Stats) Map() map[string]int64 {
 		"chunksPruned":     s.ChunksPruned,
 		"cacheHits":        s.CacheHits,
 		"cacheMisses":      s.CacheMisses,
+
+		"pyramidSpans":         s.PyramidSpans,
+		"pyramidCells":         s.PyramidCells,
+		"pyramidFallbackSpans": s.PyramidFallbackSpans,
 	}
 }
 

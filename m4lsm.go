@@ -94,6 +94,7 @@ type config struct {
 	disableWAL     bool
 	cacheBytes     int64
 	numShards      int
+	disablePyramid bool
 }
 
 // WithFlushThreshold sets the number of buffered points per series that
@@ -136,6 +137,15 @@ func WithShards(n int) Option {
 	return func(c *config) { c.numShards = n }
 }
 
+// WithoutPyramid disables the M4 rollup pyramid: no multi-resolution span
+// aggregates are precomputed at flush/compact time and every query computes
+// from chunk metadata and data. Results are identical either way; the knob
+// exists for A/B comparison and to reclaim the pyramid's (small) flush-time
+// and disk overhead when queries never hit the M4 path.
+func WithoutPyramid() Option {
+	return func(c *config) { c.disablePyramid = true }
+}
+
 // DB is an LSM time-series store rooted at a directory. All methods are
 // safe for concurrent use.
 type DB struct {
@@ -161,6 +171,7 @@ func Open(dir string, opts ...Option) (*DB, error) {
 		DisableWAL:      cfg.disableWAL,
 		ChunkCacheBytes: cfg.cacheBytes,
 		NumShards:       cfg.numShards,
+		DisablePyramid:  cfg.disablePyramid,
 	})
 	if err != nil {
 		return nil, err
