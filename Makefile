@@ -5,7 +5,7 @@ FUZZTIME ?= 10s
 # examples/ at 0%, so 70 fails on a real regression, not on noise.
 COVER_FLOOR ?= 70
 
-.PHONY: build test race race-short vet lint check cover difftest bench bench-parallel bench-shards bench-obs bench-overload bench-pyramid fuzz torture soak profile
+.PHONY: build test race race-short vet lint check cover difftest bench bench-parallel bench-shards bench-obs bench-overload bench-pyramid bench-recovery fuzz torture soak profile
 
 build:
 	$(GO) build ./...
@@ -49,10 +49,11 @@ torture:
 	$(GO) test -race -run 'Torture|Fault|TornWAL|Quarantine|Cancel' -count=1 ./internal/lsm ./internal/m4lsm ./internal/faultfs
 
 # soak is the short overload torture: admission-control shedding, per-query
-# budgets, deadline races in the worker pool, and disk-full degradation, all
-# under the race detector. `make check` includes it.
+# budgets, deadline races in the worker pool, disk-full degradation, and the
+# integrity-scrubber passes, all under the race detector. `make check`
+# includes it.
 soak:
-	$(GO) test -race -count=1 -run 'Overload|Admission|Budget|DeadlineRace|ENOSPC|ReadOnly|BodyBounds' \
+	$(GO) test -race -count=1 -run 'Overload|Admission|Budget|DeadlineRace|ENOSPC|ReadOnly|BodyBounds|Scrub' \
 		./internal/server ./internal/lsm ./internal/m4lsm ./internal/m4ql ./internal/govern
 
 # fuzz exercises the crash-recovery parsers (WAL payloads, chunk-file
@@ -62,8 +63,10 @@ soak:
 fuzz:
 	$(GO) test ./internal/lsm -run '^$$' -fuzz '^FuzzDecodeInsert$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/lsm -run '^$$' -fuzz '^FuzzDecodeWALDelete$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/lsm -run '^$$' -fuzz '^FuzzBackupManifest$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/tsfile -run '^$$' -fuzz '^FuzzOpen$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/tsfile -run '^$$' -fuzz '^FuzzRecordLog$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/tsfile -run '^$$' -fuzz '^FuzzSegmentHeader$$' -fuzztime $(FUZZTIME)
 
 # lint forbids ad-hoc printing in library code: internal/ packages must log
 # through log/slog (the server injects a request-scoped logger) so output
@@ -112,6 +115,12 @@ bench-overload:
 # pyramid on vs off.
 bench-pyramid:
 	$(GO) run ./cmd/m4bench -exp pyramid -reps 5
+
+# bench-recovery regenerates the crash-recovery sweep of BENCH_recovery.json:
+# reopen time and replayed WAL bytes after a kill, monolithic (one huge
+# segment, retirement pinned by a cold shard) vs segmented.
+bench-recovery:
+	$(GO) run ./cmd/m4bench -exp recovery -reps 3
 
 # bench-obs regenerates the observability-overhead numbers of BENCH_obs.json
 # (instrumentation off vs metrics vs metrics+trace).

@@ -152,6 +152,13 @@ func run(out io.Writer, name string, cfg exper.Config, markdown bool, nSeries, n
 		}
 		exper.WritePyramid(out, exper.PyramidTitle(), ms)
 		return nil
+	case "recovery":
+		ms, err := exper.RunRecovery(cfg)
+		if err != nil {
+			return err
+		}
+		exper.WriteRecovery(out, exper.RecoveryTitle(), ms)
+		return nil
 	case "faults":
 		rows, err := exper.RunFaults(cfg, nil)
 		if err != nil {

@@ -1,8 +1,12 @@
 // Command m4cli is an interactive shell over a database directory: it
 // accepts m4ql queries (Appendix A.1 syntax), EXPLAIN variants, and a few
-// meta commands.
+// meta commands. Subcommands run one operation and exit:
 //
 //	m4cli -dir ./db
+//	m4cli -dir ./db backup /backups/db-2026-08-08
+//	m4cli -dir ./db scrub
+//	m4cli restore /backups/db-2026-08-08 ./db-restored
+//	m4cli verify /backups/db-2026-08-08
 //	m4> SELECT M4(*) FROM KOB WHERE time >= 0 AND time < 2000000000000 GROUP BY SPANS(10)
 //	m4> EXPLAIN SELECT M4(*) FROM KOB WHERE ... GROUP BY SPANS(1000) USING LSM
 //	m4> .series
@@ -25,6 +29,12 @@ import (
 func main() {
 	dir := flag.String("dir", "m4db", "database directory")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		if err := runSubcommand(*dir, flag.Args()); err != nil {
+			log.Fatalf("m4cli: %v", err)
+		}
+		return
+	}
 	engine, err := lsm.Open(lsm.Options{Dir: *dir})
 	if err != nil {
 		log.Fatalf("m4cli: %v", err)
@@ -33,6 +43,72 @@ func main() {
 	fmt.Printf("m4cli: %s (%d series). Type .help for commands.\n",
 		*dir, len(engine.SeriesIDs()))
 	repl(engine, os.Stdin, os.Stdout)
+}
+
+// runSubcommand dispatches the one-shot operations. restore and verify work
+// on a backup directory alone and never open the database.
+func runSubcommand(dir string, args []string) error {
+	switch args[0] {
+	case "backup":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: m4cli -dir <db> backup <destdir>")
+		}
+		engine, err := lsm.Open(lsm.Options{Dir: dir})
+		if err != nil {
+			return err
+		}
+		defer engine.Close()
+		man, err := engine.Backup(args[1])
+		if err != nil {
+			return err
+		}
+		var total int64
+		for _, f := range man.Files {
+			total += f.Size
+		}
+		fmt.Printf("backup: %d files, %d bytes -> %s\n", len(man.Files), total, args[1])
+		return nil
+	case "restore":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: m4cli restore <backupdir> <destdir>")
+		}
+		if err := lsm.Restore(args[1], args[2]); err != nil {
+			return err
+		}
+		fmt.Printf("restore: %s -> %s\n", args[1], args[2])
+		return nil
+	case "verify":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: m4cli verify <backupdir>")
+		}
+		man, err := lsm.VerifyBackup(args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("verify: ok, %d files\n", len(man.Files))
+		return nil
+	case "scrub":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: m4cli -dir <db> scrub")
+		}
+		engine, err := lsm.Open(lsm.Options{Dir: dir})
+		if err != nil {
+			return err
+		}
+		defer engine.Close()
+		rep, err := engine.Scrub(lsm.ScrubOptions{Heal: true})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("scrub: chunks checked=%d quarantined=%d, wal segments checked=%d quarantined=%d, pyramidOK=%v healed=%v\n",
+			rep.ChunksChecked, rep.ChunksQuarantined,
+			rep.WALSegmentsChecked, rep.WALSegmentsQuarantined, rep.PyramidOK, rep.Healed)
+		for _, e := range rep.Errors {
+			fmt.Printf("scrub error: %s\n", e)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown subcommand %q (backup, restore, verify, scrub)", args[0])
 }
 
 func repl(engine *lsm.Engine, in io.Reader, out io.Writer) {

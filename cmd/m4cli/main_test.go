@@ -58,3 +58,48 @@ func TestReplEOF(t *testing.T) {
 	var out bytes.Buffer
 	repl(e, strings.NewReader(""), &out) // EOF immediately: must return
 }
+
+// TestSubcommands drives the one-shot backup/verify/restore/scrub cycle
+// end to end through runSubcommand.
+func TestSubcommands(t *testing.T) {
+	dir := t.TempDir()
+	e, err := lsm.Open(lsm.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		e.Write("root.s", series.Point{T: int64(i * 10), V: float64(i % 4)})
+	}
+	e.Flush()
+	e.Close()
+
+	bdir := t.TempDir() + "/bk"
+	rdir := t.TempDir() + "/restored"
+	if err := runSubcommand(dir, []string{"backup", bdir}); err != nil {
+		t.Fatalf("backup: %v", err)
+	}
+	if err := runSubcommand(dir, []string{"verify", bdir}); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if err := runSubcommand(dir, []string{"restore", bdir, rdir}); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	r, err := lsm.Open(lsm.Options{Dir: rdir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := r.SeriesIDs()
+	r.Close()
+	if len(ids) != 1 || ids[0] != "root.s" {
+		t.Fatalf("restored series = %v", ids)
+	}
+	if err := runSubcommand(dir, []string{"scrub"}); err != nil {
+		t.Fatalf("scrub: %v", err)
+	}
+	if err := runSubcommand(dir, []string{"bogus"}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if err := runSubcommand(dir, []string{"backup"}); err == nil {
+		t.Fatal("backup without dest accepted")
+	}
+}

@@ -13,6 +13,8 @@
 //	GET  /metrics                         Prometheus text exposition
 //	GET  /varz                            the same registry as JSON
 //	GET  /debug/slowlog                   slow-query ring buffer
+//	POST /admin/backup?dir=<dest>         online backup into <dest>
+//	POST /admin/scrub[?heal=true]         on-demand integrity scrub pass
 //
 // Example:
 //
@@ -67,6 +69,9 @@ func main() {
 		maxPoints    = flag.Int64("max-points-per-query", 0, "default cap on decoded points per query (0 = unlimited)")
 		readRetries  = flag.Int("read-retries", 0, "retry attempts for transient chunk-read failures (0 = engine default)")
 		pyramid      = flag.Bool("pyramid", true, "maintain the M4 rollup pyramid (precomputed multi-resolution span aggregates); false always computes from chunks")
+
+		scrubEvery  = flag.Duration("scrub-interval", 0, "period of the background integrity scrubber (chunk CRCs, pyramid manifest, WAL segments; 0 disables — /admin/scrub still works on demand)")
+		walSegBytes = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = engine default)")
 	)
 	flag.Parse()
 
@@ -79,14 +84,15 @@ func main() {
 	slog.SetDefault(logger)
 
 	reg := obs.NewRegistry()
-	engine, err := lsm.Open(lsm.Options{Dir: *dir, Metrics: reg, NumShards: *shards, ReadRetries: *readRetries, DisablePyramid: !*pyramid})
+	engine, err := lsm.Open(lsm.Options{Dir: *dir, Metrics: reg, NumShards: *shards, ReadRetries: *readRetries, DisablePyramid: !*pyramid,
+		ScrubInterval: *scrubEvery, WALSegmentBytes: *walSegBytes})
 	if err != nil {
 		logger.Error("open engine", "dir", *dir, "err", err)
 		os.Exit(1)
 	}
 
 	srv := &http.Server{
-		Addr:              *addr,
+		Addr: *addr,
 		Handler: server.NewWith(engine, server.Config{
 			Logger:             logger,
 			SlowQueryThreshold: *slowQuery,

@@ -304,3 +304,40 @@ func TestRunPyramid(t *testing.T) {
 		t.Errorf("table output:\n%s", buf.String())
 	}
 }
+
+func TestRunRecovery(t *testing.T) {
+	ms, err := RunRecovery(Config{Scale: 0.0001, Reps: 1, Seed: 11, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != len(recoveryBaseSizes) {
+		t.Fatalf("points = %d, want %d", len(ms), len(recoveryBaseSizes))
+	}
+	for _, m := range ms {
+		// RunRecovery already fails unless segmented replay bytes are
+		// strictly below monolithic; check the rest of the shape.
+		if m.SegReplayBytes <= 0 || m.MonoReplayBytes <= 0 {
+			t.Errorf("n=%d: non-positive replay bytes: %+v", m.Points, m)
+		}
+		if m.MonoReplay <= 0 || m.SegReplay <= 0 {
+			t.Errorf("n=%d: non-positive replay time: %+v", m.Points, m)
+		}
+		if m.MonoSegments != 1 {
+			t.Errorf("n=%d: monolithic side has %d segments, want 1", m.Points, m.MonoSegments)
+		}
+		if m.SegSegments < 2 {
+			t.Errorf("n=%d: segmented side has %d segments, want >= 2", m.Points, m.SegSegments)
+		}
+		if m.SegRetired <= 0 {
+			t.Errorf("n=%d: segmented side retired nothing", m.Points)
+		}
+		if m.ReplayShrink() <= 1 {
+			t.Errorf("n=%d: shrink = %f, want > 1", m.Points, m.ReplayShrink())
+		}
+	}
+	var buf bytes.Buffer
+	WriteRecovery(&buf, RecoveryTitle(), ms)
+	if !strings.Contains(buf.String(), "segWALbytes") || !strings.Contains(buf.String(), "shrink") {
+		t.Errorf("table output:\n%s", buf.String())
+	}
+}

@@ -210,11 +210,8 @@ func (e *Engine) Compact() error {
 		if err := e.step("compact.walreset"); err != nil {
 			return err
 		}
-		e.walMu.Lock()
-		rerr := e.wal.Reset()
-		e.walMu.Unlock()
-		if rerr != nil {
-			return rerr
+		if err := e.walResetAll(); err != nil {
+			return err
 		}
 	}
 	// Every quarantined chunk belonged to the retired generation.

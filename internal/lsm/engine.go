@@ -13,10 +13,10 @@
 //
 // The engine is sharded: series are routed to NumShards independent lock
 // stripes by hash(seriesID) (see shard.go), so writers to different series
-// never contend on one global mutex. The WAL stays a single file whose
-// records carry a shard tag; recovery routes each record back to the owning
-// shard by re-hashing the series id. Flush and Compact run per-shard,
-// concurrently up to the GOMAXPROCS budget.
+// never contend on one global mutex. The WAL is a sequence of segment files
+// shared by all shards (walseg.go); records carry a shard tag, and recovery
+// routes each record back to the owning shard by re-hashing the series id.
+// Flush and Compact run per-shard, concurrently up to the GOMAXPROCS budget.
 package lsm
 
 import (
@@ -34,6 +34,7 @@ import (
 
 	"m4lsm/internal/cache"
 	"m4lsm/internal/encoding"
+	"m4lsm/internal/govern"
 	"m4lsm/internal/obs"
 	"m4lsm/internal/series"
 	"m4lsm/internal/storage"
@@ -109,6 +110,21 @@ type Options struct {
 	// takes the span×G path. The default (false) maintains the pyramid at
 	// flush/compact time. See pyramid.go.
 	DisablePyramid bool
+	// WALSegmentBytes is the size at which the active WAL segment is
+	// sealed and a fresh one started (see walseg.go); sealed segments
+	// retire individually as their shards flush. 0 means 1 MiB.
+	WALSegmentBytes int64
+	// ScrubInterval, when positive, runs the background integrity
+	// scrubber that often: every chunk's CRCs, the pyramid manifest and
+	// the sealed WAL segments are re-verified from disk, and corrupt
+	// chunks are quarantined before any query can trip over them. 0
+	// disables the background pass (Scrub can still be called directly).
+	ScrubInterval time.Duration
+	// ScrubLimits caps one scrub pass's I/O through a govern budget so
+	// scrubbing never starves queries; an exhausted budget yields a
+	// partial pass that resumes where it left off on the next run. The
+	// zero value scans everything.
+	ScrubLimits govern.Limits
 }
 
 func (o *Options) withDefaults() Options {
@@ -132,6 +148,7 @@ const (
 	walOpDelete        byte = 2
 	walOpInsertSharded byte = 3
 	walOpDeleteSharded byte = 4
+	walOpCheckpoint    byte = 5
 )
 
 // Engine is the LSM storage engine. All methods are safe for concurrent
@@ -165,10 +182,10 @@ type Engine struct {
 	// footer did not validate — crash leftovers recovered via the WAL.
 	badFiles int
 
-	// walMu serializes appends to (and resets of) the single WAL file
-	// shared by all shards.
+	// walMu serializes every mutation of the segmented WAL shared by all
+	// shards: appends, rotation, checkpointing and segment retirement.
 	walMu sync.Mutex
-	wal   *tsfile.RecordLog
+	wal   *walog
 
 	// mods is the shared delete sidecar; the ModLog is internally locked,
 	// and the pointer itself is atomic because Compact swaps in a fresh
@@ -204,6 +221,25 @@ type Engine struct {
 	// set. Its internal mutex nests inside shard locks and is never held
 	// across I/O; see pyramid.go.
 	pyr *pyramid
+
+	// Background scrubber lifecycle (see scrub.go): the ticker goroutine
+	// is stopped before Close/Kill take the shard locks, because a scrub
+	// pass takes them itself.
+	scrubStop chan struct{}
+	scrubWG   sync.WaitGroup
+	scrubOnce sync.Once
+	scrubMu   sync.Mutex // serializes whole scrub passes and the resume cursor
+	scrubCur  int        // resume cursor: chunks already verified this cycle
+
+	// Scrub and backup counters (see scrub.go / backup.go).
+	scrubRuns        atomic.Int64
+	scrubChunks      atomic.Int64
+	scrubQuarantines atomic.Int64
+	scrubErrors      atomic.Int64
+	backupRuns       atomic.Int64
+	backupErrors     atomic.Int64
+	backupBytes      atomic.Int64
+	lastBackupUnix   atomic.Int64
 
 	// met holds pre-resolved write-path instruments; every field is
 	// nil-safe, so instrumented code records unconditionally and a nil
@@ -270,6 +306,7 @@ func Open(opts Options) (*Engine, error) {
 	e.shards = make([]*shard, opts.NumShards)
 	for i := range e.shards {
 		e.shards[i] = newShard()
+		e.shards[i].ix = i
 	}
 	if opts.ChunkCacheBytes > 0 {
 		e.cache = cache.NewLRU(opts.ChunkCacheBytes)
@@ -293,22 +330,23 @@ func Open(opts Options) (*Engine, error) {
 	// replayed ranges stale).
 	e.pyrLoad()
 	if !opts.DisableWAL {
-		wal, recs, err := tsfile.OpenRecordLog(filepath.Join(opts.Dir, "wal"))
+		wal, entries, err := openWALog(opts.Dir, len(e.shards), opts.WALSegmentBytes)
 		if err != nil {
 			mods.Close()
 			return nil, fmt.Errorf("lsm: %w", err)
 		}
 		e.wal = wal
-		for i, rec := range recs {
-			if err := e.replayWAL(rec); err != nil {
+		for i, ent := range entries {
+			if err := e.replayWAL(ent.seq, ent.payload); err != nil {
 				e.closeFiles()
 				mods.Close()
-				wal.Close()
-				return nil, fmt.Errorf("lsm: wal record %d: %w", i, err)
+				wal.active.Close()
+				return nil, fmt.Errorf("lsm: wal segment %d record %d: %w", ent.seq, i, err)
 			}
 		}
 	}
 	e.registerMetrics(opts.Metrics)
+	e.startScrubber()
 	return e, nil
 }
 
@@ -349,17 +387,33 @@ func (e *Engine) registerMetrics(reg *obs.Registry) {
 	reg.CounterFunc("lsm_read_only_trips_total", func() float64 { return float64(e.roTrips.Load()) })
 	reg.CounterFunc("lsm_read_retries_total", func() float64 { return float64(e.readRetries.Load()) })
 	reg.CounterFunc("lsm_read_retry_exhausted_total", func() float64 { return float64(e.retryExhausted.Load()) })
-	reg.GaugeFunc("lsm_wal_bytes", func() float64 {
-		if e.wal == nil || e.closed.Load() {
-			return 0
+	walStat := func(f func(*walog) float64) func() float64 {
+		return func() float64 {
+			if e.wal == nil || e.closed.Load() {
+				return 0
+			}
+			e.walMu.Lock()
+			defer e.walMu.Unlock()
+			if e.closed.Load() {
+				return 0
+			}
+			return f(e.wal)
 		}
-		e.walMu.Lock()
-		defer e.walMu.Unlock()
-		if e.closed.Load() {
-			return 0
-		}
-		return float64(e.wal.Size())
-	})
+	}
+	reg.GaugeFunc("lsm_wal_bytes", walStat(func(w *walog) float64 { return float64(w.totalBytes()) }))
+	reg.GaugeFunc("lsm_wal_segments", walStat(func(w *walog) float64 { return float64(len(w.sealed) + 1) }))
+	reg.CounterFunc("lsm_wal_retired_total", walStat(func(w *walog) float64 { return float64(w.retiredSegs) }))
+	reg.CounterFunc("lsm_wal_retired_bytes_total", walStat(func(w *walog) float64 { return float64(w.retiredBytes) }))
+	reg.CounterFunc("lsm_wal_rotations_total", walStat(func(w *walog) float64 { return float64(w.rotations) }))
+	reg.CounterFunc("lsm_wal_torn_truncations_total", walStat(func(w *walog) float64 { return float64(w.tornTruncated) }))
+	reg.GaugeFunc("lsm_wal_quarantined_segments", walStat(func(w *walog) float64 { return float64(w.quarantinedSeg) }))
+	reg.CounterFunc("scrub_runs_total", func() float64 { return float64(e.scrubRuns.Load()) })
+	reg.CounterFunc("scrub_chunks_checked_total", func() float64 { return float64(e.scrubChunks.Load()) })
+	reg.CounterFunc("scrub_quarantines_total", func() float64 { return float64(e.scrubQuarantines.Load()) })
+	reg.CounterFunc("scrub_errors_total", func() float64 { return float64(e.scrubErrors.Load()) })
+	reg.CounterFunc("backup_runs_total", func() float64 { return float64(e.backupRuns.Load()) })
+	reg.CounterFunc("backup_errors_total", func() float64 { return float64(e.backupErrors.Load()) })
+	reg.CounterFunc("backup_bytes_total", func() float64 { return float64(e.backupBytes.Load()) })
 	if e.pyr != nil {
 		reg.GaugeFunc("lsm_pyramid_series", func() float64 { return float64(e.pyrInfo().series) })
 		reg.GaugeFunc("lsm_pyramid_cells", func() float64 { return float64(e.pyrInfo().cells) })
@@ -543,21 +597,17 @@ func (e *Engine) Write(seriesID string, pts ...series.Point) error {
 	if e.closed.Load() {
 		return errors.New("lsm: engine closed")
 	}
-	// Publish the buffered-point count BEFORE the WAL append: the WAL is
-	// reset only when every shard's count reads zero (maybeResetWAL, under
-	// walMu), so counting first guarantees no concurrent flush of another
-	// shard can drop this record between our append and our memtable
-	// update.
 	sh.memPts.Add(int64(len(pts)))
 	if e.wal != nil {
 		if err := e.step("wal.append"); err != nil {
 			sh.memPts.Add(-int64(len(pts)))
 			return err
 		}
-		e.walMu.Lock()
-		err := e.wal.Append(encodeInsertSharded(shardIx, seriesID, pts), e.opts.SyncWAL)
-		e.walMu.Unlock()
-		if err != nil {
+		// The append claims this shard's pendingMin watermark under walMu,
+		// so the record's segment cannot retire before this shard's next
+		// flush checkpoint — and that checkpoint cannot race in between the
+		// append and the memtable update because we hold the shard lock.
+		if _, err := e.walAppend(encodeInsertSharded(shardIx, seriesID, pts), shardIx, false); err != nil {
 			sh.memPts.Add(-int64(len(pts)))
 			return e.classifyWrite(err)
 		}
@@ -579,7 +629,7 @@ func (e *Engine) Write(seriesID string, pts ...series.Point) error {
 			return e.classifyWrite(err)
 		}
 		if n > 0 {
-			if err := e.maybeResetWAL(); err != nil {
+			if err := e.maybeRetireWAL(); err != nil {
 				return err
 			}
 			return e.pyrMaybeSave()
@@ -613,16 +663,19 @@ func (e *Engine) Delete(seriesID string, start, end int64) error {
 	// to the mods sidecar (see replayWAL). The reverse order would leave a
 	// half-applied delete — recorded against flushed chunks but not against
 	// WAL-replayed memtable points.
+	var walSeq uint64
 	if e.wal != nil {
 		if err := e.step("wal.append"); err != nil {
 			return err
 		}
-		e.walMu.Lock()
-		err := e.wal.Append(encodeDeleteSharded(shardIx, d), e.opts.SyncWAL)
-		e.walMu.Unlock()
+		// pin=true: the record's segment must survive until the delete is
+		// durable in the mods sidecar below — it does not count toward the
+		// shard's pendingMin (deletes carry no memtable points to flush).
+		seq, err := e.walAppend(encodeDeleteSharded(shardIx, d), shardIx, true)
 		if err != nil {
 			return e.classifyWrite(err)
 		}
+		walSeq = seq
 		e.met.walAppends.Inc()
 	}
 	if err := e.step("mods.append"); err != nil {
@@ -630,6 +683,9 @@ func (e *Engine) Delete(seriesID string, start, end int64) error {
 	}
 	if err := e.modsLog().Append(d); err != nil {
 		return e.classifyWrite(err)
+	}
+	if e.wal != nil {
+		e.walUnpin(walSeq)
 	}
 	e.met.deletes.Inc()
 	sh.applyDeleteToMem(d)
@@ -658,40 +714,12 @@ func (e *Engine) Flush() error {
 		return e.classifyWrite(err)
 	}
 	if flushed.Load() > 0 {
-		if err := e.maybeResetWAL(); err != nil {
+		if err := e.maybeRetireWAL(); err != nil {
 			return err
 		}
 		return e.pyrMaybeSave()
 	}
 	return nil
-}
-
-// maybeResetWAL truncates the WAL if and only if no shard holds buffered
-// points. With several shards sharing one WAL file, a flush of one shard
-// must not drop another shard's unflushed records; the check and the reset
-// happen under walMu, so any concurrent writer either already published its
-// point count (the reset is skipped) or has not appended its record yet
-// (the append lands after the truncation and survives).
-//
-// Records for already-flushed data may therefore linger until the last
-// shard drains; replaying them is harmless — WAL order is preserved, so
-// re-inserted points are superseded by the flushed chunks' deletes and
-// overwrites exactly as they were the first time.
-func (e *Engine) maybeResetWAL() error {
-	if e.wal == nil {
-		return nil
-	}
-	e.walMu.Lock()
-	defer e.walMu.Unlock()
-	for _, sh := range e.shards {
-		if sh.memPts.Load() != 0 {
-			return nil
-		}
-	}
-	if err := e.step("flush.walreset"); err != nil {
-		return err
-	}
-	return e.wal.Reset()
 }
 
 // flushShardLocked persists one shard's memtable, separating in-order data
@@ -741,6 +769,12 @@ func (e *Engine) flushShardLocked(sh *shard) (int, error) {
 	// plus the mods sidecar are the full merged state, so rebuild this
 	// shard's stale pyramid cells now. Only the fault hook can fail this.
 	if err := e.pyrRebuildShard(sh); err != nil {
+		return 0, err
+	}
+	// Checkpoint while still holding sh.mu: every WAL record of this shard
+	// so far is now durable in chunk files, and no new write can race in
+	// before the checkpoint lands.
+	if err := e.walCheckpoint(sh.ix); err != nil {
 		return 0, err
 	}
 	e.met.flushes.Inc()
@@ -837,19 +871,7 @@ func (e *Engine) Snapshot(seriesID string, r series.TimeRange) (*storage.Snapsho
 		if !errors.Is(err, tsfile.ErrCorrupt) {
 			return
 		}
-		e.quarMu.Lock()
-		id := chunkID{meta.SeriesID, meta.Version}
-		_, dup := e.quarantined[id]
-		if !dup {
-			e.quarantined[id] = err
-		}
-		e.quarMu.Unlock()
-		if !dup {
-			e.met.quarantines.Inc()
-			// The chunk's points vanish from the merged view; cells that
-			// included them are wrong until the next rebuild.
-			e.pyrMarkStaleClosed(meta.SeriesID, meta.First.T, meta.Last.T)
-		}
+		e.quarantineChunk(meta, err)
 	}
 	e.quarMu.Lock()
 	for _, ce := range sh.chunks[seriesID] {
@@ -942,6 +964,26 @@ type Info struct {
 	PyramidSeries      int
 	PyramidCells       int
 	PyramidStaleRanges int
+
+	// Segmented-WAL state (zero when the WAL is disabled). WALWarnings
+	// carries recovery findings — torn tails truncated, segments
+	// quarantined — verbatim for /healthz.
+	WALSegments            int
+	WALBytes               int64
+	WALRetiredSegments     int64
+	WALRetiredBytes        int64
+	WALTornTruncations     int
+	WALQuarantinedSegments int
+	WALWarnings            []string
+
+	// Integrity-scrubber and backup lifetime counters (see scrub.go and
+	// backup.go).
+	ScrubRuns          int64
+	ScrubChunksScanned int64
+	ScrubQuarantines   int64
+	ScrubErrors        int64
+	BackupRuns         int64
+	LastBackupUnix     int64
 }
 
 // Info returns a snapshot of engine statistics.
@@ -963,7 +1005,7 @@ func (e *Engine) Info() Info {
 	e.quarMu.Unlock()
 	ro, roReason := e.ReadOnly()
 	ps := e.pyrInfo()
-	return Info{
+	info := Info{
 		Shards:             len(e.shards),
 		Files:              files,
 		UnseqFiles:         unseq,
@@ -980,7 +1022,27 @@ func (e *Engine) Info() Info {
 		PyramidSeries:      ps.series,
 		PyramidCells:       ps.cells,
 		PyramidStaleRanges: ps.staleRanges,
+		ScrubRuns:          e.scrubRuns.Load(),
+		ScrubChunksScanned: e.scrubChunks.Load(),
+		ScrubQuarantines:   e.scrubQuarantines.Load(),
+		ScrubErrors:        e.scrubErrors.Load(),
+		BackupRuns:         e.backupRuns.Load(),
+		LastBackupUnix:     e.lastBackupUnix.Load(),
 	}
+	if e.wal != nil && !e.closed.Load() {
+		e.walMu.Lock()
+		if !e.closed.Load() {
+			info.WALSegments = len(e.wal.sealed) + 1
+			info.WALBytes = e.wal.totalBytes()
+			info.WALRetiredSegments = e.wal.retiredSegs
+			info.WALRetiredBytes = e.wal.retiredBytes
+			info.WALTornTruncations = e.wal.tornTruncated
+			info.WALQuarantinedSegments = e.wal.quarantinedSeg
+			info.WALWarnings = append([]string(nil), e.wal.warnings...)
+		}
+		e.walMu.Unlock()
+	}
+	return info
 }
 
 // HasSeries reports whether seriesID has any buffered or flushed data.
@@ -996,6 +1058,9 @@ func (e *Engine) HasSeries(seriesID string) bool {
 
 // Close flushes every shard's memtable and releases all file handles.
 func (e *Engine) Close() error {
+	// The scrubber takes shard locks during a pass, so it must be fully
+	// stopped before lockAll — stopping it under the locks would deadlock.
+	e.stopScrubber()
 	e.lockAll()
 	defer e.unlockAll()
 	if e.closed.Load() {
@@ -1012,7 +1077,7 @@ func (e *Engine) Close() error {
 		}
 	}
 	if err == nil && flushed > 0 {
-		err = e.maybeResetWAL()
+		err = e.maybeRetireWAL()
 	}
 	if err == nil {
 		err = e.pyrMaybeSave()
@@ -1026,7 +1091,7 @@ func (e *Engine) Close() error {
 	}
 	if e.wal != nil {
 		e.walMu.Lock()
-		cerr := e.wal.Close()
+		cerr := e.wal.active.Close()
 		e.walMu.Unlock()
 		if err == nil {
 			err = cerr
@@ -1039,6 +1104,7 @@ func (e *Engine) Close() error {
 // closed, nothing is flushed, the WAL is left as-is. Crash-recovery tests
 // pair it with a fresh Open over the same directory.
 func (e *Engine) Kill() {
+	e.stopScrubber()
 	e.lockAll()
 	defer e.unlockAll()
 	if e.closed.Load() {
@@ -1051,7 +1117,7 @@ func (e *Engine) Kill() {
 	}
 	if e.wal != nil {
 		e.walMu.Lock()
-		e.wal.Close()
+		e.wal.active.Close()
 		e.walMu.Unlock()
 	}
 }
@@ -1059,9 +1125,11 @@ func (e *Engine) Kill() {
 // replayWAL applies one recovered WAL record to the owning shard's
 // memtable. Sharded records (ops 3 and 4) carry the writer's shard index
 // for debuggability, but routing always re-hashes the series id so a
-// directory reopens correctly under a different NumShards. Runs
-// single-threaded during Open.
-func (e *Engine) replayWAL(rec []byte) error {
+// directory reopens correctly under a different NumShards. seq is the
+// segment the record came from: inserts re-seed the shard's pendingMin
+// watermark, checkpoints clear it and drop the shard's replayed memtable.
+// Runs single-threaded during Open.
+func (e *Engine) replayWAL(seq uint64, rec []byte) error {
 	if len(rec) == 0 {
 		return errors.New("empty record")
 	}
@@ -1079,10 +1147,33 @@ func (e *Engine) replayWAL(rec []byte) error {
 		if err != nil {
 			return err
 		}
-		sh, _ := e.shardFor(id)
+		sh, ix := e.shardFor(id)
 		e.pyrMarkStalePoints(id, pts)
 		sh.mem[id] = append(sh.mem[id], pts...)
 		sh.memPts.Add(int64(len(pts)))
+		if e.wal != nil && e.wal.pendingMin[ix] == 0 {
+			e.wal.pendingMin[ix] = seq
+		}
+		return nil
+	case walOpCheckpoint:
+		shard, numShards, _, err := decodeCheckpoint(body)
+		if err != nil {
+			return err
+		}
+		// Honored only under the layout it was written for: with a matching
+		// numShards, the records it clears route to exactly the shard it
+		// names. Under any other layout replay keeps everything (redundant
+		// but harmless — WAL order is preserved, so re-inserted points are
+		// superseded by the flushed chunks exactly as they were live).
+		if numShards != len(e.shards) {
+			return nil
+		}
+		sh := e.shards[shard]
+		sh.mem = make(map[string]series.Series)
+		sh.memPts.Store(0)
+		if e.wal != nil {
+			e.wal.pendingMin[shard] = 0
+		}
 		return nil
 	case walOpDelete, walOpDeleteSharded:
 		d, err := decodeWALDelete(body)
@@ -1113,6 +1204,27 @@ func (e *Engine) replayWAL(rec []byte) error {
 	default:
 		return fmt.Errorf("unknown wal op %d", op)
 	}
+}
+
+// quarantineChunk excludes a chunk whose bytes failed a CRC or decode
+// check from all future snapshots. Shared by the query path (via
+// Snapshot.OnQuarantine) and the integrity scrubber. Reports whether this
+// call was the first to quarantine the chunk.
+func (e *Engine) quarantineChunk(meta storage.ChunkMeta, err error) bool {
+	e.quarMu.Lock()
+	id := chunkID{meta.SeriesID, meta.Version}
+	_, dup := e.quarantined[id]
+	if !dup {
+		e.quarantined[id] = err
+	}
+	e.quarMu.Unlock()
+	if !dup {
+		e.met.quarantines.Inc()
+		// The chunk's points vanish from the merged view; cells that
+		// included them are wrong until the next rebuild.
+		e.pyrMarkStaleClosed(meta.SeriesID, meta.First.T, meta.Last.T)
+	}
+	return !dup
 }
 
 // sourceFor wraps a chunk file reader with query-time fault injection

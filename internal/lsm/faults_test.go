@@ -344,7 +344,7 @@ func TestTornWALTail(t *testing.T) {
 	}
 	e.Kill() // no flush: everything lives in the WAL
 
-	walPath := filepath.Join(dir, "wal")
+	walPath := walSegPath(dir, 1) // the active (and only) WAL segment
 	f, err := os.OpenFile(walPath, os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -366,6 +366,14 @@ func TestTornWALTail(t *testing.T) {
 	got := materialize(t, snap, series.TimeRange{Start: 0, End: 100})
 	if !reflect.DeepEqual(got, series.Series(pts(10, 1))) {
 		t.Errorf("recovered %v, want [(10,1)]", got)
+	}
+	// The truncation must be operator-visible, not silent.
+	info := e2.Info()
+	if info.WALTornTruncations != 1 {
+		t.Errorf("WALTornTruncations = %d, want 1", info.WALTornTruncations)
+	}
+	if len(info.WALWarnings) != 1 || !strings.Contains(info.WALWarnings[0], "torn tail") {
+		t.Errorf("WALWarnings = %q, want one torn-tail warning", info.WALWarnings)
 	}
 }
 
@@ -390,7 +398,7 @@ func TestStepHookSiteNames(t *testing.T) {
 	want := []string{"wal.append", "wal.appended", "flush.create:000000.seq.tsf",
 		"flush.chunk:000000.seq.tsf", "flush.footer:000000.seq.tsf",
 		"flush.reopen:000000.seq.tsf", "pyramid.rebuild", "flush.walreset",
-		"pyramid.save"}
+		"wal.retire", "pyramid.save"}
 	if fmt.Sprint(sites) != fmt.Sprint(want) {
 		t.Errorf("sites = %v, want %v", sites, want)
 	}

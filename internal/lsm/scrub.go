@@ -1,0 +1,271 @@
+// Background integrity scrubber. A scrub pass re-reads durable state from
+// disk and verifies it end to end: every chunk's CRCs (by decoding it the
+// same way a query would), the pyramid manifest, and every WAL segment.
+// Verification failures degrade exactly the way query-time failures do —
+// corrupt chunks are quarantined out of future snapshots, corrupt sealed
+// WAL segments are set aside as *.bad after the shards they might cover
+// have been re-secured by a flush — so silent bit rot is found and
+// contained before any query trips over it.
+//
+// Scrub I/O is charged against a govern budget (Options.ScrubLimits): an
+// exhausted budget ends the pass early and the next pass resumes at the
+// cursor where this one stopped, so scrubbing amortizes over passes
+// instead of starving queries.
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"m4lsm/internal/govern"
+	"m4lsm/internal/tsfile"
+)
+
+// ScrubOptions configures one scrub pass.
+type ScrubOptions struct {
+	// Limits caps the pass's I/O; the zero value scans everything.
+	Limits govern.Limits
+	// Heal triggers a compaction when the pass quarantined chunks, folding
+	// the surviving data into a clean generation and dropping the corrupt
+	// bytes for good.
+	Heal bool
+}
+
+// ScrubReport summarizes one scrub pass.
+type ScrubReport struct {
+	ChunksChecked     int
+	ChunksQuarantined int
+	// ChunksSkipped counts chunks already quarantined before the pass.
+	ChunksSkipped          int
+	WALSegmentsChecked     int
+	WALSegmentsQuarantined int
+	PyramidOK              bool
+	// Healed reports that quarantined chunks were compacted away.
+	Healed bool
+	// Partial is set when the govern budget ran out; the next pass resumes
+	// where this one stopped.
+	Partial bool
+	Errors  []string
+}
+
+// Scrub runs one integrity pass now (the background scrubber calls this on
+// its ticker; /admin/scrub calls it on demand). Passes are serialized.
+func (e *Engine) Scrub(opts ScrubOptions) (ScrubReport, error) {
+	e.scrubMu.Lock()
+	defer e.scrubMu.Unlock()
+	var rep ScrubReport
+	rep.PyramidOK = true
+	if e.closed.Load() {
+		return rep, errors.New("lsm: engine closed")
+	}
+	e.scrubRuns.Add(1)
+	budget := govern.NewBudget(opts.Limits)
+
+	e.scrubChunkFiles(&rep, budget)
+	if !rep.Partial {
+		e.scrubWALSegments(&rep)
+		e.scrubPyramid(&rep)
+	}
+	e.scrubErrors.Add(int64(len(rep.Errors)))
+	if opts.Heal && rep.ChunksQuarantined > 0 && !e.closed.Load() {
+		if err := e.Compact(); err != nil {
+			rep.Errors = append(rep.Errors, fmt.Sprintf("heal compaction: %v", err))
+			e.scrubErrors.Add(1)
+		} else {
+			rep.Healed = true
+		}
+	}
+	return rep, nil
+}
+
+// scrubChunkFiles decodes every chunk from disk, quarantining the ones
+// whose bytes fail CRC or decode checks. The resume cursor e.scrubCur
+// carries across budget-limited passes.
+func (e *Engine) scrubChunkFiles(rep *ScrubReport, budget *govern.Budget) {
+	e.fileMu.Lock()
+	readers := append([]*tsfile.Reader(nil), e.files...)
+	e.fileMu.Unlock()
+	idx := 0
+	for _, r := range readers {
+		for _, meta := range r.Metas() {
+			idx++
+			if idx <= e.scrubCur {
+				continue // verified in an earlier partial pass this cycle
+			}
+			if e.closed.Load() {
+				rep.Partial = true
+				return
+			}
+			e.quarMu.Lock()
+			_, quarantined := e.quarantined[chunkID{meta.SeriesID, meta.Version}]
+			e.quarMu.Unlock()
+			if quarantined {
+				rep.ChunksSkipped++
+				continue
+			}
+			if err := budget.ChargeChunk(meta.Count); err != nil {
+				rep.Partial = true
+				e.scrubCur = idx - 1 // resume at this chunk next pass
+				return
+			}
+			rep.ChunksChecked++
+			e.scrubChunks.Add(1)
+			if _, err := r.ReadChunk(meta); err != nil {
+				if errors.Is(err, tsfile.ErrCorrupt) {
+					if serr := e.step("scrub.quarantine"); serr != nil {
+						rep.Errors = append(rep.Errors, serr.Error())
+						rep.Partial = true
+						e.scrubCur = idx - 1
+						return
+					}
+					if e.quarantineChunk(meta, err) {
+						rep.ChunksQuarantined++
+						e.scrubQuarantines.Add(1)
+					}
+				} else {
+					// Transient read failure: report, do not quarantine —
+					// the next pass (or query retry) may succeed.
+					rep.Errors = append(rep.Errors, fmt.Sprintf("chunk %s v%d: %v", meta.SeriesID, meta.Version, err))
+				}
+			}
+		}
+	}
+	e.scrubCur = 0 // full cycle completed
+}
+
+// scrubWALSegments re-parses every WAL segment. Sealed segments must parse
+// completely (they were fsynced before the WAL moved on); a corrupt one is
+// set aside as *.bad — after a Flush has re-secured every shard's buffered
+// points in chunk files, so the records the bad segment held are no longer
+// the only copy of anything.
+func (e *Engine) scrubWALSegments(rep *ScrubReport) {
+	if e.wal == nil {
+		return
+	}
+	e.walMu.Lock()
+	sealed := append([]walSealed(nil), e.wal.sealed...)
+	e.walMu.Unlock()
+	for _, s := range sealed {
+		if e.closed.Load() {
+			rep.Partial = true
+			return
+		}
+		rep.WALSegmentsChecked++
+		hdr, _, err := tsfile.ReadSegment(s.path)
+		if err == nil && hdr.Seq != s.seq {
+			err = fmt.Errorf("%w: segment header seq %d under name seq %d", tsfile.ErrCorrupt, hdr.Seq, s.seq)
+		}
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, os.ErrNotExist) {
+			continue // retired concurrently — nothing left to verify
+		}
+		if !errors.Is(err, tsfile.ErrCorrupt) {
+			rep.Errors = append(rep.Errors, fmt.Sprintf("wal segment %d: %v", s.seq, err))
+			continue
+		}
+		// Re-secure before quarantining: flushing every shard supersedes
+		// whatever records the corrupt segment held, so losing it cannot
+		// lose data that is only in the WAL.
+		if ferr := e.Flush(); ferr != nil {
+			rep.Errors = append(rep.Errors, fmt.Sprintf("wal segment %d: flush before quarantine: %v", s.seq, ferr))
+			continue
+		}
+		if serr := e.step("scrub.quarantine"); serr != nil {
+			rep.Errors = append(rep.Errors, serr.Error())
+			rep.Partial = true
+			return
+		}
+		e.walMu.Lock()
+		qerr := e.wal.quarantineSegment(s.path, err)
+		if qerr == nil {
+			for i, ss := range e.wal.sealed {
+				if ss.seq == s.seq {
+					e.wal.sealed = append(e.wal.sealed[:i:i], e.wal.sealed[i+1:]...)
+					break
+				}
+			}
+		}
+		e.walMu.Unlock()
+		if qerr != nil {
+			if errors.Is(qerr, os.ErrNotExist) {
+				continue // the flush retired it before we could rename
+			}
+			rep.Errors = append(rep.Errors, qerr.Error())
+			continue
+		}
+		rep.WALSegmentsQuarantined++
+		e.scrubQuarantines.Add(1)
+	}
+}
+
+// scrubPyramid verifies the persisted pyramid manifest decodes. A corrupt
+// manifest cannot mislead the running engine (it is only read at Open,
+// which degrades to full-stale), so the scrubber heals it in place by
+// re-persisting the in-memory state.
+func (e *Engine) scrubPyramid(rep *ScrubReport) {
+	if e.pyr == nil {
+		return
+	}
+	data, err := os.ReadFile(filepath.Join(e.opts.Dir, pyramidFileName))
+	if errors.Is(err, os.ErrNotExist) {
+		return // nothing persisted yet
+	}
+	if err != nil {
+		rep.Errors = append(rep.Errors, fmt.Sprintf("pyramid manifest: %v", err))
+		return
+	}
+	if _, _, err := decodePyramid(data); err != nil {
+		rep.PyramidOK = false
+		rep.Errors = append(rep.Errors, fmt.Sprintf("pyramid manifest: %v", err))
+		// Heal in place: the in-memory pyramid is authoritative while the
+		// engine runs, so marking it dirty and re-saving rewrites a clean
+		// manifest atomically.
+		e.pyr.mu.Lock()
+		e.pyr.dirty = true
+		e.pyr.mu.Unlock()
+		if herr := e.pyrMaybeSave(); herr != nil {
+			rep.Errors = append(rep.Errors, fmt.Sprintf("pyramid manifest rewrite: %v", herr))
+		}
+	}
+}
+
+// startScrubber launches the periodic scrub goroutine when
+// Options.ScrubInterval is positive. Stopped by Close/Kill before they
+// take the shard locks (a pass takes them itself via Flush/Compact).
+func (e *Engine) startScrubber() {
+	if e.opts.ScrubInterval <= 0 {
+		return
+	}
+	e.scrubStop = make(chan struct{})
+	e.scrubWG.Add(1)
+	go func() {
+		defer e.scrubWG.Done()
+		tick := time.NewTicker(e.opts.ScrubInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-e.scrubStop:
+				return
+			case <-tick.C:
+				// Errors are carried by the scrub_* counters and the
+				// report; the background loop has no one to return them to.
+				e.Scrub(ScrubOptions{Limits: e.opts.ScrubLimits, Heal: true}) //nolint:errcheck
+			}
+		}
+	}()
+}
+
+// stopScrubber halts the background scrubber and waits for an in-flight
+// pass to finish. Idempotent; a no-op when the scrubber never started.
+func (e *Engine) stopScrubber() {
+	if e.scrubStop == nil {
+		return
+	}
+	e.scrubOnce.Do(func() { close(e.scrubStop) })
+	e.scrubWG.Wait()
+}

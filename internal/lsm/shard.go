@@ -17,11 +17,12 @@ import (
 // field comments for the lock order).
 type shard struct {
 	mu  sync.RWMutex
+	ix  int                      // this shard's index, for WAL checkpoints
 	mem map[string]series.Series // per-series unsorted write buffer
 
 	// memPts mirrors the buffered point count. It is only mutated under
-	// mu, but is read atomically across shards by the WAL resetter (see
-	// maybeResetWAL) and by Info, so every access is atomic.
+	// mu, but is read atomically across shards by Info, so every access is
+	// atomic.
 	memPts atomic.Int64
 
 	chunks map[string][]chunkEntry // per-series flushed chunks

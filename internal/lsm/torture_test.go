@@ -3,6 +3,8 @@ package lsm
 import (
 	"errors"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"reflect"
 	"sort"
 	"sync"
@@ -24,7 +26,7 @@ import (
 // M4-LSM ≡ M4-UDF ≡ M4 over the recovered merge.
 
 type tortureOp struct {
-	kind       byte // 'w' write, 'd' delete, 'f' flush
+	kind       byte // 'w' write, 'd' delete, 'f' flush, 'b' online backup
 	id         string
 	pts        []series.Point
 	start, end int64
@@ -50,6 +52,7 @@ func tortureOps() []tortureOp {
 		{kind: 'd', id: "b", start: 0, end: 10},
 		{kind: 'd', id: "a", start: 55, end: 65}, // covers flushed t=60 only
 		{kind: 'f'},
+		{kind: 'b'}, // online backup mid-workload; a crash must leave it rejectable
 		{kind: 'w', id: "a", pts: pts(100, 13, 110, 14)},
 	}
 }
@@ -103,6 +106,9 @@ func execOp(e *Engine, op tortureOp) error {
 		return e.Write(op.id, op.pts...)
 	case 'd':
 		return e.Delete(op.id, op.start, op.end)
+	case 'b':
+		_, err := e.Backup(filepath.Join(e.opts.Dir, "backup"))
+		return err
 	default:
 		return e.Flush()
 	}
@@ -117,7 +123,10 @@ func runTortureAt(t *testing.T, failAt int64, shards, reopenShards int) int64 {
 	t.Helper()
 	dir := t.TempDir()
 	inj := faultfs.NewStepInjector(failAt)
-	e, err := Open(Options{Dir: dir, FlushThreshold: 8, StepHook: inj.Step, NumShards: shards})
+	// The tiny segment size forces WAL rotation and retirement into the
+	// crash matrix: wal.rotate and wal.retire fire mid-workload.
+	e, err := Open(Options{Dir: dir, FlushThreshold: 8, StepHook: inj.Step, NumShards: shards,
+		WALSegmentBytes: 48})
 	if err != nil {
 		t.Fatalf("failAt %d: open: %v", failAt, err)
 	}
@@ -158,6 +167,18 @@ func runTortureAt(t *testing.T, failAt int64, shards, reopenShards int) int64 {
 		t.Fatalf("failAt %d (site %v): recovery failed: %v", failAt, lastSite(inj), err)
 	}
 	defer e2.Close()
+
+	// A backup either completed (verifies end to end) or crashed mid-set
+	// (no manifest, rejected wholesale) — never a third state.
+	if _, err := os.Stat(filepath.Join(dir, "backup", backupManifestName)); err == nil {
+		if _, err := VerifyBackup(filepath.Join(dir, "backup")); err != nil {
+			t.Fatalf("failAt %d (site %v): completed backup does not verify: %v", failAt, lastSite(inj), err)
+		}
+	} else if crashed != nil && crashed.kind == 'b' {
+		if _, err := VerifyBackup(filepath.Join(dir, "backup")); err == nil {
+			t.Fatalf("failAt %d (site %v): torn backup verified", failAt, lastSite(inj))
+		}
+	}
 
 	full := series.TimeRange{Start: -1 << 40, End: 1 << 40}
 	for _, id := range []string{"a", "b"} {
@@ -254,7 +275,7 @@ func TestShardCrashRecoveryTorture(t *testing.T) {
 func TestTortureSitesCovered(t *testing.T) {
 	dir := t.TempDir()
 	inj := faultfs.NewStepInjector(0)
-	e, err := Open(Options{Dir: dir, FlushThreshold: 8, StepHook: inj.Step})
+	e, err := Open(Options{Dir: dir, FlushThreshold: 8, StepHook: inj.Step, WALSegmentBytes: 48})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +289,8 @@ func TestTortureSitesCovered(t *testing.T) {
 	}
 	want := []string{"wal.append", "wal.appended", "mods.append", "flush.walreset",
 		"flush.create:", "flush.chunk:", "flush.footer:", "flush.reopen:",
-		"pyramid.rebuild", "pyramid.save"}
+		"pyramid.rebuild", "pyramid.save", "wal.rotate", "wal.retire",
+		"backup.manifest"}
 	seen := inj.Sites()
 	for _, prefix := range want {
 		found := false

@@ -17,6 +17,7 @@ import (
 //	delete:         0x02 | body
 //	insert sharded: 0x03 | uvarint shard | body
 //	delete sharded: 0x04 | uvarint shard | body
+//	checkpoint:     0x05 | uvarint shard | uvarint numShards | uvarint upToSeq
 //
 //	insert body: uvarint len(id) | id | uvarint n | n × (varint t, 8B v)
 //	delete body: uvarint len(id) | id | uvarint version | varint start | varint end
@@ -25,6 +26,14 @@ import (
 // writing shard's index. The tag is diagnostic: replay always re-routes by
 // hashing the series id, so WALs survive a NumShards change, and the
 // untagged legacy forms still decode.
+//
+// A checkpoint records that every earlier record of one shard is durable
+// in chunk files (appended at the end of that shard's flush, under its
+// lock). Replay honors it only when the recorded numShards matches the
+// reopening engine's layout — routing is a pure function of (id,
+// numShards), so equality means "the records this clears are exactly the
+// ones replayed into that shard". Under any other layout the checkpoint is
+// ignored and the full tail replays, which is merely redundant.
 
 func encodeInsert(seriesID string, pts []series.Point) []byte {
 	return appendInsertBody([]byte{walOpInsert}, seriesID, pts)
@@ -101,6 +110,34 @@ func appendDeleteBody(buf []byte, d storage.Delete) []byte {
 	buf = encoding.AppendVarint(buf, d.Start)
 	buf = encoding.AppendVarint(buf, d.End)
 	return buf
+}
+
+func encodeCheckpoint(shard, numShards int, upTo uint64) []byte {
+	buf := encoding.AppendUvarint([]byte{walOpCheckpoint}, uint64(shard))
+	buf = encoding.AppendUvarint(buf, uint64(numShards))
+	return encoding.AppendUvarint(buf, upTo)
+}
+
+func decodeCheckpoint(b []byte) (shard, numShards int, upTo uint64, err error) {
+	s, b, err := encoding.Uvarint(b)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	n, b, err := encoding.Uvarint(b)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	upTo, b, err = encoding.Uvarint(b)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if len(b) != 0 {
+		return 0, 0, 0, fmt.Errorf("wal checkpoint: %d trailing bytes", len(b))
+	}
+	if n == 0 || s >= n || n > 1<<20 {
+		return 0, 0, 0, fmt.Errorf("wal checkpoint: shard %d of %d", s, n)
+	}
+	return int(s), int(n), upTo, nil
 }
 
 func decodeWALDelete(b []byte) (storage.Delete, error) {

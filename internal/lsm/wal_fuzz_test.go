@@ -1,11 +1,14 @@
 package lsm
 
 import (
+	"errors"
 	"math"
+	"reflect"
 	"testing"
 
 	"m4lsm/internal/series"
 	"m4lsm/internal/storage"
+	"m4lsm/internal/tsfile"
 )
 
 // The WAL decoders parse bytes recovered from disk after a crash; arbitrary
@@ -56,6 +59,48 @@ func FuzzDecodeWALDelete(f *testing.F) {
 		}
 		if d2 != d {
 			t.Fatalf("round trip changed delete: %v -> %v", d, d2)
+		}
+	})
+}
+
+// FuzzBackupManifest: the manifest decoder gates whether a backup set is
+// trusted at all; arbitrary bytes must never panic, every rejection must
+// wrap tsfile.ErrCorrupt, and an accepted manifest must survive an
+// encode/decode round trip.
+func FuzzBackupManifest(f *testing.F) {
+	good, _ := EncodeBackupManifest(BackupManifest{
+		CreatedUnix: 1700000000,
+		NextVersion: 9,
+		NumShards:   4,
+		Files: []BackupFile{
+			{Name: "000001.seq.tsf", Size: 128, CRC: 0x1234},
+			{Name: "wal-0000000000000001.log", Size: 21, CRC: 0x5678},
+		},
+	})
+	f.Add(good)
+	empty, _ := EncodeBackupManifest(BackupManifest{})
+	f.Add(empty)
+	f.Add([]byte{})
+	f.Add([]byte("M4BK"))
+	f.Add(append([]byte("M4BK\x01\x00\x00\x00\x00"), 0, 0, 0, 0))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := DecodeBackupManifest(b)
+		if err != nil {
+			if !errors.Is(err, tsfile.ErrCorrupt) {
+				t.Fatalf("rejection does not wrap ErrCorrupt: %v", err)
+			}
+			return
+		}
+		enc, err := EncodeBackupManifest(m)
+		if err != nil {
+			t.Fatalf("accepted manifest does not re-encode: %v", err)
+		}
+		m2, err := DecodeBackupManifest(enc)
+		if err != nil {
+			t.Fatalf("re-encoded manifest rejected: %v", err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("round trip changed manifest: %+v -> %+v", m, m2)
 		}
 	})
 }

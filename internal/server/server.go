@@ -139,6 +139,8 @@ func NewWith(e *lsm.Engine, cfg Config) *Handler {
 	h.handle("/metrics", h.metrics)
 	h.handle("/varz", h.varz)
 	h.handle("/debug/slowlog", h.slowlog)
+	h.handle("/admin/backup", h.adminBackup)
+	h.handle("/admin/scrub", h.adminScrub)
 	return h
 }
 
@@ -298,7 +300,7 @@ func buildInfo() (version, revision string) {
 func (h *Handler) health(w http.ResponseWriter, _ *http.Request) {
 	info := h.engine.Info()
 	status := "ok"
-	if info.BadFiles > 0 || info.QuarantinedChunks > 0 {
+	if info.BadFiles > 0 || info.QuarantinedChunks > 0 || info.WALQuarantinedSegments > 0 {
 		status = "degraded"
 	}
 	if info.ReadOnly {
@@ -320,7 +322,83 @@ func (h *Handler) health(w http.ResponseWriter, _ *http.Request) {
 		"goroutines":        runtime.NumGoroutine(),
 		"version":           version,
 		"revision":          revision,
+		"wal": map[string]interface{}{
+			"segments":            info.WALSegments,
+			"bytes":               info.WALBytes,
+			"retiredSegments":     info.WALRetiredSegments,
+			"retiredBytes":        info.WALRetiredBytes,
+			"tornTruncations":     info.WALTornTruncations,
+			"quarantinedSegments": info.WALQuarantinedSegments,
+			"warnings":            info.WALWarnings,
+		},
+		"scrub": map[string]interface{}{
+			"runs":          info.ScrubRuns,
+			"chunksScanned": info.ScrubChunksScanned,
+			"quarantines":   info.ScrubQuarantines,
+			"errors":        info.ScrubErrors,
+		},
+		"backup": map[string]interface{}{
+			"runs":     info.BackupRuns,
+			"lastUnix": info.LastBackupUnix,
+		},
 	})
+}
+
+// adminBackup takes an online backup into the directory named by the dir
+// query parameter (a path on the server's filesystem). POST only: a backup
+// writes outside the database directory.
+func (h *Handler) adminBackup(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		httpError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	dir := r.URL.Query().Get("dir")
+	if dir == "" {
+		httpError(w, http.StatusBadRequest, errors.New("dir parameter required"))
+		return
+	}
+	man, err := h.engine.Backup(dir)
+	if err != nil {
+		if code, kind := mapQueryError(err); code != 0 {
+			writeMappedError(w, code, kind, err)
+			return
+		}
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"dir":      dir,
+		"manifest": man,
+	})
+}
+
+// adminScrub runs one on-demand integrity pass. Optional query parameters:
+// heal=true compacts quarantined chunks away, maxChunks bounds the pass's
+// I/O (the next pass resumes at the cursor).
+func (h *Handler) adminScrub(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		httpError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var opts lsm.ScrubOptions
+	q := r.URL.Query()
+	opts.Heal = q.Get("heal") == "true"
+	if v := q.Get("maxChunks"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad maxChunks %q", v))
+			return
+		}
+		opts.Limits.MaxChunks = n
+	}
+	rep, err := h.engine.Scrub(opts)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
 }
 
 func (h *Handler) series(w http.ResponseWriter, _ *http.Request) {
