@@ -1,14 +1,24 @@
 GO ?= go
 FUZZTIME ?= 10s
+# Build identity injected into the binaries (m4server -version, the
+# build_info metric). Plain `go build` without these falls back to the
+# toolchain's embedded VCS stamp.
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+COMMIT  ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
+LDFLAGS := -X m4lsm/internal/buildinfo.Version=$(VERSION) -X m4lsm/internal/buildinfo.Commit=$(COMMIT)
 # COVER_FLOOR is the minimum total statement coverage `make cover` accepts.
 # Measured headroom: the suite sits around 75% with the cmd/ mains and
 # examples/ at 0%, so 70 fails on a real regression, not on noise.
 COVER_FLOOR ?= 70
 
-.PHONY: build test race race-short vet lint check cover difftest bench bench-parallel bench-shards bench-obs bench-overload bench-pyramid bench-recovery fuzz torture soak profile
+.PHONY: build install test race race-short vet lint check cover difftest bench bench-parallel bench-shards bench-obs bench-overload bench-pyramid bench-recovery bench-selfobs fuzz torture soak profile
 
 build:
-	$(GO) build ./...
+	$(GO) build -ldflags '$(LDFLAGS)' ./...
+
+# install drops versioned binaries into GOBIN.
+install:
+	$(GO) install -ldflags '$(LDFLAGS)' ./cmd/...
 
 test:
 	$(GO) test ./...
@@ -121,6 +131,12 @@ bench-pyramid:
 # segment, retirement pinned by a cold shard) vs segmented.
 bench-recovery:
 	$(GO) run ./cmd/m4bench -exp recovery -reps 3
+
+# bench-selfobs regenerates the self-observability sweep of BENCH_selfobs.json:
+# M4 query latency with the self-metrics sampler off vs hammering at 2ms,
+# plus the sampler's cardinality bound and history queryability checks.
+bench-selfobs:
+	$(GO) run ./cmd/m4bench -exp selfobs -reps 5
 
 # bench-obs regenerates the observability-overhead numbers of BENCH_obs.json
 # (instrumentation off vs metrics vs metrics+trace).

@@ -22,6 +22,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"m4lsm/internal/buildinfo"
 	"m4lsm/internal/exper"
 	"m4lsm/internal/workload"
 )
@@ -42,8 +43,13 @@ func main() {
 		nClients = flag.Int("clients", 16, "concurrent clients for the overload experiment")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("m4bench " + buildinfo.String())
+		return
+	}
 	if *faults {
 		*expFlag = "faults"
 	}
@@ -158,6 +164,13 @@ func run(out io.Writer, name string, cfg exper.Config, markdown bool, nSeries, n
 			return err
 		}
 		exper.WriteRecovery(out, exper.RecoveryTitle(), ms)
+		return nil
+	case "selfobs":
+		ms, err := exper.RunSelfObs(cfg)
+		if err != nil {
+			return err
+		}
+		exper.WriteSelfObs(out, exper.SelfObsTitle(), ms)
 		return nil
 	case "faults":
 		rows, err := exper.RunFaults(cfg, nil)

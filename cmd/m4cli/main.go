@@ -22,13 +22,19 @@ import (
 	"os"
 	"strings"
 
+	"m4lsm/internal/buildinfo"
 	"m4lsm/internal/lsm"
 	"m4lsm/internal/m4ql"
 )
 
 func main() {
 	dir := flag.String("dir", "m4db", "database directory")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println("m4cli " + buildinfo.String())
+		return
+	}
 	if flag.NArg() > 0 {
 		if err := runSubcommand(*dir, flag.Args()); err != nil {
 			log.Fatalf("m4cli: %v", err)

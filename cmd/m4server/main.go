@@ -12,7 +12,10 @@
 //	                                      one canvas
 //	GET  /metrics                         Prometheus text exposition
 //	GET  /varz                            the same registry as JSON
+//	GET  /dashboard                       self-observability charts, M4-rendered
+//	                                      from the root.sys.* metric history
 //	GET  /debug/slowlog                   slow-query ring buffer
+//	GET  /debug/events                    wide per-query event tail (JSON)
 //	POST /admin/backup?dir=<dest>         online backup into <dest>
 //	POST /admin/scrub[?heal=true]         on-demand integrity scrub pass
 //
@@ -45,6 +48,7 @@ import (
 	"syscall"
 	"time"
 
+	"m4lsm/internal/buildinfo"
 	"m4lsm/internal/lsm"
 	"m4lsm/internal/obs"
 	"m4lsm/internal/server"
@@ -72,8 +76,17 @@ func main() {
 
 		scrubEvery  = flag.Duration("scrub-interval", 0, "period of the background integrity scrubber (chunk CRCs, pyramid manifest, WAL segments; 0 disables — /admin/scrub still works on demand)")
 		walSegBytes = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = engine default)")
+
+		selfMetrics = flag.Duration("self-metrics-interval", time.Second, "period at which the metrics registry is sampled into root.sys.* series inside the engine (0 disables)")
+		eventLog    = flag.String("event-log", "", "JSONL file receiving one wide event per /query and /render ('' keeps the tail in memory only, served at /debug/events)")
+		eventBuffer = flag.Int("event-buffer", 0, "event-log channel capacity before events are dropped and counted (0 = default 256)")
+		version     = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		os.Stdout.WriteString("m4server " + buildinfo.String() + "\n")
+		return
+	}
 
 	var level slog.Level
 	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
@@ -91,19 +104,23 @@ func main() {
 		os.Exit(1)
 	}
 
+	handler := server.NewWith(engine, server.Config{
+		Logger:              logger,
+		SlowQueryThreshold:  *slowQuery,
+		QuerySlots:          *querySlots,
+		QueryQueueDepth:     *queryQueue,
+		QueryQueueWait:      *queueWait,
+		QueryTimeout:        *queryTimeout,
+		MaxChunksPerQuery:   *maxChunks,
+		MaxPointsPerQuery:   *maxPoints,
+		MaxBodyBytes:        *maxBody,
+		SelfMetricsInterval: *selfMetrics,
+		EventLogPath:        *eventLog,
+		EventLogBuffer:      *eventBuffer,
+	})
 	srv := &http.Server{
-		Addr: *addr,
-		Handler: server.NewWith(engine, server.Config{
-			Logger:             logger,
-			SlowQueryThreshold: *slowQuery,
-			QuerySlots:         *querySlots,
-			QueryQueueDepth:    *queryQueue,
-			QueryQueueWait:     *queueWait,
-			QueryTimeout:       *queryTimeout,
-			MaxChunksPerQuery:  *maxChunks,
-			MaxPointsPerQuery:  *maxPoints,
-			MaxBodyBytes:       *maxBody,
-		}),
+		Addr:    *addr,
+		Handler: handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
@@ -145,6 +162,12 @@ func main() {
 	}
 	if debugSrv != nil {
 		debugSrv.Close()
+	}
+
+	// Stop the self-metrics sampler and drain the event log before the
+	// engine goes away underneath them.
+	if err := handler.Close(); err != nil {
+		logger.Warn("close handler", "err", err)
 	}
 
 	// Close (flush memtable, release handles) exactly once, after the

@@ -1,0 +1,63 @@
+// Package buildinfo carries the binary's version identity. The Makefile
+// injects Version and Commit via -ldflags -X; binaries built with plain
+// `go build` fall back to the module version and VCS revision stamped by
+// the Go toolchain, and to "dev"/"unknown" when neither is available.
+package buildinfo
+
+import (
+	"runtime"
+	"runtime/debug"
+
+	"m4lsm/internal/obs"
+)
+
+// Overridden at link time:
+//
+//	go build -ldflags "-X m4lsm/internal/buildinfo.Version=v1.2.3 \
+//	                   -X m4lsm/internal/buildinfo.Commit=abc1234"
+var (
+	Version = ""
+	Commit  = ""
+)
+
+// Info resolves the effective version and commit, preferring the ldflags
+// values and falling back to the toolchain's embedded build info.
+func Info() (version, commit string) {
+	version, commit = Version, Commit
+	if version != "" && commit != "" {
+		return
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if version == "" && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			version = bi.Main.Version
+		}
+		if commit == "" {
+			for _, s := range bi.Settings {
+				if s.Key == "vcs.revision" {
+					commit = s.Value
+				}
+			}
+		}
+	}
+	if version == "" {
+		version = "dev"
+	}
+	if commit == "" {
+		commit = "unknown"
+	}
+	return
+}
+
+// String renders "version (commit, goVersion)" for -version flags.
+func String() string {
+	v, c := Info()
+	return v + " (" + c + ", " + runtime.Version() + ")"
+}
+
+// Register exposes the identity as the conventional build_info metric: a
+// constant-1 gauge whose labels carry the version and commit, so every
+// scrape (and the self-metrics history) records which build produced it.
+func Register(reg *obs.Registry) {
+	v, c := Info()
+	reg.Gauge("build_info", "commit", c, "version", v).Set(1)
+}

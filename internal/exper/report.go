@@ -163,9 +163,10 @@ var Titles = map[string]string{
 	"faults":    "Fault injection: graceful degradation under chunk-read faults",
 	"overload":  "Overload: admission control under concurrent slow queries",
 	"recovery":  "Recovery: replay after kill, monolithic vs segmented WAL",
+	"selfobs":   "Self-observability: sampler overhead and cardinality bound",
 }
 
 // ExpNames lists the experiments in presentation order.
 func ExpNames() []string {
-	return []string{"table2", "fig1", "fig8", "fig10", "fig11", "fig12", "fig13", "fig14", "scaling", "pyramid", "shards", "ablations", "faults", "overload", "recovery"}
+	return []string{"table2", "fig1", "fig8", "fig10", "fig11", "fig12", "fig13", "fig14", "scaling", "pyramid", "shards", "ablations", "faults", "overload", "recovery", "selfobs"}
 }

@@ -1,0 +1,238 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"m4lsm/internal/lsm"
+	"m4lsm/internal/m4"
+	"m4lsm/internal/m4lsm"
+	"m4lsm/internal/obs"
+	"m4lsm/internal/obs/history"
+	"m4lsm/internal/series"
+)
+
+// selfObsBaseSizes is the unscaled dataset sweep for the self-observability
+// overhead experiment.
+var selfObsBaseSizes = []int{1 << 16, 1 << 18, 1 << 20}
+
+// selfObsInterval is the sampling period during the "on" phase —
+// deliberately much hotter than the production default of 1s, so any
+// interference the sampler could cause is amplified, not hidden.
+const selfObsInterval = 2 * time.Millisecond
+
+// SelfObsMeasurement is one sweep point: M4 query latency over a user
+// series with the self-metrics sampler stopped vs hammering, plus the
+// sampler's own accounting for the run.
+type SelfObsMeasurement struct {
+	Points     int
+	OffLatency time.Duration
+	OnLatency  time.Duration
+
+	// SamplerTicks and SamplerPoints are how many registry walks ran and
+	// how many root.sys.* points they appended during the "on" phase.
+	SamplerTicks  int64
+	SamplerPoints int64
+
+	// SysSeries is the root.sys.* series count after warmup;
+	// SysSeriesFinal is the count after every tick. Equal values are the
+	// bounded-cardinality invariant: sampling moves values, never mints
+	// series.
+	SysSeries      int
+	SysSeriesFinal int
+
+	// SysQueryRows is the row count of an M4 query answered from a
+	// root.sys.* series — the history must be first-class queryable.
+	SysQueryRows int
+}
+
+// Overhead returns sampler-on latency / sampler-off latency.
+func (m SelfObsMeasurement) Overhead() float64 {
+	if m.OffLatency <= 0 {
+		return math.Inf(1)
+	}
+	return float64(m.OnLatency) / float64(m.OffLatency)
+}
+
+// RunSelfObs measures what dogfooding costs: the same fixed-w M4 query over
+// a user series, first with the self-metrics sampler stopped and then with
+// it sampling every 2ms into the same engine. It also checks the two
+// structural invariants — the root.sys.* series set stops growing after the
+// first tick, and the recorded history is answerable through the ordinary
+// M4 query path.
+func RunSelfObs(cfg Config) ([]SelfObsMeasurement, error) {
+	cfg = cfg.withDefaults()
+	var out []SelfObsMeasurement
+	for _, base := range selfObsBaseSizes {
+		n := pyramidSize(base, cfg.Scale)
+		dir, cleanup, err := tempDir(cfg, fmt.Sprintf("selfobs-%d", n))
+		if err != nil {
+			return nil, err
+		}
+		m, err := runSelfObsSize(cfg, n, dir)
+		cleanup()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func runSelfObsSize(cfg Config, n int, dir string) (SelfObsMeasurement, error) {
+	m := SelfObsMeasurement{Points: n, OffLatency: math.MaxInt64, OnLatency: math.MaxInt64}
+	const name = "selfobs.user"
+	reg := obs.NewRegistry()
+	e, err := lsm.Open(lsm.Options{Dir: dir, FlushThreshold: cfg.ChunkSize, DisableWAL: true, Metrics: reg})
+	if err != nil {
+		return m, err
+	}
+	defer e.Close()
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	const batch = 4096
+	buf := make([]series.Point, 0, batch)
+	v := 0.0
+	for t := 0; t < n; t++ {
+		v += rng.Float64()*2 - 1
+		buf = append(buf, series.Point{T: int64(t), V: v})
+		if len(buf) == batch {
+			if err := e.Write(name, buf...); err != nil {
+				return m, err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if err := e.Write(name, buf...); err != nil {
+			return m, err
+		}
+	}
+	if err := e.Flush(); err != nil {
+		return m, err
+	}
+
+	q := m4.Query{Tqs: 0, Tqe: int64(n), W: cfg.W}
+	measure := func() (time.Duration, error) {
+		snap, err := e.Snapshot(name, q.Range())
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		if _, err := m4lsm.ComputeWithOptions(snap, q, m4lsm.Options{Parallelism: cfg.Parallelism}); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+
+	// Off phase: sampler not running.
+	for rep := 0; rep < cfg.Reps; rep++ {
+		d, err := measure()
+		if err != nil {
+			return m, err
+		}
+		if d < m.OffLatency {
+			m.OffLatency = d
+		}
+	}
+
+	// Warm the sampler with two controlled ticks, then record the sys
+	// series population — the cardinality baseline every later tick is held
+	// to.
+	sampler := history.New(history.Config{Registry: reg, Sink: e, Interval: selfObsInterval})
+	base := time.Now()
+	if _, err := sampler.SampleOnce(base); err != nil {
+		return m, err
+	}
+	if _, err := sampler.SampleOnce(base.Add(selfObsInterval)); err != nil {
+		return m, err
+	}
+	m.SysSeries = countSysSeries(e)
+
+	// On phase: sampler hammering in the background while the same query
+	// repeats.
+	ticks0 := reg.Counter("selfmetrics_samples_total").Value()
+	points0 := reg.Counter("selfmetrics_points_total").Value()
+	sampler.Start()
+	onReps := cfg.Reps * 3 // longer phase so several ticks land mid-query
+	phaseStart := time.Now()
+	for rep := 0; ; rep++ {
+		// Keep querying past onReps until a few ticks have actually landed
+		// (small datasets finish their reps in microseconds), bounded by
+		// wall clock so a wedged sampler cannot hang the sweep.
+		if rep >= onReps {
+			ticked := reg.Counter("selfmetrics_samples_total").Value()-ticks0 >= 3
+			if ticked || time.Since(phaseStart) > 2*time.Second {
+				break
+			}
+		}
+		d, err := measure()
+		if err != nil {
+			sampler.Stop()
+			return m, err
+		}
+		if d < m.OnLatency {
+			m.OnLatency = d
+		}
+	}
+	sampler.Stop()
+	m.SamplerTicks = reg.Counter("selfmetrics_samples_total").Value() - ticks0
+	m.SamplerPoints = reg.Counter("selfmetrics_points_total").Value() - points0
+	m.SysSeriesFinal = countSysSeries(e)
+	if m.SysSeriesFinal != m.SysSeries {
+		return m, fmt.Errorf("n=%d: sys series grew %d -> %d across ticks (unbounded cardinality)", n, m.SysSeries, m.SysSeriesFinal)
+	}
+
+	// The recorded history must answer through the ordinary M4 path.
+	sysID := history.SeriesName("", "selfmetrics_samples_total", nil)
+	sq := m4.Query{Tqs: base.UnixMilli(), Tqe: time.Now().UnixMilli() + 1, W: 10}
+	snap, err := e.Snapshot(sysID, sq.Range())
+	if err != nil {
+		return m, err
+	}
+	rows, err := m4lsm.Compute(snap, sq)
+	if err != nil {
+		return m, err
+	}
+	for _, r := range rows {
+		if !r.Empty {
+			m.SysQueryRows++
+		}
+	}
+	if m.SysQueryRows == 0 {
+		return m, fmt.Errorf("n=%d: M4 over %s returned no rows", n, sysID)
+	}
+	return m, nil
+}
+
+// countSysSeries counts engine series under the system prefix.
+func countSysSeries(e *lsm.Engine) int {
+	n := 0
+	for _, id := range e.SeriesIDs() {
+		if strings.HasPrefix(id, history.DefaultPrefix) {
+			n++
+		}
+	}
+	return n
+}
+
+// SelfObsTitle names the sweep.
+func SelfObsTitle() string {
+	return fmt.Sprintf("Self-observability: sampler overhead at %s interval", selfObsInterval)
+}
+
+// WriteSelfObs renders the sweep as an aligned text table.
+func WriteSelfObs(w io.Writer, title string, ms []SelfObsMeasurement) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	fmt.Fprintf(w, "%12s %14s %14s %9s %8s %10s %10s %8s\n",
+		"points", "samplerOff", "samplerOn", "overhead", "ticks", "sysPoints", "sysSeries", "m4rows")
+	for _, m := range ms {
+		fmt.Fprintf(w, "%12d %14s %14s %8.2fx %8d %10d %10d %8d\n",
+			m.Points, m.OffLatency.Round(time.Microsecond), m.OnLatency.Round(time.Microsecond),
+			m.Overhead(), m.SamplerTicks, m.SamplerPoints, m.SysSeriesFinal, m.SysQueryRows)
+	}
+}

@@ -1,0 +1,38 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSelfObs(t *testing.T) {
+	ms, err := RunSelfObs(Config{Scale: 0.0001, ChunkSize: 100, Reps: 1, Seed: 7, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != len(selfObsBaseSizes) {
+		t.Fatalf("got %d measurements", len(ms))
+	}
+	for _, m := range ms {
+		if m.OffLatency <= 0 || m.OnLatency <= 0 {
+			t.Errorf("n=%d: latencies %v/%v", m.Points, m.OffLatency, m.OnLatency)
+		}
+		// RunSelfObs already fails on cardinality growth or an unanswerable
+		// sys series; re-assert the reported invariants here.
+		if m.SysSeries == 0 || m.SysSeriesFinal != m.SysSeries {
+			t.Errorf("n=%d: sys series %d -> %d", m.Points, m.SysSeries, m.SysSeriesFinal)
+		}
+		if m.SamplerTicks <= 0 || m.SamplerPoints <= 0 {
+			t.Errorf("n=%d: sampler never ticked during the on phase (ticks=%d points=%d)",
+				m.Points, m.SamplerTicks, m.SamplerPoints)
+		}
+		if m.SysQueryRows == 0 {
+			t.Errorf("n=%d: no M4 rows from the sys series", m.Points)
+		}
+	}
+	var buf strings.Builder
+	WriteSelfObs(&buf, SelfObsTitle(), ms)
+	if !strings.Contains(buf.String(), "samplerOn") {
+		t.Errorf("report missing column header:\n%s", buf.String())
+	}
+}

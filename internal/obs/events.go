@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"encoding/json"
+	"log/slog"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one wide query-log record: everything worth knowing about a
+// single /query or /render request in one flat structure, so "why was this
+// request slow" is answered by one grep of the JSONL file (by request id,
+// linkable from the slow-query log) instead of a join across metrics,
+// traces and access logs.
+type Event struct {
+	When      time.Time `json:"when"`
+	RequestID string    `json:"requestId,omitempty"`
+	Endpoint  string    `json:"endpoint"`
+	// Statement is the m4ql text for /query and the parameter summary for
+	// /render.
+	Statement string `json:"statement,omitempty"`
+	Status    int    `json:"status"`
+	ElapsedNs int64  `json:"elapsedNs"`
+	Operator  string `json:"operator,omitempty"`
+	Partial   bool   `json:"partial,omitempty"`
+	Warnings  int    `json:"warnings,omitempty"`
+	Error     string `json:"error,omitempty"`
+
+	// Budget spend: the query's physical cost counters (what a per-query
+	// govern budget charges against).
+	ChunksLoaded     int64 `json:"chunksLoaded,omitempty"`
+	TimeBlocksLoaded int64 `json:"timeBlocksLoaded,omitempty"`
+	BytesRead        int64 `json:"bytesRead,omitempty"`
+	PointsDecoded    int64 `json:"pointsDecoded,omitempty"`
+
+	// Cache hit/miss attribution for the loads above.
+	CacheHits   int64 `json:"cacheHits,omitempty"`
+	CacheMisses int64 `json:"cacheMisses,omitempty"`
+
+	// Rollup-pyramid attribution: cells consulted vs spans that fell back
+	// to the span×G path.
+	PyramidSpans         int64 `json:"pyramidSpans,omitempty"`
+	PyramidCells         int64 `json:"pyramidCells,omitempty"`
+	PyramidFallbackSpans int64 `json:"pyramidFallbackSpans,omitempty"`
+
+	// Trace attachment, present when the request executed with an armed
+	// trace (TRACE clause or ?trace=1): the trace id and per-phase timings.
+	TraceID string        `json:"traceId,omitempty"`
+	Phases  []PhaseTiming `json:"phases,omitempty"`
+}
+
+// EventLog is the bounded asynchronous writer behind the wide-event log.
+// Record never blocks: events go into a fixed-capacity channel drained by
+// one writer goroutine that appends JSONL to an optional file and keeps the
+// most recent events in a ring for /debug/events. When the channel is full
+// the event is dropped and counted — an overloaded query path must never
+// stall on its own telemetry.
+//
+// The nil *EventLog discards everything, so wiring is optional.
+type EventLog struct {
+	ch   chan Event
+	quit chan struct{}
+	done chan struct{}
+
+	file *os.File // nil: memory-only
+	log  *slog.Logger
+
+	mu     sync.Mutex
+	ring   []Event
+	next   int
+	filled bool
+
+	recorded   atomic.Int64
+	written    atomic.Int64
+	dropped    atomic.Int64
+	writeErrs  atomic.Int64
+	closeOnce  sync.Once
+	closedFile error
+}
+
+// NewEventLog builds the log. path names the JSONL file to append to
+// ("" keeps events in memory only); buffer is the channel capacity
+// (default 256); ringCap bounds the in-memory tail served by
+// /debug/events (default 256). The file is opened append-only so several
+// server incarnations interleave whole lines, never torn ones.
+func NewEventLog(path string, buffer, ringCap int, logger *slog.Logger) (*EventLog, error) {
+	if buffer <= 0 {
+		buffer = 256
+	}
+	if ringCap <= 0 {
+		ringCap = 256
+	}
+	if logger == nil {
+		logger = slog.Default()
+	}
+	l := &EventLog{
+		ch:   make(chan Event, buffer),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+		ring: make([]Event, ringCap),
+		log:  logger,
+	}
+	if path != "" {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		l.file = f
+	}
+	go l.run()
+	return l, nil
+}
+
+// Record enqueues one event. Never blocks: a full buffer drops the event
+// and counts it (Dropped). Safe after Close (the event is silently
+// discarded).
+func (l *EventLog) Record(e Event) {
+	if l == nil {
+		return
+	}
+	l.recorded.Add(1)
+	select {
+	case l.ch <- e:
+	default:
+		l.dropped.Add(1)
+	}
+}
+
+// run is the single writer goroutine: it drains the channel into the ring
+// and the file, and on Close drains whatever is still buffered before
+// exiting.
+func (l *EventLog) run() {
+	defer close(l.done)
+	var enc *json.Encoder
+	if l.file != nil {
+		enc = json.NewEncoder(l.file)
+	}
+	write := func(e Event) {
+		l.mu.Lock()
+		l.ring[l.next] = e
+		l.next++
+		if l.next == len(l.ring) {
+			l.next = 0
+			l.filled = true
+		}
+		l.mu.Unlock()
+		if enc != nil {
+			if err := enc.Encode(e); err != nil {
+				if l.writeErrs.Add(1) == 1 {
+					l.log.Warn("event log: write", "err", err)
+				}
+				return
+			}
+		}
+		l.written.Add(1)
+	}
+	for {
+		select {
+		case e := <-l.ch:
+			write(e)
+		case <-l.quit:
+			for {
+				select {
+				case e := <-l.ch:
+					write(e)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Recent returns the buffered tail of the log, newest first. Nil returns
+// nil.
+func (l *EventLog) Recent() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	if l.filled {
+		n = len(l.ring)
+	}
+	out := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		pos := l.next - 1 - i
+		if pos < 0 {
+			pos += len(l.ring)
+		}
+		out = append(out, l.ring[pos])
+	}
+	return out
+}
+
+// Recorded returns how many events Record accepted (including later drops).
+func (l *EventLog) Recorded() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.recorded.Load()
+}
+
+// Written returns how many events reached the ring (and file, when set).
+func (l *EventLog) Written() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.written.Load()
+}
+
+// Dropped returns how many events were discarded on a full buffer.
+func (l *EventLog) Dropped() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.dropped.Load()
+}
+
+// WriteErrors returns how many file appends failed.
+func (l *EventLog) WriteErrors() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.writeErrs.Load()
+}
+
+// Close drains the buffered events, stops the writer goroutine and closes
+// the file. Record stays safe to call afterwards (events are discarded).
+func (l *EventLog) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.closeOnce.Do(func() {
+		close(l.quit)
+		<-l.done
+		if l.file != nil {
+			l.closedFile = l.file.Close()
+		}
+	})
+	return l.closedFile
+}

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEventLogRecordCloseDrain(t *testing.T) {
+	l, err := NewEventLog("", 64, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		l.Record(Event{Endpoint: "/query", Status: 200, ElapsedNs: int64(i)})
+	}
+	// Close drains everything still buffered before stopping the writer.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Written(); got != 10 {
+		t.Errorf("Written = %d, want 10 (Close must drain)", got)
+	}
+	if got := l.Dropped(); got != 0 {
+		t.Errorf("Dropped = %d, want 0", got)
+	}
+	recent := l.Recent()
+	if len(recent) != 10 {
+		t.Fatalf("Recent returned %d events", len(recent))
+	}
+	// Newest first.
+	for i, e := range recent {
+		if want := int64(9 - i); e.ElapsedNs != want {
+			t.Errorf("Recent[%d].ElapsedNs = %d, want %d", i, e.ElapsedNs, want)
+		}
+	}
+	// Record after Close never blocks and never panics.
+	for i := 0; i < 200; i++ {
+		l.Record(Event{})
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestEventLogBoundedNeverBlocks(t *testing.T) {
+	// After Close the writer goroutine is gone, so the channel fills to its
+	// capacity and every further Record must take the drop path — a
+	// deterministic probe of the bound (the send path is the same one a slow
+	// disk would exercise).
+	l, err := NewEventLog("", 4, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			l.Record(Event{Status: i})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Record blocked on a full buffer")
+	}
+	if got := l.Dropped(); got != 100-4 {
+		t.Errorf("Dropped = %d, want %d", got, 100-4)
+	}
+	if got := l.Recorded(); got != 100 {
+		t.Errorf("Recorded = %d, want 100", got)
+	}
+}
+
+func TestEventLogRingWraps(t *testing.T) {
+	l, err := NewEventLog("", 64, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		l.Record(Event{ElapsedNs: int64(i)})
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recent := l.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("Recent returned %d events, want ring cap 4", len(recent))
+	}
+	for i, e := range recent {
+		if want := int64(9 - i); e.ElapsedNs != want {
+			t.Errorf("Recent[%d].ElapsedNs = %d, want %d", i, e.ElapsedNs, want)
+		}
+	}
+}
+
+func TestEventLogJSONLFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	l, err := NewEventLog(path, 16, 16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	when := time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC)
+	l.Record(Event{When: when, RequestID: "req-1", Endpoint: "/query",
+		Statement: "SELECT M4(*) FROM s", Status: 200, ElapsedNs: 12345,
+		Operator: "lsm", ChunksLoaded: 3, CacheHits: 2, CacheMisses: 1,
+		PyramidSpans: 7, TraceID: "tr-1",
+		Phases: []PhaseTiming{{Name: "plan", Ns: 100}}})
+	l.Record(Event{When: when.Add(time.Second), RequestID: "req-2", Endpoint: "/render", Status: 429, Error: "shed"})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var events []Event
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("file has %d events, want 2", len(events))
+	}
+	e := events[0]
+	if e.RequestID != "req-1" || e.Statement != "SELECT M4(*) FROM s" ||
+		e.ChunksLoaded != 3 || e.CacheHits != 2 || e.PyramidSpans != 7 ||
+		e.TraceID != "tr-1" || len(e.Phases) != 1 || e.Phases[0].Name != "plan" {
+		t.Errorf("round-trip mismatch: %+v", e)
+	}
+	if events[1].Status != 429 || events[1].Error != "shed" {
+		t.Errorf("second event mismatch: %+v", events[1])
+	}
+
+	// Reopening appends whole lines after the existing ones.
+	l2, err := NewEventLog(path, 16, 16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.Record(Event{RequestID: "req-3"})
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	for _, b := range data {
+		if b == '\n' {
+			lines++
+		}
+	}
+	if lines != 3 {
+		t.Errorf("file has %d lines after reopen, want 3", lines)
+	}
+}
+
+func TestEventLogNil(t *testing.T) {
+	var l *EventLog
+	l.Record(Event{})
+	if l.Recent() != nil || l.Recorded() != 0 || l.Written() != 0 || l.Dropped() != 0 || l.WriteErrors() != 0 {
+		t.Error("nil EventLog not inert")
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+}
+
+func TestEventLogConcurrentRecord(t *testing.T) {
+	l, err := NewEventLog("", 1024, 1024, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const writers, per = 8, 100
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Record(Event{Status: w, ElapsedNs: int64(i)})
+				if i%10 == 0 {
+					l.Recent()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Written() + l.Dropped(); got != writers*per {
+		t.Errorf("written+dropped = %d, want %d", got, writers*per)
+	}
+}
+
+func TestEventLogGoroutineShutdown(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		l, err := NewEventLog("", 8, 8, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Record(Event{})
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The writer goroutines must all be gone; allow scheduler noise.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+	}
+}

@@ -59,9 +59,10 @@ func (k instrKind) promType() string {
 
 // instrument is one registered metric series.
 type instrument struct {
-	name   string
-	labels string // serialized {k="v",...} or ""
-	kind   instrKind
+	name     string
+	labels   string   // serialized {k="v",...} or ""
+	labelKVs []string // the raw k1, v1, k2, v2, ... list behind labels
+	kind     instrKind
 
 	val  atomic.Int64      // counters and integer gauges
 	fn   func() float64    // func-backed counters/gauges
@@ -104,7 +105,7 @@ func (r *Registry) lookup(name string, labels []string, kind instrKind) *instrum
 	if in, ok := r.instr[key]; ok {
 		return in
 	}
-	in := &instrument{name: name, labels: ls, kind: kind}
+	in := &instrument{name: name, labels: ls, labelKVs: append([]string(nil), labels...), kind: kind}
 	if kind == kindHistogram {
 		in.hist = newHistogramBuckets(defaultBuckets)
 	}
@@ -338,19 +339,22 @@ func (r *Registry) Snapshot() map[string]interface{} {
 		case kindFuncCounter, kindFuncGauge:
 			out[key] = in.fn()
 		case kindHistogram:
-			b := in.hist
+			hs := in.hist.sample()
 			buckets := map[string]int64{}
-			cum := int64(0)
-			for i, bound := range b.bounds {
-				cum += b.counts[i].Load()
-				buckets[formatFloat(bound)] = cum
+			for i, bound := range hs.Bounds {
+				buckets[formatFloat(bound)] = hs.Counts[i]
 			}
-			cum += b.counts[len(b.bounds)].Load()
-			buckets["+Inf"] = cum
+			buckets["+Inf"] = hs.Counts[len(hs.Bounds)]
 			out[key] = map[string]interface{}{
-				"count":   b.count.Load(),
-				"sum":     math.Float64frombits(b.sumBits.Load()),
+				"count":   hs.Count,
+				"sum":     hs.Sum,
 				"buckets": buckets,
+				// Estimated quantiles (see HistogramSample.Quantile): fixed
+				// buckets resolve these well enough for dashboards, and
+				// surfacing them here saves every scraper the arithmetic.
+				"p50": hs.Quantile(0.50),
+				"p95": hs.Quantile(0.95),
+				"p99": hs.Quantile(0.99),
 			}
 		}
 	}

@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestQuantileInterpolation(t *testing.T) {
+	// Ten observations, all inside the (1,2] bucket: quantiles interpolate
+	// linearly across that bucket.
+	h := &HistogramSample{Bounds: []float64{1, 2, 3}, Counts: []int64{0, 10, 10, 10}, Count: 10}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 1.5},
+		{0.1, 1.1},
+		{1, 2},
+		{-0.5, 1}, // clamps to q=0; rank 0 resolves at the bucket's lower edge
+		{1.5, 2},  // clamps to q=1
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestQuantileFirstBucketFromZero(t *testing.T) {
+	// Observations in the first bucket interpolate from 0, not from the
+	// bound itself.
+	h := &HistogramSample{Bounds: []float64{4, 8}, Counts: []int64{10, 10, 10}, Count: 10}
+	if got := h.Quantile(0.5); math.Abs(got-2) > 1e-9 {
+		t.Errorf("first-bucket Quantile(0.5) = %g, want 2", got)
+	}
+}
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	// Empty histograms report 0 — the value is JSON-encoded in /varz, so it
+	// must never be NaN.
+	var nilH *HistogramSample
+	if got := nilH.Quantile(0.99); got != 0 {
+		t.Errorf("nil Quantile = %g, want 0", got)
+	}
+	empty := &HistogramSample{Bounds: []float64{1, 2}, Counts: []int64{0, 0, 0}}
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Errorf("empty Quantile = %g, want 0", got)
+	}
+	r := NewRegistry()
+	if got := r.Histogram("never_observed_seconds").Quantile(0.5); got != 0 {
+		t.Errorf("fresh histogram Quantile = %g, want 0", got)
+	}
+	var nilHist *Histogram
+	if got := nilHist.Quantile(0.5); got != 0 {
+		t.Errorf("nil *Histogram Quantile = %g, want 0", got)
+	}
+}
+
+func TestQuantileOverflowBucket(t *testing.T) {
+	// Every observation beyond the last bound: the histogram cannot resolve
+	// past its highest finite bound, so that bound is the estimate.
+	h := &HistogramSample{Bounds: []float64{1, 2}, Counts: []int64{0, 0, 5}, Count: 5}
+	if got := h.Quantile(0.99); got != 2 {
+		t.Errorf("overflow Quantile = %g, want 2", got)
+	}
+	// Mixed: p50 resolves in a finite bucket, p99 in the overflow.
+	r := NewRegistry()
+	reg := r.Histogram("mixed_seconds")
+	for i := 0; i < 9; i++ {
+		reg.Observe(0.001) // le=0.0032 bucket
+	}
+	reg.Observe(1e6) // +Inf
+	qs := reg.Quantiles(0.50, 0.99)
+	if qs[0] <= 0.0008 || qs[0] > 0.0032 {
+		t.Errorf("p50 = %g, want inside (0.0008, 0.0032]", qs[0])
+	}
+	if qs[1] != 13.1072 {
+		t.Errorf("p99 = %g, want highest finite bound 13.1072", qs[1])
+	}
+}
+
+func TestRegistrySamplesDeterministic(t *testing.T) {
+	// Two registries populated in different orders produce identical sample
+	// walks and identical Prometheus expositions — the property the history
+	// sampler and scrape diffing rely on.
+	build := func(seed int64) *Registry {
+		r := NewRegistry()
+		type reg func(r *Registry)
+		regs := []reg{
+			func(r *Registry) { r.Counter("zz_total").Add(1) },
+			func(r *Registry) { r.Counter("aa_total", "endpoint", "/query").Add(2) },
+			func(r *Registry) { r.Counter("aa_total", "endpoint", "/render").Add(3) },
+			func(r *Registry) { r.Gauge("mm_points").Set(4) },
+			func(r *Registry) { r.Histogram("hh_seconds", "op", "lsm").Observe(0.01) },
+			func(r *Registry) { r.GaugeFunc("ff_bytes", func() float64 { return 5 }) },
+		}
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(regs), func(i, j int) { regs[i], regs[j] = regs[j], regs[i] })
+		for _, f := range regs {
+			f(r)
+		}
+		return r
+	}
+	a, b := build(1), build(99)
+	var sa, sb strings.Builder
+	if err := a.WritePrometheus(&sa); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sa.String() != sb.String() {
+		t.Errorf("exposition depends on registration order:\n--- a ---\n%s--- b ---\n%s", sa.String(), sb.String())
+	}
+
+	var prev string
+	for i, s := range a.Samples() {
+		key := s.Name + "\x00" + strings.Join(s.Labels, ",")
+		if i > 0 && key < prev {
+			t.Errorf("Samples out of order: %q after %q", key, prev)
+		}
+		prev = key
+	}
+}
+
+func TestSamplesKindsAndValues(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total").Add(7)
+	r.Gauge("g").Set(-3)
+	r.CounterFunc("cf_total", func() float64 { return 11 })
+	r.GaugeFunc("gf", func() float64 { return 13 })
+	r.Histogram("h_seconds").Observe(0.01)
+
+	byName := map[string]Sample{}
+	for _, s := range r.Samples() {
+		byName[s.Name] = s
+	}
+	for name, want := range map[string]struct {
+		kind SampleKind
+		val  float64
+	}{
+		"c_total":  {SampleCounter, 7},
+		"g":        {SampleGauge, -3},
+		"cf_total": {SampleCounter, 11},
+		"gf":       {SampleGauge, 13},
+	} {
+		s, ok := byName[name]
+		if !ok {
+			t.Fatalf("Samples missing %s", name)
+		}
+		if s.Kind != want.kind || s.Value != want.val {
+			t.Errorf("%s: kind=%d value=%g, want kind=%d value=%g", name, s.Kind, s.Value, want.kind, want.val)
+		}
+	}
+	h := byName["h_seconds"]
+	if h.Kind != SampleHistogram || h.Hist == nil {
+		t.Fatalf("h_seconds sample: %+v", h)
+	}
+	if h.Hist.Count != 1 || h.Hist.Sum != 0.01 {
+		t.Errorf("histogram sample count=%d sum=%g", h.Hist.Count, h.Hist.Sum)
+	}
+	if h.Hist.Counts[len(h.Hist.Counts)-1] != 1 {
+		t.Errorf("cumulative overflow bucket = %d, want 1", h.Hist.Counts[len(h.Hist.Counts)-1])
+	}
+	var nilReg *Registry
+	if nilReg.Samples() != nil {
+		t.Error("nil registry Samples not nil")
+	}
+}
+
+// TestRegistryHammer races writers minting instruments from a fixed
+// vocabulary against readers scraping all three expositions; -race is the
+// assertion.
+func TestRegistryHammer(t *testing.T) {
+	r := NewRegistry()
+	endpoints := []string{"/query", "/render", "/metrics", "/varz"}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				ep := endpoints[(i+w)%len(endpoints)]
+				r.Counter("http_requests_total", "endpoint", ep).Inc()
+				r.Histogram("http_request_seconds", "endpoint", ep).Observe(float64(i) / 1e5)
+				r.Gauge("inflight", "endpoint", ep).Add(1)
+			}
+		}(w)
+	}
+	for rd := 0; rd < 3; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var sb strings.Builder
+				if err := r.WritePrometheus(&sb); err != nil {
+					t.Error(err)
+					return
+				}
+				r.Snapshot()
+				for _, s := range r.Samples() {
+					if s.Kind == SampleHistogram {
+						s.Hist.Quantile(0.99)
+					}
+				}
+			}
+		}()
+	}
+	// Writers finish first; then release the readers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wg.Wait()
+	}()
+	// Wait for the 4 writer goroutines by counting totals.
+	for {
+		total := int64(0)
+		for _, ep := range endpoints {
+			total += r.Counter("http_requests_total", "endpoint", ep).Value()
+		}
+		if total == 4*500 {
+			break
+		}
+	}
+	close(stop)
+	<-done
+}

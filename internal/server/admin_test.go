@@ -137,9 +137,11 @@ func TestHealthzTornWALWarning(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(New(e2))
+	h := New(e2)
+	srv := httptest.NewServer(h)
 	t.Cleanup(func() {
 		srv.Close()
+		h.Close()
 		e2.Close()
 	})
 	var body map[string]interface{}
@@ -188,9 +190,11 @@ func TestHealthzDegradedOnQuarantinedWALSegment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(New(e2))
+	h := New(e2)
+	srv := httptest.NewServer(h)
 	t.Cleanup(func() {
 		srv.Close()
+		h.Close()
 		e2.Close()
 	})
 	var body map[string]interface{}

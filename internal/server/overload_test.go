@@ -71,9 +71,11 @@ func newGatedServer(t *testing.T, cfg Config, wrap func(storage.ChunkSource) sto
 		}
 	}
 	e.Flush()
-	srv := httptest.NewServer(NewWith(e, cfg))
+	h := NewWith(e, cfg)
+	srv := httptest.NewServer(h)
 	t.Cleanup(func() {
 		srv.Close()
+		h.Close()
 		e.Close()
 	})
 	return srv
@@ -320,9 +322,11 @@ func TestHealthzReadOnly(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		e.Write("root.s1", series.Point{T: int64(i), V: float64(i % 7)})
 	}
-	srv := httptest.NewServer(New(e))
+	h := New(e)
+	srv := httptest.NewServer(h)
 	t.Cleanup(func() {
 		srv.Close()
+		h.Close()
 		diskFull.Store(false) // let Close flush cleanly
 		e.Close()
 	})

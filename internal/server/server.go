@@ -18,12 +18,14 @@ import (
 	"strings"
 	"time"
 
+	"m4lsm/internal/buildinfo"
 	"m4lsm/internal/govern"
 	"m4lsm/internal/lsm"
 	"m4lsm/internal/m4"
 	"m4lsm/internal/m4lsm"
 	"m4lsm/internal/m4ql"
 	"m4lsm/internal/obs"
+	"m4lsm/internal/obs/history"
 	"m4lsm/internal/series"
 	"m4lsm/internal/storage"
 	"m4lsm/internal/viz"
@@ -66,6 +68,23 @@ type Config struct {
 	// MaxBodyBytes bounds request bodies (default 1 MiB). Oversized or
 	// malformed bodies answer 400, never a 500.
 	MaxBodyBytes int64
+
+	// SelfMetricsInterval enables the self-observability sampler: every
+	// interval the metrics registry is walked and appended as root.sys.*
+	// series into the engine itself (queryable via m4ql, rendered by
+	// /dashboard). 0 disables sampling; a negative interval builds the
+	// sampler without starting it, for tests that drive SampleOnce with a
+	// controlled clock.
+	SelfMetricsInterval time.Duration
+
+	// EventLogPath, when set, appends one JSONL wide event per /query and
+	// /render request to this file. The in-memory tail behind /debug/events
+	// is kept either way.
+	EventLogPath string
+	// EventLogBuffer is the bounded async event channel capacity (default
+	// 256); a full buffer drops events and counts them, never blocking the
+	// query path.
+	EventLogBuffer int
 }
 
 // Handler serves the HTTP API for one engine.
@@ -80,6 +99,9 @@ type Handler struct {
 	gate    *govern.Gate  // nil: admission control off
 	limits  govern.Limits // default per-query budget (zero: unbudgeted)
 	maxBody int64
+
+	events  *obs.EventLog    // wide-event query log (always on)
+	sampler *history.Sampler // nil: self-metrics off
 
 	renderPartial *obs.Counter
 }
@@ -131,18 +153,65 @@ func NewWith(e *lsm.Engine, cfg Config) *Handler {
 	reg.CounterFunc("http_shed_total", func() float64 { return float64(h.gate.Shed()) })
 	reg.GaugeFunc("http_query_inflight", func() float64 { return float64(h.gate.InFlight()) })
 	reg.GaugeFunc("http_query_waiting", func() float64 { return float64(h.gate.Waiting()) })
+	buildinfo.Register(reg)
+
+	events, err := obs.NewEventLog(cfg.EventLogPath, cfg.EventLogBuffer, cfg.EventLogBuffer, logger)
+	if err != nil {
+		// The event file is telemetry, not correctness: a bad path degrades
+		// to the in-memory tail instead of refusing to serve.
+		logger.Warn("event log file unavailable, keeping events in memory only",
+			"path", cfg.EventLogPath, "err", err)
+		events, _ = obs.NewEventLog("", cfg.EventLogBuffer, cfg.EventLogBuffer, logger)
+	}
+	h.events = events
+	reg.CounterFunc("events_recorded_total", func() float64 { return float64(h.events.Recorded()) })
+	reg.CounterFunc("events_written_total", func() float64 { return float64(h.events.Written()) })
+	reg.CounterFunc("events_dropped_total", func() float64 { return float64(h.events.Dropped()) })
+	reg.CounterFunc("events_write_errors_total", func() float64 { return float64(h.events.WriteErrors()) })
+
+	if cfg.SelfMetricsInterval != 0 {
+		h.sampler = history.New(history.Config{
+			Registry: reg,
+			Sink:     e,
+			Interval: cfg.SelfMetricsInterval,
+			Logger:   logger,
+		})
+		if cfg.SelfMetricsInterval > 0 {
+			h.sampler.Start()
+		}
+	}
+
 	h.handle("/", h.ui)
 	h.handle("/healthz", h.health)
 	h.handle("/series", h.series)
 	h.handle("/query", h.gated(h.query))
 	h.handle("/render", h.gated(h.render))
+	h.handle("/dashboard", h.dashboard)
 	h.handle("/metrics", h.metrics)
 	h.handle("/varz", h.varz)
 	h.handle("/debug/slowlog", h.slowlog)
+	h.handle("/debug/events", h.debugEvents)
 	h.handle("/admin/backup", h.adminBackup)
 	h.handle("/admin/scrub", h.adminScrub)
 	return h
 }
+
+// Close stops the handler's background machinery: the self-metrics sampler
+// (if any) and the wide-event writer, draining buffered events to the log
+// file. The engine is not closed — the caller owns it. Idempotent.
+func (h *Handler) Close() error {
+	if h.sampler != nil {
+		h.sampler.Stop()
+	}
+	return h.events.Close()
+}
+
+// Sampler returns the self-metrics sampler (nil when disabled); tests and
+// the exper sweep drive SampleOnce directly through it.
+func (h *Handler) Sampler() *history.Sampler { return h.sampler }
+
+// Events returns the wide-event log.
+func (h *Handler) Events() *obs.EventLog { return h.events }
 
 // gated wraps a query-class endpoint with admission control and the default
 // per-query budget. Introspection endpoints (health, metrics, slowlog) stay
@@ -153,7 +222,14 @@ func (h *Handler) gated(fn http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		release, err := h.gate.Acquire(r.Context())
 		if err != nil {
+			// Rejected before the endpoint ran: the endpoint cannot emit its
+			// wide event, so the gate does — every query-class request
+			// produces exactly one event, shed or served.
+			ev := obs.Event{When: time.Now(), Endpoint: r.URL.Path,
+				RequestID: w.Header().Get("X-Request-ID"), Error: err.Error()}
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				ev.Status = http.StatusServiceUnavailable
+				h.events.Record(ev)
 				httpError(w, http.StatusServiceUnavailable, err)
 				return
 			}
@@ -164,6 +240,8 @@ func (h *Handler) gated(fn http.HandlerFunc) http.HandlerFunc {
 			}
 			w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
 			w.Header().Set("X-M4-Error", "overloaded")
+			ev.Status = http.StatusTooManyRequests
+			h.events.Record(ev)
 			httpError(w, http.StatusTooManyRequests, err)
 			return
 		}
@@ -278,25 +356,6 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 	}
 }
 
-// buildInfo reports the main module version and VCS revision when the
-// binary was built from a module-aware checkout ("unknown" otherwise).
-func buildInfo() (version, revision string) {
-	version, revision = "unknown", "unknown"
-	bi, ok := debug.ReadBuildInfo()
-	if !ok {
-		return
-	}
-	if bi.Main.Version != "" {
-		version = bi.Main.Version
-	}
-	for _, s := range bi.Settings {
-		if s.Key == "vcs.revision" {
-			revision = s.Value
-		}
-	}
-	return
-}
-
 func (h *Handler) health(w http.ResponseWriter, _ *http.Request) {
 	info := h.engine.Info()
 	status := "ok"
@@ -308,7 +367,7 @@ func (h *Handler) health(w http.ResponseWriter, _ *http.Request) {
 		// refused until the engine's space probe sees room again.
 		status = "read-only"
 	}
-	version, revision := buildInfo()
+	version, revision := buildinfo.Info()
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"status":            status,
 		"files":             info.Files,
@@ -418,11 +477,30 @@ func (h *Handler) varz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, h.reg.Snapshot())
 }
 
-// slowlog renders the slow-query ring buffer, newest first.
+// slowlog renders the slow-query ring buffer, newest first. The header
+// carries the estimated p50/p95/p99 of the /query latency histogram so an
+// operator sees "slow relative to what" next to the outliers; entries link
+// into /debug/events by request id.
 func (h *Handler) slowlog(w http.ResponseWriter, _ *http.Request) {
+	qs := h.reg.Histogram("http_request_seconds", "endpoint", "/query").Quantiles(0.50, 0.95, 0.99)
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"thresholdNs": h.slowLog.Threshold().Nanoseconds(),
-		"entries":     h.slowLog.Entries(),
+		"latencySeconds": map[string]float64{
+			"p50": qs[0], "p95": qs[1], "p99": qs[2],
+		},
+		"entries": h.slowLog.Entries(),
+	})
+}
+
+// debugEvents renders the in-memory tail of the wide-event query log,
+// newest first, with the writer's accounting (a non-zero dropped count
+// means the JSONL file has holes — the buffer is bounded by design).
+func (h *Handler) debugEvents(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"recorded": h.events.Recorded(),
+		"written":  h.events.Written(),
+		"dropped":  h.events.Dropped(),
+		"events":   h.events.Recent(),
 	})
 }
 
@@ -431,7 +509,33 @@ func (h *Handler) slowlog(w http.ResponseWriter, _ *http.Request) {
 // TRACE clause in the statement) attaches a structured execution trace to
 // the result. The request context cancels the query when the client
 // disconnects; every execution is considered for the slow-query log.
+// finishEvent stamps the response status and elapsed time onto a wide
+// event and records it; deferred by the query-class endpoints so exactly
+// one event leaves per request, whatever path the handler took.
+func (h *Handler) finishEvent(w http.ResponseWriter, ev *obs.Event) {
+	ev.ElapsedNs = time.Since(ev.When).Nanoseconds()
+	if sw, ok := w.(*statusWriter); ok {
+		ev.Status = sw.code
+	}
+	h.events.Record(*ev)
+}
+
+// eventStats copies a query's cost counters into its wide event.
+func eventStats(ev *obs.Event, s storage.Stats) {
+	ev.ChunksLoaded = s.ChunksLoaded
+	ev.TimeBlocksLoaded = s.TimeBlocksLoaded
+	ev.BytesRead = s.BytesRead
+	ev.PointsDecoded = s.PointsDecoded
+	ev.CacheHits = s.CacheHits
+	ev.CacheMisses = s.CacheMisses
+	ev.PyramidSpans = s.PyramidSpans
+	ev.PyramidCells = s.PyramidCells
+	ev.PyramidFallbackSpans = s.PyramidFallbackSpans
+}
+
 func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
+	ev := &obs.Event{When: time.Now(), Endpoint: "/query", RequestID: w.Header().Get("X-Request-ID")}
+	defer h.finishEvent(w, ev)
 	var q string
 	switch r.Method {
 	case http.MethodGet:
@@ -459,6 +563,7 @@ func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("missing query"))
 		return
 	}
+	ev.Statement = q
 	ctx := r.Context()
 	if traceOn(r.URL.Query().Get("trace")) {
 		ctx, _ = obs.WithTrace(ctx)
@@ -474,6 +579,7 @@ func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		entry.Error = err.Error()
+		ev.Error = err.Error()
 		if code, kind := mapQueryError(err); code != 0 {
 			entry.Status = code
 			h.slowLog.Record(entry)
@@ -488,6 +594,14 @@ func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 	entry.Status = http.StatusOK
 	entry.Partial = res.Partial
 	h.slowLog.Record(entry)
+	ev.Operator = res.Operator
+	ev.Partial = res.Partial
+	ev.Warnings = len(res.Warnings)
+	eventStats(ev, res.Stats)
+	if res.Trace != nil {
+		ev.TraceID = res.Trace.ID
+		ev.Phases = res.Trace.Phases
+	}
 	if res.Partial {
 		obs.Logger(ctx).Warn("partial query result", "warnings", len(res.Warnings))
 	}
@@ -541,7 +655,11 @@ func (h *Handler) expandSeriesParam(param string) ([]string, error) {
 // X-M4-Partial header counting the warnings, and render_partial_total is
 // incremented.
 func (h *Handler) render(w http.ResponseWriter, r *http.Request) {
+	ev := &obs.Event{When: time.Now(), Endpoint: "/render", RequestID: w.Header().Get("X-Request-ID")}
+	defer h.finishEvent(w, ev)
 	params := r.URL.Query()
+	ev.Statement = "series=" + params.Get("series") + " tqs=" + params.Get("tqs") +
+		" tqe=" + params.Get("tqe") + " w=" + params.Get("w") + " h=" + params.Get("h")
 	seriesParam := params.Get("series")
 	if seriesParam == "" {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("missing series parameter"))
@@ -595,7 +713,14 @@ func (h *Handler) render(w http.ResponseWriter, r *http.Request) {
 		Metrics: h.reg,
 		Budget:  govern.NewBudget(govern.LimitsOf(r.Context())),
 	})
+	var cost storage.Stats
+	for _, snap := range snaps {
+		cost.Add(snap.Stats.Load())
+	}
+	ev.Operator = "lsm"
+	eventStats(ev, cost)
 	if err != nil {
+		ev.Error = err.Error()
 		if code, kind := mapQueryError(err); code != 0 {
 			writeMappedError(w, code, kind, err)
 			return
@@ -621,6 +746,8 @@ func (h *Handler) render(w http.ResponseWriter, r *http.Request) {
 	if warnings > 0 {
 		w.Header().Set("X-M4-Partial", strconv.Itoa(warnings))
 		h.renderPartial.Inc()
+		ev.Partial = true
+		ev.Warnings = warnings
 		obs.Logger(r.Context()).Warn("partial render", "series", seriesParam, "warnings", warnings)
 	}
 	w.Header().Set("Content-Type", "image/png")

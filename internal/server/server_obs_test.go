@@ -56,8 +56,9 @@ func TestHealthDegraded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(New(e))
-	t.Cleanup(func() { srv.Close(); e.Close() })
+	h := New(e)
+	srv := httptest.NewServer(h)
+	t.Cleanup(func() { srv.Close(); h.Close(); e.Close() })
 	var body map[string]interface{}
 	if code := getJSON(t, srv.URL+"/healthz", &body); code != 200 {
 		t.Fatalf("status %d", code)
@@ -213,8 +214,9 @@ func TestSlowlog(t *testing.T) {
 	}
 	e.Flush()
 	// Negative threshold records every query.
-	srv := httptest.NewServer(NewWith(e, Config{SlowQueryThreshold: -1}))
-	t.Cleanup(func() { srv.Close(); e.Close() })
+	h := NewWith(e, Config{SlowQueryThreshold: -1})
+	srv := httptest.NewServer(h)
+	t.Cleanup(func() { srv.Close(); h.Close(); e.Close() })
 
 	q := "SELECT M4(*) FROM root.s1 WHERE time >= 0 AND time < 1000 GROUP BY SPANS(2)"
 	if code := getJSON(t, srv.URL+"/query?q="+urlQuery(q), nil); code != 200 {
@@ -298,8 +300,9 @@ func TestRenderPartial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(New(e))
-	t.Cleanup(func() { srv.Close(); e.Close() })
+	h := New(e)
+	srv := httptest.NewServer(h)
+	t.Cleanup(func() { srv.Close(); h.Close(); e.Close() })
 
 	resp, err := http.Get(srv.URL + "/render?series=root.s1&tqs=0&tqe=3000&w=50&h=40")
 	if err != nil {

@@ -27,9 +27,11 @@ func newServer(t *testing.T) *httptest.Server {
 		e.Write("root.s1", series.Point{T: int64(i * 10), V: float64((i * 7) % 50)})
 	}
 	e.Flush()
-	srv := httptest.NewServer(New(e))
+	h := New(e)
+	srv := httptest.NewServer(h)
 	t.Cleanup(func() {
 		srv.Close()
+		h.Close()
 		e.Close()
 	})
 	return srv
@@ -203,9 +205,11 @@ func TestRenderMultiSeries(t *testing.T) {
 		e.Write("root.b", series.Point{T: int64(i * 10), V: float64(100 + i%13)})
 	}
 	e.Flush()
-	srv := httptest.NewServer(New(e))
+	h := New(e)
+	srv := httptest.NewServer(h)
 	t.Cleanup(func() {
 		srv.Close()
+		h.Close()
 		e.Close()
 	})
 	decode := func(url string) image.Image {

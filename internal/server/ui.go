@@ -40,7 +40,7 @@ line charts).</p>
 </table>
 <p>API: <code>/series</code>, <code>/query?q=&lt;m4ql&gt;</code>,
 <code>/render?series=&amp;tqs=&amp;tqe=&amp;w=&amp;h=</code>,
-<code>/healthz</code></p>
+<code>/healthz</code> · <a href="/dashboard">self-observability dashboard</a></p>
 </body>
 </html>
 `))
