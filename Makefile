@@ -11,7 +11,7 @@ LDFLAGS := -X m4lsm/internal/buildinfo.Version=$(VERSION) -X m4lsm/internal/buil
 # examples/ at 0%, so 70 fails on a real regression, not on noise.
 COVER_FLOOR ?= 70
 
-.PHONY: build install test race race-short vet lint check cover difftest bench bench-parallel bench-shards bench-obs bench-overload bench-pyramid bench-recovery bench-selfobs fuzz torture soak profile
+.PHONY: build install test race race-short vet lint check cover difftest bench bench-parallel bench-shards bench-obs bench-overload bench-pyramid bench-recovery bench-repr bench-selfobs fuzz torture soak profile
 
 build:
 	$(GO) build -ldflags '$(LDFLAGS)' ./...
@@ -67,10 +67,12 @@ soak:
 		./internal/server ./internal/lsm ./internal/m4lsm ./internal/m4ql ./internal/govern
 
 # fuzz exercises the crash-recovery parsers (WAL payloads, chunk-file
-# footers, record logs). Go allows one -fuzz target per invocation, so each
-# runs separately for FUZZTIME (the seed corpus also runs in plain `make
+# footers, record logs) and the m4ql parser including the REPRESENT
+# clause. Go allows one -fuzz target per invocation, so each runs
+# separately for FUZZTIME (the seed corpus also runs in plain `make
 # test`).
 fuzz:
+	$(GO) test ./internal/m4ql -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/lsm -run '^$$' -fuzz '^FuzzDecodeInsert$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/lsm -run '^$$' -fuzz '^FuzzDecodeWALDelete$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/lsm -run '^$$' -fuzz '^FuzzBackupManifest$$' -fuzztime $(FUZZTIME)
@@ -125,6 +127,13 @@ bench-overload:
 # pyramid on vs off.
 bench-pyramid:
 	$(GO) run ./cmd/m4bench -exp pyramid -reps 5
+
+# bench-repr regenerates the representation-operator sweep of
+# BENCH_repr.json: quality (pixel error, DSSIM vs the full-series raster)
+# versus cost (latency, chunk loads) for M4, MinMax, LTTB and MinMaxLTTB
+# across dashboard span counts, plus the MinMax zero-chunk pyramid check.
+bench-repr:
+	$(GO) run ./cmd/m4bench -exp repr -reps 5
 
 # bench-recovery regenerates the crash-recovery sweep of BENCH_recovery.json:
 # reopen time and replayed WAL bytes after a kill, monolithic (one huge

@@ -158,6 +158,17 @@ func run(out io.Writer, name string, cfg exper.Config, markdown bool, nSeries, n
 		}
 		exper.WritePyramid(out, exper.PyramidTitle(), ms)
 		return nil
+	case "repr":
+		rows, err := exper.RunRepr(cfg)
+		if err != nil {
+			return err
+		}
+		check, err := exper.RunReprPyramid(cfg)
+		if err != nil {
+			return err
+		}
+		exper.WriteRepr(out, exper.ReprTitle(), rows, check)
+		return nil
 	case "recovery":
 		ms, err := exper.RunRecovery(cfg)
 		if err != nil {

@@ -92,6 +92,11 @@ type Case struct {
 	dir    string
 	ids    []string
 	tMax   int64
+	// value draws the value for a write at timestamp t. The default is
+	// coarsely quantized (ties stress the operators' representative-point
+	// selection); GenerateRepr swaps in an injective t→v mapping so
+	// bit-for-bit representation comparisons are well-defined.
+	value func(rng *rand.Rand, t int64) float64
 }
 
 // opKind is the per-step action distribution.
@@ -110,6 +115,10 @@ const (
 // close-and-reopen cycles (reopening sometimes changes the shard count, so
 // shard-tagged WAL replay across resharding is exercised constantly).
 func Generate(seed int64, dir string) (*Case, error) {
+	return generate(seed, dir, false)
+}
+
+func generate(seed int64, dir string, tieFree bool) (*Case, error) {
 	rng := rand.New(rand.NewSource(seed))
 	c := &Case{
 		Seed:   seed,
@@ -117,6 +126,12 @@ func Generate(seed int64, dir string) (*Case, error) {
 		Oracle: Oracle{},
 		dir:    dir,
 		tMax:   int64(200 + rng.Intn(800)),
+		value: func(rng *rand.Rand, t int64) float64 {
+			return float64(rng.Intn(1000)) / 10
+		},
+	}
+	if tieFree {
+		c.value = tieFreeValue(c.tMax)
 	}
 	nSeries := 1 + rng.Intn(4)
 	for s := 0; s < nSeries; s++ {
@@ -160,7 +175,8 @@ func (c *Case) step(rng *rand.Rand) error {
 		n := 1 + rng.Intn(12)
 		pts := make([]series.Point, n)
 		for i := range pts {
-			pts[i] = series.Point{T: rng.Int63n(c.tMax), V: float64(rng.Intn(1000)) / 10}
+			t := rng.Int63n(c.tMax)
+			pts[i] = series.Point{T: t, V: c.value(rng, t)}
 		}
 		if err := c.engine.Write(id, pts...); err != nil {
 			return err
@@ -178,7 +194,7 @@ func (c *Case) step(rng *rand.Rand) error {
 		pts := make([]series.Point, 0, n)
 		for i := 0; i < n; i++ {
 			t := existing[rng.Intn(len(existing))].T
-			pts = append(pts, series.Point{T: t, V: float64(rng.Intn(1000)) / 10})
+			pts = append(pts, series.Point{T: t, V: c.value(rng, t)})
 		}
 		if err := c.engine.Write(id, pts...); err != nil {
 			return err

@@ -181,7 +181,8 @@ func TestRunFig1(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 4 {
+	// One row per technique: M4, MinMax, LTTB, MinMaxLTTB, Sampling, PAA.
+	if len(rows) != 6 {
 		t.Fatalf("rows = %d", len(rows))
 	}
 	for _, r := range rows {

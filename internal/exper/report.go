@@ -158,6 +158,7 @@ var Titles = map[string]string{
 	"fig14":     "Figure 14: varying delete time range",
 	"scaling":   "Scaling: varying worker parallelism",
 	"pyramid":   "Pyramid: data size vs latency at fixed w",
+	"repr":      "Representation operators: quality vs cost across w",
 	"shards":    "Sharding: shard count vs write throughput and wildcard query",
 	"ablations": "Ablations: M4-LSM design choices",
 	"faults":    "Fault injection: graceful degradation under chunk-read faults",
@@ -168,5 +169,5 @@ var Titles = map[string]string{
 
 // ExpNames lists the experiments in presentation order.
 func ExpNames() []string {
-	return []string{"table2", "fig1", "fig8", "fig10", "fig11", "fig12", "fig13", "fig14", "scaling", "pyramid", "shards", "ablations", "faults", "overload", "recovery", "selfobs"}
+	return []string{"table2", "fig1", "fig8", "fig10", "fig11", "fig12", "fig13", "fig14", "scaling", "pyramid", "repr", "shards", "ablations", "faults", "overload", "recovery", "selfobs"}
 }

@@ -18,6 +18,16 @@ func ComputeMulti(snaps []*storage.Snapshot, q m4.Query) ([][]m4.Aggregate, erro
 	return ComputeMultiContext(context.Background(), snaps, q, Options{})
 }
 
+// Rest-wave kind lists: which representation functions run in wave 2 after
+// FP proves span liveness. M4 needs all three; MinMax needs only the value
+// extremes (FP still runs in wave 1 — it is the metadata-cheap emptiness
+// prover and the substitution source for degraded reads — but its point is
+// not part of the MinMax output).
+var (
+	restM4     = []gKind{gLP, gBP, gTP}
+	restMinMax = []gKind{gBP, gTP}
+)
+
 // ComputeMultiContext evaluates one M4 query over several series' snapshots
 // as a single batch: the series×span×G tasks of every series feed one shared
 // worker pool, so a fleet-style dashboard query (one chart per sensor) costs
@@ -30,6 +40,16 @@ func ComputeMulti(snaps []*storage.Snapshot, q m4.Query) ([][]m4.Aggregate, erro
 // The single-series ComputeContext is this batch with one plan, so there is
 // exactly one candidate-loop implementation to keep correct.
 func ComputeMultiContext(ctx context.Context, snaps []*storage.Snapshot, q m4.Query, opts Options) ([][]m4.Aggregate, error) {
+	return computeMultiKinds(ctx, snaps, q, opts, restM4, "lsm")
+}
+
+// computeMultiKinds is the span×G task machinery shared by every span-based
+// representation operator: the rest list selects which functions wave 2
+// computes per live span (M4 passes restM4, MinMax passes restMinMax), and
+// label names the operator in metrics and traces. Aggregate fields whose
+// kind is not in rest are filled with the span's FP, so downstream reducers
+// read only the fields their representation defines.
+func computeMultiKinds(ctx context.Context, snaps []*storage.Snapshot, q m4.Query, opts Options, rest []gKind, label string) ([][]m4.Aggregate, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -37,7 +57,7 @@ func ComputeMultiContext(ctx context.Context, snaps []*storage.Snapshot, q m4.Qu
 		return nil, nil
 	}
 	tr := obs.TraceOf(ctx)
-	met := obs.NewOperatorMetrics(opts.Metrics, "lsm")
+	met := obs.NewOperatorMetrics(opts.Metrics, label)
 	instrumented := tr != nil || met != nil
 	var start, phaseStart time.Time
 	if instrumented {
@@ -126,9 +146,10 @@ func ComputeMultiContext(ctx context.Context, snaps []*storage.Snapshot, q m4.Qu
 		}
 	}
 
-	// Wave 2: LP/BP/TP for every live span of every series, one pool.
-	const restCount = gCount - 1
-	type restRef struct{ plan, j, kind int } // j indexes plan.live
+	// Wave 2: the representation's rest kinds (LP/BP/TP for M4, BP/TP for
+	// MinMax) for every live span of every series, one pool.
+	restCount := len(rest)
+	type restRef struct{ plan, j, kind int } // j indexes plan.live, kind indexes rest
 	var restTasks []restRef
 	for pi, p := range plans {
 		p.rests = make([]gResult, restCount*len(p.live))
@@ -142,7 +163,7 @@ func ComputeMultiContext(ctx context.Context, snaps []*storage.Snapshot, q m4.Qu
 		ref := restTasks[t]
 		p := plans[ref.plan]
 		span := p.work[p.live[ref.j]]
-		pt, ok, err := p.op.timedG(span, q.Span(span), p.perSpan[span], gLP+gKind(ref.kind))
+		pt, ok, err := p.op.timedG(span, q.Span(span), p.perSpan[span], rest[ref.kind])
 		p.rests[restCount*ref.j+ref.kind] = gResult{pt: pt, ok: ok, err: err}
 		return err
 	})
@@ -165,7 +186,7 @@ func ComputeMultiContext(ctx context.Context, snaps []*storage.Snapshot, q m4.Qu
 	}
 	outs := make([][]m4.Aggregate, len(plans))
 	for pi, p := range plans {
-		if err := p.assemble(); err != nil {
+		if err := p.assemble(rest); err != nil {
 			return nil, err
 		}
 		outs[pi] = p.out
@@ -307,13 +328,16 @@ func newSeriesPlan(ctx context.Context, snap *storage.Snapshot, q m4.Query, opts
 
 // assemble combines the wave results into the series' aggregates, applying
 // the FP-substitution rule for degraded (non-strict, chunk-dropped) queries
-// and folding the pruned-chunk count into the series' stats.
-func (p *seriesPlan) assemble() error {
-	const restCount = gCount - 1
+// and folding the pruned-chunk count into the series' stats. Fields whose
+// kind is absent from rest default to the span's FP.
+func (p *seriesPlan) assemble(rest []gKind) error {
+	restCount := len(rest)
 	op := p.op
 	for j, k := range p.live {
 		i := p.work[k]
+		fp := p.firsts[k].pt
 		g := p.rests[restCount*j : restCount*j+restCount]
+		agg := m4.Aggregate{First: fp, Last: fp, Bottom: fp, Top: fp}
 		for kind, r := range g {
 			if !r.ok {
 				// With chunks dropped mid-query, a function can come up
@@ -322,14 +346,23 @@ func (p *seriesPlan) assemble() error {
 				// real surviving point of the span, so substitute it — a
 				// valid, if non-extremal, representation — and warn.
 				if !op.opts.Strict && op.degraded.Load() {
-					g[kind] = gResult{pt: p.firsts[k].pt, ok: true}
-					op.snap.Warnings.Add("span %d: %v lost to unreadable chunks, substituted FP", i, gLP+gKind(kind))
+					// The aggregate fields default to FP, so skipping the
+					// assignment below is the substitution.
+					op.snap.Warnings.Add("span %d: %v lost to unreadable chunks, substituted FP", i, rest[kind])
 					continue
 				}
-				return fmt.Errorf("internal: span %d: %v empty after FP found %v", i, gLP+gKind(kind), p.firsts[k].pt)
+				return fmt.Errorf("internal: span %d: %v empty after FP found %v", i, rest[kind], fp)
+			}
+			switch rest[kind] {
+			case gLP:
+				agg.Last = r.pt
+			case gBP:
+				agg.Bottom = r.pt
+			case gTP:
+				agg.Top = r.pt
 			}
 		}
-		p.out[i] = m4.Aggregate{First: p.firsts[k].pt, Last: g[0].pt, Bottom: g[1].pt, Top: g[2].pt}
+		p.out[i] = agg
 	}
 	// Workers have joined; the chunk-state flags are safe to read plainly.
 	// Only chunks assigned to a span or fragment have states — chunks the

@@ -14,6 +14,8 @@ import (
 	"m4lsm/internal/m4lsm"
 	"m4lsm/internal/m4udf"
 	"m4lsm/internal/obs"
+	"m4lsm/internal/reprops"
+	"m4lsm/internal/series"
 	"m4lsm/internal/storage"
 )
 
@@ -29,6 +31,12 @@ type Result struct {
 	Elapsed   time.Duration `json:"elapsedNs"`
 	Stats     storage.Stats `json:"stats"`
 	SpanCount int           `json:"spanCount"`
+
+	// Represent names the representation operator of a REPRESENT statement
+	// ("m4", "minmax", "lttb", "minmaxlttb:4"); rows are then (time, value)
+	// points instead of the eight-column span table. Empty for classic
+	// span-table statements.
+	Represent string `json:"represent,omitempty"`
 
 	// Partial is true when unreadable chunks were dropped from the query
 	// (non-STRICT execution); Warnings describes each degradation.
@@ -143,6 +151,9 @@ func ExecuteContext(ctx context.Context, e *lsm.Engine, stmt Statement) (*Result
 	tr := obs.TraceOf(ctx)
 	if tr == nil && stmt.Trace {
 		ctx, tr = obs.WithTrace(ctx)
+	}
+	if stmt.Represent != nil {
+		return executeRepresent(ctx, e, stmt, tr)
 	}
 	if stmt.Multi() {
 		return executeMulti(ctx, e, stmt, tr)
@@ -300,6 +311,93 @@ func executeMulti(ctx context.Context, e *lsm.Engine, stmt Statement, tr *obs.Tr
 	return res, nil
 }
 
+// executeRepresent runs a REPRESENT statement: the chosen representation
+// operator over every FROM series, returning (time, value) point rows.
+// Single-series statements keep the flat Rows shape, multi-series ones get
+// per-series blocks, exactly like the span-table form. USING still selects
+// the physical path: LSM takes the merge-free machinery (metadata pruning
+// and pyramid cells for minmax/minmaxlttb, the dedicated merge path for
+// lttb), UDF merges everything and runs the reference reduction.
+func executeRepresent(ctx context.Context, e *lsm.Engine, stmt Statement, tr *obs.Trace) (*Result, error) {
+	spec := *stmt.Represent
+	ids := stmt.Series
+	if stmt.Wildcard {
+		ids = resolveSeries(e, stmt)
+	}
+	snaps := make([]*storage.Snapshot, len(ids))
+	for i, id := range ids {
+		snap, err := e.Snapshot(id, stmt.Query.Range())
+		if err != nil {
+			return nil, fmt.Errorf("m4ql: series %q: %w", id, err)
+		}
+		if stmt.Strict {
+			if ws := snap.Warnings.List(); len(ws) > 0 {
+				return nil, fmt.Errorf("m4ql: strict read: series %q: %s", id, ws[0])
+			}
+		}
+		snaps[i] = snap
+	}
+	budget := queryBudget(ctx, stmt)
+	start := time.Now()
+	var outs []series.Series
+	var err error
+	switch stmt.Operator {
+	case OpUDF:
+		outs = make([]series.Series, len(snaps))
+		for i, snap := range snaps {
+			outs[i], err = m4udf.ReduceContext(ctx, snap, stmt.Query, spec, m4udf.Options{Parallelism: stmt.Parallelism, Strict: stmt.Strict, Metrics: e.Metrics(), Budget: budget})
+			if err != nil {
+				break
+			}
+		}
+	default:
+		outs, err = m4lsm.ReduceMultiContext(ctx, snaps, stmt.Query, spec, m4lsm.Options{Parallelism: stmt.Parallelism, Strict: stmt.Strict, Metrics: e.Metrics(), Budget: budget})
+	}
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Columns:   []string{"time", "value"},
+		Operator:  stmt.Operator.String(),
+		Elapsed:   time.Since(start),
+		SpanCount: stmt.Query.W,
+		Represent: spec.String(),
+	}
+	pointRows := func(s series.Series) [][]float64 {
+		rows := make([][]float64, len(s))
+		for i, p := range s {
+			rows[i] = []float64{float64(p.T), p.V}
+		}
+		return rows
+	}
+	if stmt.Multi() {
+		res.Series = make([]SeriesResult, len(ids))
+		for si, id := range ids {
+			sr := SeriesResult{SeriesID: id, Rows: pointRows(outs[si]), Stats: snaps[si].Stats.Load()}
+			sr.Warnings = snaps[si].Warnings.List()
+			sr.Partial = len(sr.Warnings) > 0
+			res.Stats.Add(sr.Stats)
+			if sr.Partial {
+				res.Partial = true
+				for _, w := range sr.Warnings {
+					res.Warnings = append(res.Warnings, fmt.Sprintf("series %s: %s", id, w))
+				}
+			}
+			res.Series[si] = sr
+		}
+	} else {
+		res.Rows = pointRows(outs[0])
+		res.Stats = snaps[0].Stats.Load()
+		res.Warnings = snaps[0].Warnings.List()
+		res.Partial = len(res.Warnings) > 0
+	}
+	if tr != nil {
+		tr.Warn(res.Warnings...)
+		res.Trace = tr.Finish()
+	}
+	return res, nil
+}
+
 // executeGroupByMulti is the aggregate form over several series: a
 // sequential per-series groupby.Compute with the same per-series result
 // blocks as the M4 form.
@@ -442,6 +540,18 @@ func ExplainContext(ctx context.Context, e *lsm.Engine, stmt Statement) (string,
 	}
 	fmt.Fprintf(&sb, "  range:    [%d, %d) in %d spans\n", stmt.Query.Tqs, stmt.Query.Tqe, stmt.Query.W)
 	fmt.Fprintf(&sb, "  operator: %s\n", op)
+	if stmt.Represent != nil {
+		desc := "point output"
+		switch stmt.Represent.Kind {
+		case reprops.KindMinMax:
+			desc = "2 points/span from metadata + pyramid cells"
+		case reprops.KindLTTB:
+			desc = "sequential triangle selection over the full merge (no pruning)"
+		case reprops.KindMinMaxLTTB:
+			desc = fmt.Sprintf("MinMax preselection at %d spans feeding LTTB", stmt.Query.W*stmt.Represent.EffectiveRatio())
+		}
+		fmt.Fprintf(&sb, "  represent: %s (%s)\n", stmt.Represent, desc)
+	}
 	if stmt.Parallelism > 0 {
 		fmt.Fprintf(&sb, "  parallel: %d workers\n", stmt.Parallelism)
 	} else {

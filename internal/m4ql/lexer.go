@@ -34,6 +34,7 @@ const (
 	tokRParen
 	tokComma
 	tokStar
+	tokColon
 	tokGE // >=
 	tokLT // <
 )
@@ -71,6 +72,9 @@ func lex(input string) ([]token, error) {
 			i++
 		case c == '*':
 			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == ':':
+			toks = append(toks, token{tokColon, ":", i})
 			i++
 		case c == '>':
 			if i+1 < len(input) && input[i+1] == '=' {

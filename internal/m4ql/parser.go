@@ -8,6 +8,7 @@ import (
 
 	"m4lsm/internal/groupby"
 	"m4lsm/internal/m4"
+	"m4lsm/internal/reprops"
 )
 
 // Column is one projected output column of the M4 SQL form (Appendix A.1).
@@ -99,6 +100,12 @@ type Statement struct {
 	// warnings (or fails typed under STRICT); it overrides any server-wide
 	// default. 0 means no statement-level timeout.
 	Timeout time.Duration
+	// Represent is the REPRESENT clause: execute an alternative
+	// representation operator (minmax, lttb, minmaxlttb[:ratio], or an
+	// explicit m4) and return point rows (time, value) instead of the
+	// classic eight-column span table. Nil means the clause is absent and
+	// the statement keeps its historical M4 span-table shape.
+	Represent *reprops.Spec
 	// Explain requests the physical plan and cost summary instead of rows.
 	Explain bool
 }
@@ -191,11 +198,35 @@ func Parse(input string) (Statement, error) {
 		return Statement{}, err
 	}
 
-	// Trailing clauses: USING <op>, PARALLEL <n>, TIMEOUT <ms>, STRICT and
-	// TRACE, each at most once, in any order.
+	// Trailing clauses: USING <op>, REPRESENT <spec>, PARALLEL <n>,
+	// TIMEOUT <ms>, STRICT and TRACE, each at most once, in any order.
 	var haveUsing, haveParallel, haveTimeout bool
 	for {
 		switch {
+		case keywordIs(p.peek(), "represent"):
+			if stmt.Represent != nil {
+				return Statement{}, fmt.Errorf("m4ql: duplicate REPRESENT clause")
+			}
+			p.next()
+			t := p.next()
+			if t.kind != tokIdent {
+				return Statement{}, fmt.Errorf("m4ql: expected representation name after REPRESENT, got %s", t)
+			}
+			text := t.text
+			if p.peek().kind == tokColon {
+				p.next()
+				nTok, err := p.expect(tokNumber, "preselection ratio")
+				if err != nil {
+					return Statement{}, err
+				}
+				text += ":" + nTok.text
+			}
+			spec, err := reprops.ParseSpec(text)
+			if err != nil {
+				return Statement{}, fmt.Errorf("m4ql: %w", err)
+			}
+			stmt.Represent = &spec
+			continue
 		case keywordIs(p.peek(), "strict"):
 			if stmt.Strict {
 				return Statement{}, fmt.Errorf("m4ql: duplicate STRICT clause")
@@ -263,6 +294,9 @@ func Parse(input string) (Statement, error) {
 	}
 	if t := p.next(); t.kind != tokEOF {
 		return Statement{}, fmt.Errorf("m4ql: trailing input at %s", t)
+	}
+	if stmt.Represent != nil && len(stmt.Aggregates) > 0 {
+		return Statement{}, fmt.Errorf("m4ql: REPRESENT returns representation points and cannot be combined with aggregate functions")
 	}
 	if err := stmt.Query.Validate(); err != nil {
 		return Statement{}, err

@@ -1,0 +1,79 @@
+package m4udf
+
+import (
+	"context"
+	"time"
+
+	"m4lsm/internal/m4"
+	"m4lsm/internal/mergeread"
+	"m4lsm/internal/obs"
+	"m4lsm/internal/reprops"
+	"m4lsm/internal/series"
+	"m4lsm/internal/storage"
+)
+
+// Reduce answers a representation query the baseline way with default
+// options.
+func Reduce(snap *storage.Snapshot, q m4.Query, spec reprops.Spec) (series.Series, error) {
+	return ReduceContext(context.Background(), snap, q, spec, Options{})
+}
+
+// ReduceContext answers one representation query the way a UDF would:
+// merge every chunk into the full series (loads fanned across
+// Options.Parallelism workers, Strict/Budget semantics as in ComputeContext)
+// and run the reference reduction from reprops over the merged points.
+// Chunk metadata is never consulted, for any operator — this is the
+// baseline the LSM-native ReduceContext is differentially tested against.
+func ReduceContext(ctx context.Context, snap *storage.Snapshot, q m4.Query, spec reprops.Spec, opts Options) (series.Series, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	tr := obs.TraceOf(ctx)
+	met := obs.NewOperatorMetrics(opts.Metrics, "udf")
+	instrumented := tr != nil || met != nil
+	var start time.Time
+	var statsBefore storage.Stats
+	if instrumented {
+		start = time.Now()
+		if snap.Stats != nil {
+			statsBefore = snap.Stats.Load()
+		}
+	}
+	loaded, err := mergeread.LoadContext(ctx, snap, mergeread.LoadOptions{Parallelism: opts.Parallelism, Strict: opts.Strict, Budget: opts.Budget})
+	if err != nil {
+		return nil, err
+	}
+	var t0 time.Time
+	if instrumented {
+		t0 = time.Now()
+	}
+	it := loaded.Iterator(q.Range())
+	var s series.Series
+	for {
+		p, ok := it.Next()
+		if !ok {
+			break
+		}
+		s = append(s, p)
+	}
+	out, err := reprops.Reduce(spec, q, s)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if instrumented {
+		d := time.Since(t0)
+		tr.Task(0, "reduce", d)
+		met.RecordTask(d)
+		var delta storage.Stats
+		if snap.Stats != nil {
+			delta = snap.Stats.Load().Sub(statsBefore)
+		}
+		met.RecordQuery(time.Since(start), delta.ChunksLoaded, delta.ChunksPruned,
+			delta.TimeBlocksLoaded, delta.PointsDecoded, delta.CacheHits)
+		tr.SetCounters(delta.Map())
+	}
+	return out, nil
+}

@@ -1,13 +1,20 @@
-// Package repr implements the alternative time-series reductions the paper
-// positions M4 against (§5.1): per-span MinMax, systematic sampling and
-// Piecewise Aggregate Approximation (PAA). They exist to reproduce the
-// motivating claim that M4 is the only one with zero pixel error in
-// two-color line charts (§1); the pixel-error experiment renders each
-// reduction and diffs it against the full series.
+// Package repr names the time-series reductions the paper positions M4
+// against (§5.1) for the pixel-error experiments: per-span MinMax,
+// systematic sampling, Piecewise Aggregate Approximation (PAA), and — since
+// the representation-operator generalization — LTTB and MinMaxLTTB. It
+// exists to reproduce the motivating claim that M4 is the only one with
+// zero pixel error in two-color line charts (§1); the pixel-error
+// experiment renders each reduction and diffs it against the full series.
+//
+// The M4/MinMax/LTTB/MinMaxLTTB reductions delegate to internal/reprops —
+// the same implementations the engine executes through m4lsm and m4udf —
+// so the experiment measures exactly what the query path produces. Only
+// Sampling and PAA (comparison-only, never executable) live here.
 package repr
 
 import (
 	"m4lsm/internal/m4"
+	"m4lsm/internal/reprops"
 	"m4lsm/internal/series"
 )
 
@@ -18,36 +25,26 @@ type Reduce func(q m4.Query, s series.Series) (series.Series, error)
 // M4 keeps the first/last/bottom/top points per span — at most 4w points,
 // error-free in two-color line charts.
 func M4(q m4.Query, s series.Series) (series.Series, error) {
-	aggs, err := m4.ComputeSeries(q, s)
-	if err != nil {
-		return nil, err
-	}
-	return m4.Points(aggs), nil
+	return reprops.Reduce(reprops.Spec{Kind: reprops.KindM4}, q, s)
 }
 
 // MinMax keeps only the bottom and top points per span — at most 2w
 // points. It preserves the vertical extent of each pixel column but loses
 // the inter-column join pixels.
 func MinMax(q m4.Query, s series.Series) (series.Series, error) {
-	aggs, err := m4.ComputeSeries(q, s)
-	if err != nil {
-		return nil, err
-	}
-	var out series.Series
-	for _, a := range aggs {
-		if a.Empty {
-			continue
-		}
-		lo, hi := a.Bottom, a.Top
-		if lo.T > hi.T {
-			lo, hi = hi, lo
-		}
-		out = append(out, lo)
-		if hi.T != lo.T {
-			out = append(out, hi)
-		}
-	}
-	return out, nil
+	return reprops.Reduce(reprops.Spec{Kind: reprops.KindMinMax}, q, s)
+}
+
+// LTTB keeps at most w points by Largest-Triangle-Three-Buckets selection
+// over the clipped series.
+func LTTB(q m4.Query, s series.Series) (series.Series, error) {
+	return reprops.Reduce(reprops.Spec{Kind: reprops.KindLTTB}, q, s)
+}
+
+// MinMaxLTTB keeps at most w points: MinMax preselection at the default
+// ratio feeding LTTB.
+func MinMaxLTTB(q m4.Query, s series.Series) (series.Series, error) {
+	return reprops.Reduce(reprops.Spec{Kind: reprops.KindMinMaxLTTB}, q, s)
 }
 
 // Sample keeps the first point of each span (systematic sampling with one
@@ -107,6 +104,8 @@ func Techniques() []struct {
 	}{
 		{"M4", M4},
 		{"MinMax", MinMax},
+		{"LTTB", LTTB},
+		{"MinMaxLTTB", MinMaxLTTB},
 		{"Sampling", Sample},
 		{"PAA", PAA},
 	}

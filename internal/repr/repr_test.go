@@ -25,7 +25,7 @@ func TestAllTechniquesProduceSortedSubBudgetOutput(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	s := genSeries(rng, 5000)
 	q := m4.Query{Tqs: 0, Tqe: s[len(s)-1].T + 1, W: 64}
-	budgets := map[string]int{"M4": 4 * q.W, "MinMax": 2 * q.W, "Sampling": q.W, "PAA": q.W}
+	budgets := map[string]int{"M4": 4 * q.W, "MinMax": 2 * q.W, "LTTB": q.W, "MinMaxLTTB": q.W, "Sampling": q.W, "PAA": q.W}
 	for _, tech := range Techniques() {
 		out, err := tech.Fn(q, s)
 		if err != nil {
@@ -65,7 +65,7 @@ func TestOnlyM4IsErrorFree(t *testing.T) {
 	if zeroErr["M4"] != trials {
 		t.Errorf("M4 error-free in %d/%d trials, want all", zeroErr["M4"], trials)
 	}
-	for _, name := range []string{"MinMax", "Sampling", "PAA"} {
+	for _, name := range []string{"MinMax", "LTTB", "MinMaxLTTB", "Sampling", "PAA"} {
 		if zeroErr[name] == trials {
 			t.Errorf("%s was error-free in every trial; it must lose pixels on varying data", name)
 		}

@@ -1,0 +1,253 @@
+package reprops
+
+import (
+	"math/rand"
+	"testing"
+
+	"m4lsm/internal/m4"
+	"m4lsm/internal/series"
+)
+
+// randomSeries builds a sorted, strictly increasing-timestamp series of n
+// points on ticks [0, n) with a seeded random walk.
+func randomSeries(seed int64, n int) series.Series {
+	rng := rand.New(rand.NewSource(seed))
+	s := make(series.Series, n)
+	v := 0.0
+	for i := range s {
+		v += rng.Float64()*2 - 1
+		s[i] = series.Point{T: int64(i), V: v}
+	}
+	return s
+}
+
+// TestLTTBProperties checks the structural contract over many random
+// series and widths: exactly min(w, n) points, strictly increasing
+// timestamps, global first/last preserved, and every output point drawn
+// from the input.
+func TestLTTBProperties(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		n := 1 + rng.Intn(500)
+		w := 1 + rng.Intn(80)
+		s := randomSeries(seed, n)
+		out := LTTB(s, w)
+
+		want := w
+		if n < w {
+			want = n
+		}
+		if len(out) != want {
+			t.Fatalf("seed %d: LTTB(n=%d, w=%d) returned %d points, want %d", seed, n, w, len(out), want)
+		}
+		byT := make(map[int64]float64, n)
+		for _, p := range s {
+			byT[p.T] = p.V
+		}
+		for i, p := range out {
+			if i > 0 && out[i-1].T >= p.T {
+				t.Fatalf("seed %d: non-increasing timestamps at %d: %d >= %d", seed, i, out[i-1].T, p.T)
+			}
+			if v, ok := byT[p.T]; !ok || v != p.V {
+				t.Fatalf("seed %d: output point %v not in input", seed, p)
+			}
+		}
+		if out[0] != s[0] {
+			t.Fatalf("seed %d: first point %v, want %v", seed, out[0], s[0])
+		}
+		if out[len(out)-1] != s[n-1] {
+			t.Fatalf("seed %d: last point %v, want %v", seed, out[len(out)-1], s[n-1])
+		}
+	}
+}
+
+func TestLTTBEdgeCases(t *testing.T) {
+	s := randomSeries(7, 100)
+	if got := LTTB(nil, 10); got != nil {
+		t.Fatalf("LTTB(nil) = %v, want nil", got)
+	}
+	if got := LTTB(s, 0); got != nil {
+		t.Fatalf("LTTB(w=0) = %v, want nil", got)
+	}
+	if got := LTTB(s, 1); len(got) != 1 || got[0] != s[0] {
+		t.Fatalf("LTTB(w=1) = %v, want just the first point", got)
+	}
+	if got := LTTB(s, 2); len(got) != 2 || got[0] != s[0] || got[1] != s[99] {
+		t.Fatalf("LTTB(w=2) = %v, want first+last", got)
+	}
+	// n <= w returns a copy, not an alias.
+	got := LTTB(s, 200)
+	if len(got) != len(s) {
+		t.Fatalf("LTTB(w>n) kept %d points, want all %d", len(got), len(s))
+	}
+	got[0].V = 12345
+	if s[0].V == 12345 {
+		t.Fatal("LTTB(w>n) aliases its input")
+	}
+}
+
+// TestLTTBDeterministic: identical input must give identical output —
+// the differential harness depends on bit-for-bit reproducibility.
+func TestLTTBDeterministic(t *testing.T) {
+	s := randomSeries(3, 5000)
+	a := LTTB(s, 97)
+	b := LTTB(s, 97)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestMinMaxSubsetOfM4 checks MinMax ⊆ M4 on identical queries: bottom
+// and top are two of M4's four per-span points, so every MinMax output
+// point must appear in the M4 point set.
+func TestMinMaxSubsetOfM4(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		s := randomSeries(seed, 400)
+		q := m4.Query{Tqs: 13, Tqe: 377, W: 23}
+		aggs, err := m4.ComputeSeries(q, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m4pts := make(map[series.Point]bool)
+		for _, p := range m4.Points(aggs) {
+			m4pts[p] = true
+		}
+		mm := MinMaxPoints(aggs)
+		for _, p := range mm {
+			if !m4pts[p] {
+				t.Fatalf("seed %d: MinMax point %v not in M4 output", seed, p)
+			}
+		}
+		for i := 1; i < len(mm); i++ {
+			if mm[i-1].T >= mm[i].T {
+				t.Fatalf("seed %d: MinMax output not strictly sorted at %d", seed, i)
+			}
+		}
+		if len(mm) > 2*q.W {
+			t.Fatalf("seed %d: MinMax kept %d points, budget %d", seed, len(mm), 2*q.W)
+		}
+	}
+}
+
+// TestMinMaxLTTBConvergesToLTTB: when ratio·w covers every tick in the
+// range, each preselection span holds at most one point, so MinMax
+// preselection keeps everything and MinMaxLTTB degenerates to exact LTTB.
+func TestMinMaxLTTBConvergesToLTTB(t *testing.T) {
+	const n = 256
+	s := randomSeries(11, n)
+	q := m4.Query{Tqs: 0, Tqe: n, W: 8}
+	// ratio·w = 256 spans over 256 ticks: one tick per span.
+	spec := Spec{Kind: KindMinMaxLTTB, Ratio: 32}
+	got, err := Reduce(spec, q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Reduce(Spec{Kind: KindLTTB}, q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("lengths differ: minmaxlttb %d vs lttb %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("point %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMinMaxLTTBPointBudget: output never exceeds w points and the
+// preselection bound 2·ratio·w holds on dense data.
+func TestMinMaxLTTBPointBudget(t *testing.T) {
+	s := randomSeries(5, 10000)
+	q := m4.Query{Tqs: 0, Tqe: 10000, W: 50}
+	for _, ratio := range []int{2, 4, 8} {
+		out, err := Reduce(Spec{Kind: KindMinMaxLTTB, Ratio: ratio}, q, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != q.W {
+			t.Fatalf("ratio %d: got %d points, want exactly w=%d on dense data", ratio, len(out), q.W)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	good := map[string]Spec{
+		"m4":            {Kind: KindM4},
+		"M4":            {Kind: KindM4},
+		"minmax":        {Kind: KindMinMax},
+		"lttb":          {Kind: KindLTTB},
+		"LTTB":          {Kind: KindLTTB},
+		"minmaxlttb":    {Kind: KindMinMaxLTTB},
+		"minmaxlttb:2":  {Kind: KindMinMaxLTTB, Ratio: 2},
+		"minmaxlttb:64": {Kind: KindMinMaxLTTB, Ratio: 64},
+		"MinMaxLTTB:8":  {Kind: KindMinMaxLTTB, Ratio: 8},
+	}
+	for in, want := range good {
+		got, err := ParseSpec(in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", in, err)
+		}
+		if got != want {
+			t.Fatalf("ParseSpec(%q) = %+v, want %+v", in, got, want)
+		}
+	}
+	bad := []string{"", "m5", "minmax:2", "lttb:4", "m4:1", "minmaxlttb:", "minmaxlttb:1", "minmaxlttb:65", "minmaxlttb:x", "minmaxlttb:-4", "minmaxlttb:4.5"}
+	for _, in := range bad {
+		if _, err := ParseSpec(in); err == nil {
+			t.Fatalf("ParseSpec(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	cases := map[string]Spec{
+		"m4":           {Kind: KindM4},
+		"minmax":       {Kind: KindMinMax},
+		"lttb":         {Kind: KindLTTB},
+		"minmaxlttb":   {Kind: KindMinMaxLTTB},
+		"minmaxlttb:8": {Kind: KindMinMaxLTTB, Ratio: 8},
+	}
+	for want, spec := range cases {
+		if got := spec.String(); got != want {
+			t.Fatalf("Spec%+v.String() = %q, want %q", spec, got, want)
+		}
+		// Round trip.
+		back, err := ParseSpec(want)
+		if err != nil || back != spec {
+			t.Fatalf("round trip %q: got %+v, %v", want, back, err)
+		}
+	}
+	if (Spec{}).EffectiveRatio() != DefaultRatio {
+		t.Fatal("zero Spec must resolve to the default ratio")
+	}
+}
+
+func TestReduceValidatesQuery(t *testing.T) {
+	s := randomSeries(1, 10)
+	for _, spec := range Specs() {
+		if _, err := Reduce(spec, m4.Query{Tqs: 10, Tqe: 0, W: 4}, s); err == nil {
+			t.Fatalf("%s: invalid query accepted", spec)
+		}
+		if _, err := Reduce(spec, m4.Query{Tqs: 0, Tqe: 10, W: 0}, s); err == nil {
+			t.Fatalf("%s: w=0 accepted", spec)
+		}
+	}
+}
+
+func TestClip(t *testing.T) {
+	s := randomSeries(2, 100)
+	c := Clip(s, m4.Query{Tqs: 10, Tqe: 20, W: 1})
+	if len(c) != 10 || c[0].T != 10 || c[len(c)-1].T != 19 {
+		t.Fatalf("Clip half-open range wrong: len=%d first=%v last=%v", len(c), c[0], c[len(c)-1])
+	}
+	if got := Clip(s, m4.Query{Tqs: 200, Tqe: 300, W: 1}); len(got) != 0 {
+		t.Fatalf("Clip outside range kept %d points", len(got))
+	}
+}

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"bytes"
+	"image/png"
+	"io"
+	"net/http"
+	"testing"
+)
+
+// TestRenderRepr drives the repr/ratio render parameters: every operator
+// must produce a PNG of the requested size, the explicit m4 render must be
+// byte-identical to the default, and bad values must 400 before the engine
+// is touched.
+func TestRenderRepr(t *testing.T) {
+	srv := newServer(t)
+	fetch := func(u string) []byte {
+		t.Helper()
+		resp, err := http.Get(srv.URL + u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d", u, resp.StatusCode)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, err := png.Decode(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("%s: %v", u, err)
+		}
+		if img.Bounds().Dx() != 80 || img.Bounds().Dy() != 40 {
+			t.Fatalf("%s: bounds %v", u, img.Bounds())
+		}
+		return raw
+	}
+	base := "/render?series=root.s1&tqs=0&tqe=5000&w=80&h=40"
+	plain := fetch(base)
+	for _, u := range []string{
+		base + "&repr=minmax",
+		base + "&repr=lttb",
+		base + "&repr=minmaxlttb",
+		base + "&repr=minmaxlttb&ratio=8",
+	} {
+		fetch(u)
+	}
+	// repr=m4 is the default spelled out; the raster must not change.
+	if !bytes.Equal(plain, fetch(base+"&repr=m4")) {
+		t.Error("repr=m4 render differs from default render")
+	}
+	for _, u := range []string{
+		base + "&repr=nope",
+		base + "&repr=lttb&ratio=4",        // ratio only for minmaxlttb
+		base + "&repr=minmaxlttb&ratio=99", // out of range
+		base + "&repr=minmaxlttb&ratio=x",
+	} {
+		if code := getJSON(t, srv.URL+u, nil); code != 400 {
+			t.Errorf("%s: status %d, want 400", u, code)
+		}
+	}
+}
+
+// TestQueryRepresent checks the /query passthrough for REPRESENT
+// statements: two-column point rows and the represent echo field.
+func TestQueryRepresent(t *testing.T) {
+	srv := newServer(t)
+	q := "SELECT+M4(*)+FROM+root.s1+WHERE+time+>=+0+AND+time+<+5000+GROUP+BY+SPANS(8)+REPRESENT+lttb"
+	var res struct {
+		Columns   []string    `json:"columns"`
+		Rows      [][]float64 `json:"rows"`
+		Represent string      `json:"represent"`
+	}
+	if code := getJSON(t, srv.URL+"/query?q="+q, &res); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if res.Represent != "lttb" {
+		t.Errorf("represent = %q", res.Represent)
+	}
+	if len(res.Columns) != 2 || len(res.Rows) != 8 {
+		t.Errorf("columns %v, %d rows (want 2 cols, 8 rows)", res.Columns, len(res.Rows))
+	}
+}

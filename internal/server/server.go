@@ -26,7 +26,7 @@ import (
 	"m4lsm/internal/m4ql"
 	"m4lsm/internal/obs"
 	"m4lsm/internal/obs/history"
-	"m4lsm/internal/series"
+	"m4lsm/internal/reprops"
 	"m4lsm/internal/storage"
 	"m4lsm/internal/viz"
 )
@@ -648,18 +648,22 @@ func (h *Handler) expandSeriesParam(param string) ([]string, error) {
 // series (one id, a comma-separated list, or a prefix wildcard like
 // "root.*" — multiple series overlay on one canvas with a shared
 // viewport), tqs, tqe, w (pixel columns = M4 spans), h (pixel rows,
-// default 400). When nothing matches the request answers 404. When the
-// result is partial — unreadable chunks skipped at snapshot time, or the
-// operator substituted FP for a representation point lost to a mid-query
-// chunk failure — the image still renders, the response carries an
-// X-M4-Partial header counting the warnings, and render_partial_total is
-// incremented.
+// default 400), repr (representation operator: m4 — the default —, minmax,
+// lttb or minmaxlttb), and ratio (MinMaxLTTB preselection ratio, 2..64).
+// When nothing matches the request answers 404. When the result is partial
+// — unreadable chunks skipped at snapshot time, or the operator
+// substituted FP for a representation point lost to a mid-query chunk
+// failure — the image still renders, the response carries an X-M4-Partial
+// header counting the warnings, and render_partial_total is incremented.
 func (h *Handler) render(w http.ResponseWriter, r *http.Request) {
 	ev := &obs.Event{When: time.Now(), Endpoint: "/render", RequestID: w.Header().Get("X-Request-ID")}
 	defer h.finishEvent(w, ev)
 	params := r.URL.Query()
 	ev.Statement = "series=" + params.Get("series") + " tqs=" + params.Get("tqs") +
 		" tqe=" + params.Get("tqe") + " w=" + params.Get("w") + " h=" + params.Get("h")
+	if rp := params.Get("repr"); rp != "" {
+		ev.Statement += " repr=" + rp
+	}
 	seriesParam := params.Get("series")
 	if seriesParam == "" {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("missing series parameter"))
@@ -679,6 +683,22 @@ func (h *Handler) render(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("bad h parameter"))
 			return
 		}
+	}
+	specText := params.Get("repr")
+	if specText == "" {
+		specText = "m4"
+	}
+	if ratio := params.Get("ratio"); ratio != "" {
+		if !strings.EqualFold(specText, "minmaxlttb") {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("ratio only applies to repr=minmaxlttb"))
+			return
+		}
+		specText += ":" + ratio
+	}
+	spec, err := reprops.ParseSpec(specText)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
 	}
 	q := m4.Query{Tqs: tqs, Tqe: tqe, W: width}
 	if err := q.Validate(); err != nil {
@@ -709,7 +729,7 @@ func (h *Handler) render(w http.ResponseWriter, r *http.Request) {
 		}
 		snaps[i] = snap
 	}
-	outs, err := m4lsm.ComputeMultiContext(r.Context(), snaps, q, m4lsm.Options{
+	reduced, err := m4lsm.ReduceMultiContext(r.Context(), snaps, q, spec, m4lsm.Options{
 		Metrics: h.reg,
 		Budget:  govern.NewBudget(govern.LimitsOf(r.Context())),
 	})
@@ -717,7 +737,11 @@ func (h *Handler) render(w http.ResponseWriter, r *http.Request) {
 	for _, snap := range snaps {
 		cost.Add(snap.Stats.Load())
 	}
-	ev.Operator = "lsm"
+	if spec.Kind == reprops.KindM4 {
+		ev.Operator = "lsm"
+	} else {
+		ev.Operator = spec.Kind.String()
+	}
 	eventStats(ev, cost)
 	if err != nil {
 		ev.Error = err.Error()
@@ -727,10 +751,6 @@ func (h *Handler) render(w http.ResponseWriter, r *http.Request) {
 		}
 		httpError(w, http.StatusInternalServerError, err)
 		return
-	}
-	reduced := make([]series.Series, len(outs))
-	for i, aggs := range outs {
-		reduced[i] = m4.Points(aggs)
 	}
 	vp := viz.ViewportForAll(reduced, tqs, tqe)
 	canvas := viz.NewCanvas(width, height)

@@ -1,0 +1,80 @@
+package viz
+
+import "fmt"
+
+// Structural similarity over binary canvases. Pixel-diff counts (Diff) weight
+// every pixel equally; SSIM instead compares local luminance, contrast, and
+// structure, which tracks perceived chart similarity much better — a
+// representation that shifts a line by one pixel everywhere has a huge Diff
+// but high SSIM, while one that erases a feature scores badly on both.
+//
+// Constants follow Wang et al. (2004): ssimWindow×ssimWindow windows,
+// dynamic range L = 1 (binary canvases), K1 = 0.01, K2 = 0.03.
+const (
+	ssimWindow = 8
+	ssimC1     = 0.01 * 0.01 // (K1·L)²
+	ssimC2     = 0.03 * 0.03 // (K2·L)²
+)
+
+// SSIM returns the mean structural similarity of two equal-size canvases in
+// [-1, 1] (1 = identical). Windows are non-overlapping ssimWindow-square
+// tiles, clamped at the right and bottom edges. It panics on size mismatch,
+// mirroring Diff.
+func SSIM(a, b *Canvas) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic(fmt.Sprintf("viz: ssim of %dx%d vs %dx%d", a.W, a.H, b.W, b.H))
+	}
+	var sum float64
+	var windows int
+	for y0 := 0; y0 < a.H; y0 += ssimWindow {
+		for x0 := 0; x0 < a.W; x0 += ssimWindow {
+			x1, y1 := x0+ssimWindow, y0+ssimWindow
+			if x1 > a.W {
+				x1 = a.W
+			}
+			if y1 > a.H {
+				y1 = a.H
+			}
+			sum += windowSSIM(a, b, x0, y0, x1, y1)
+			windows++
+		}
+	}
+	if windows == 0 {
+		return 1
+	}
+	return sum / float64(windows)
+}
+
+// DSSIM is the structural dissimilarity (1−SSIM)/2 in [0, 1]; 0 means
+// identical canvases. This is the scale reported by the pixel-error harness.
+func DSSIM(a, b *Canvas) float64 {
+	return (1 - SSIM(a, b)) / 2
+}
+
+func windowSSIM(a, b *Canvas, x0, y0, x1, y1 int) float64 {
+	n := float64((x1 - x0) * (y1 - y0))
+	// Binary pixels: sums of values and products reduce to lit counts.
+	var sa, sb, sab float64
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			av, bv := 0.0, 0.0
+			if a.Get(x, y) {
+				av = 1
+			}
+			if b.Get(x, y) {
+				bv = 1
+			}
+			sa += av
+			sb += bv
+			sab += av * bv
+		}
+	}
+	muA, muB := sa/n, sb/n
+	// For 0/1 pixels E[x²] = E[x], so variance is μ(1−μ).
+	varA := muA * (1 - muA)
+	varB := muB * (1 - muB)
+	cov := sab/n - muA*muB
+	num := (2*muA*muB + ssimC1) * (2*cov + ssimC2)
+	den := (muA*muA + muB*muB + ssimC1) * (varA + varB + ssimC2)
+	return num / den
+}

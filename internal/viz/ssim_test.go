@@ -1,0 +1,74 @@
+package viz
+
+import (
+	"math/rand"
+	"testing"
+
+	"m4lsm/internal/series"
+)
+
+func TestSSIMIdentical(t *testing.T) {
+	c := NewCanvas(100, 60)
+	c.DrawLine(0, 0, 99, 59)
+	c.DrawLine(10, 50, 90, 5)
+	if got := SSIM(c, c); got != 1 {
+		t.Errorf("SSIM(c, c) = %v, want 1", got)
+	}
+	if got := DSSIM(c, c); got != 0 {
+		t.Errorf("DSSIM(c, c) = %v, want 0", got)
+	}
+}
+
+func TestSSIMEmptyPair(t *testing.T) {
+	a, b := NewCanvas(32, 32), NewCanvas(32, 32)
+	if got := SSIM(a, b); got != 1 {
+		t.Errorf("SSIM of empty canvases = %v, want 1", got)
+	}
+}
+
+// TestSSIMOrdersDegradation checks the metric ranks a slightly-perturbed
+// raster above a heavily-degraded one, and both above noise.
+func TestSSIMOrdersDegradation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	full := make(series.Series, 4096)
+	for i := range full {
+		full[i] = series.Point{T: int64(i), V: float64(i%50) + rng.Float64()}
+	}
+	vp := ViewportFor(full, 0, 4096)
+	const w, h = 200, 100
+	ref := Rasterize(full, vp, w, h)
+
+	// Slight: every 2nd point. Heavy: every 64th point.
+	slight := Rasterize(sample(full, 2), vp, w, h)
+	heavy := Rasterize(sample(full, 64), vp, w, h)
+
+	dSlight, dHeavy := DSSIM(ref, slight), DSSIM(ref, heavy)
+	if dSlight >= dHeavy {
+		t.Errorf("DSSIM ordering violated: slight=%v heavy=%v", dSlight, dHeavy)
+	}
+	if dSlight > 0.1 {
+		t.Errorf("slight degradation scored %v, expected near 0", dSlight)
+	}
+	for _, d := range []float64{dSlight, dHeavy} {
+		if d < 0 || d > 1 {
+			t.Errorf("DSSIM %v outside [0,1]", d)
+		}
+	}
+}
+
+func TestSSIMSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on size mismatch")
+		}
+	}()
+	SSIM(NewCanvas(10, 10), NewCanvas(10, 11))
+}
+
+func sample(s series.Series, stride int) series.Series {
+	out := make(series.Series, 0, len(s)/stride+1)
+	for i := 0; i < len(s); i += stride {
+		out = append(out, s[i])
+	}
+	return out
+}

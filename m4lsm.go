@@ -38,6 +38,7 @@ import (
 	intm4lsm "m4lsm/internal/m4lsm"
 	"m4lsm/internal/m4ql"
 	"m4lsm/internal/m4udf"
+	"m4lsm/internal/reprops"
 	"m4lsm/internal/series"
 	"m4lsm/internal/storage"
 )
@@ -320,6 +321,97 @@ func (db *DB) M4Context(ctx context.Context, seriesID string, tqs, tqe int64, w 
 		Partial:    len(warnings) > 0,
 		Warnings:   warnings,
 	}, nil
+}
+
+// RepresentOptions configure one representation query: the usual execution
+// knobs plus the representation choice.
+type RepresentOptions struct {
+	M4Options
+	// Representation names the reduction: "m4" (default), "minmax", "lttb"
+	// or "minmaxlttb[:ratio]" with ratio in [2, 64] (default 4).
+	Representation string
+}
+
+// RepresentResult is the output of RepresentContext: the reduced points
+// plus the degradation status of the read path.
+type RepresentResult struct {
+	Points []Point
+	Stats  Stats
+	// Partial is true when unreadable chunks were dropped from the query.
+	Partial bool
+	// Warnings describes each dropped or quarantined chunk.
+	Warnings []string
+}
+
+// Represent runs a representation query — MinMax, LTTB, MinMaxLTTB, or M4
+// itself — returning the reduced point list instead of per-span aggregates.
+// Like M4, the tuple form always reads strictly; use RepresentContext for
+// graceful degradation. The representation argument takes the same names as
+// the m4ql REPRESENT clause ("minmax", "lttb", "minmaxlttb:8", ...).
+func (db *DB) Represent(seriesID string, tqs, tqe int64, w int, representation string) ([]Point, Stats, error) {
+	opts := RepresentOptions{Representation: representation}
+	opts.StrictReads = true
+	res, err := db.RepresentContext(context.Background(), seriesID, tqs, tqe, w, opts)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return res.Points, res.Stats, nil
+}
+
+// RepresentContext runs a representation query under a context. The
+// execution path follows opts.Operator: the default M4-LSM path answers
+// minmax/minmaxlttb from chunk metadata and pyramid cells and gives lttb a
+// dedicated merge path, while OperatorUDF merges everything and reduces the
+// assembled series. Both produce bit-identical points.
+func (db *DB) RepresentContext(ctx context.Context, seriesID string, tqs, tqe int64, w int, opts RepresentOptions) (*RepresentResult, error) {
+	spec, err := reprops.ParseSpec(repOrDefault(opts.Representation))
+	if err != nil {
+		return nil, err
+	}
+	q := m4.Query{Tqs: tqs, Tqe: tqe, W: w}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	snap, err := db.engine.Snapshot(seriesID, q.Range())
+	if err != nil {
+		return nil, err
+	}
+	if opts.StrictReads {
+		if ws := snap.Warnings.List(); len(ws) > 0 {
+			return nil, fmt.Errorf("m4lsm: strict read: %s", ws[0])
+		}
+	}
+	budget := opts.budget()
+	var pts series.Series
+	switch opts.Operator {
+	case OperatorLSM:
+		pts, err = intm4lsm.ReduceContext(ctx, snap, q, spec, intm4lsm.Options{Parallelism: opts.Parallelism, Strict: opts.StrictReads, Metrics: db.engine.Metrics(), Budget: budget})
+	case OperatorUDF:
+		pts, err = m4udf.ReduceContext(ctx, snap, q, spec, m4udf.Options{Parallelism: opts.Parallelism, Strict: opts.StrictReads, Metrics: db.engine.Metrics(), Budget: budget})
+	default:
+		return nil, fmt.Errorf("m4lsm: unknown operator %d", opts.Operator)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Point, len(pts))
+	for i, p := range pts {
+		out[i] = publicPoint(p)
+	}
+	warnings := snap.Warnings.List()
+	return &RepresentResult{
+		Points:   out,
+		Stats:    publicStats(snap.Stats.Load()),
+		Partial:  len(warnings) > 0,
+		Warnings: warnings,
+	}, nil
+}
+
+func repOrDefault(r string) string {
+	if r == "" {
+		return "m4"
+	}
+	return r
 }
 
 // SeriesAggregates is one series' share of a multi-series M4 query.

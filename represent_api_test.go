@@ -1,0 +1,70 @@
+package m4lsm
+
+import (
+	"testing"
+)
+
+// TestRepresentAPI drives the public representation surface: every operator
+// name through both physical paths, with shape checks on the output.
+func TestRepresentAPI(t *testing.T) {
+	db, err := Open(t.TempDir(), WithFlushThreshold(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 400; i++ {
+		if err := db.Write("root.s", Point{Time: int64(i), Value: float64(i%31) + float64(i)*0.001}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range []string{"", "m4", "minmax", "lttb", "minmaxlttb", "minmaxlttb:8"} {
+		var byOp [2][]Point
+		for oi, op := range []Operator{OperatorLSM, OperatorUDF} {
+			opts := RepresentOptions{Representation: rep}
+			opts.Operator = op
+			opts.StrictReads = true
+			res, err := db.RepresentContext(t.Context(), "root.s", 0, 400, 16, opts)
+			if err != nil {
+				t.Fatalf("%q op %d: %v", rep, op, err)
+			}
+			if len(res.Points) == 0 {
+				t.Fatalf("%q op %d: no points", rep, op)
+			}
+			for i := 1; i < len(res.Points); i++ {
+				if res.Points[i-1].Time >= res.Points[i].Time {
+					t.Fatalf("%q op %d: unsorted output", rep, op)
+				}
+			}
+			byOp[oi] = res.Points
+		}
+		if len(byOp[0]) != len(byOp[1]) {
+			t.Fatalf("%q: LSM %d points, UDF %d points", rep, len(byOp[0]), len(byOp[1]))
+		}
+		for i := range byOp[0] {
+			if byOp[0][i] != byOp[1][i] {
+				t.Fatalf("%q point %d: LSM %v, UDF %v", rep, i, byOp[0][i], byOp[1][i])
+			}
+		}
+	}
+	// The tuple form with budgets in the mix.
+	pts, stats, err := db.Represent("root.s", 0, 400, 10, "lttb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 10 {
+		t.Fatalf("lttb kept %d points, want w=10", len(pts))
+	}
+	if stats.ChunksLoaded == 0 {
+		t.Fatal("lttb must load chunks (no metadata path exists for it)")
+	}
+	// Bad names are rejected before touching the engine.
+	if _, _, err := db.Represent("root.s", 0, 400, 10, "nope"); err == nil {
+		t.Fatal("unknown representation accepted")
+	}
+	if _, _, err := db.Represent("root.s", 0, 400, 10, "minmaxlttb:99"); err == nil {
+		t.Fatal("out-of-range ratio accepted")
+	}
+}
