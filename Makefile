@@ -11,7 +11,7 @@ LDFLAGS := -X m4lsm/internal/buildinfo.Version=$(VERSION) -X m4lsm/internal/buil
 # examples/ at 0%, so 70 fails on a real regression, not on noise.
 COVER_FLOOR ?= 70
 
-.PHONY: build install test race race-short vet lint check cover difftest bench bench-parallel bench-shards bench-obs bench-overload bench-pyramid bench-recovery bench-repr bench-selfobs fuzz torture soak profile
+.PHONY: build install test race race-short vet lint check cover difftest bench bench-parallel bench-shards bench-obs bench-overload bench-pyramid bench-recovery bench-repr bench-selfobs bench-ingest fuzz torture soak profile
 
 build:
 	$(GO) build -ldflags '$(LDFLAGS)' ./...
@@ -63,16 +63,17 @@ torture:
 # integrity-scrubber passes, all under the race detector. `make check`
 # includes it.
 soak:
-	$(GO) test -race -count=1 -run 'Overload|Admission|Budget|DeadlineRace|ENOSPC|ReadOnly|BodyBounds|Scrub' \
+	$(GO) test -race -count=1 -run 'Overload|Admission|Budget|DeadlineRace|ENOSPC|ReadOnly|BodyBounds|Scrub|Ingest' \
 		./internal/server ./internal/lsm ./internal/m4lsm ./internal/m4ql ./internal/govern
 
 # fuzz exercises the crash-recovery parsers (WAL payloads, chunk-file
-# footers, record logs) and the m4ql parser including the REPRESENT
-# clause. Go allows one -fuzz target per invocation, so each runs
-# separately for FUZZTIME (the seed corpus also runs in plain `make
-# test`).
+# footers, record logs), the m4ql parser including the REPRESENT
+# clause, and the /write line-protocol parser. Go allows one -fuzz
+# target per invocation, so each runs separately for FUZZTIME (the seed
+# corpus also runs in plain `make test`).
 fuzz:
 	$(GO) test ./internal/m4ql -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/server -run '^$$' -fuzz '^FuzzWriteBody$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/lsm -run '^$$' -fuzz '^FuzzDecodeInsert$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/lsm -run '^$$' -fuzz '^FuzzDecodeWALDelete$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/lsm -run '^$$' -fuzz '^FuzzBackupManifest$$' -fuzztime $(FUZZTIME)
@@ -140,6 +141,13 @@ bench-repr:
 # segment, retirement pinned by a cold shard) vs segmented.
 bench-recovery:
 	$(GO) run ./cmd/m4bench -exp recovery -reps 3
+
+# bench-ingest regenerates the ingestion sweep of BENCH_ingest.json:
+# write throughput across concurrent writers × batch size × SyncWAL, with
+# the in-sweep requirement that batched ingestion reproduces the
+# point-by-point database bit-for-bit and beats it 5x at 8 durable writers.
+bench-ingest:
+	$(GO) run ./cmd/m4bench -exp ingest -reps 3
 
 # bench-selfobs regenerates the self-observability sweep of BENCH_selfobs.json:
 # M4 query latency with the self-metrics sampler off vs hammering at 2ms,

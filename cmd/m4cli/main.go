@@ -5,6 +5,7 @@
 //	m4cli -dir ./db
 //	m4cli -dir ./db backup /backups/db-2026-08-08
 //	m4cli -dir ./db scrub
+//	m4cli -dir ./db load [-sync] [-batch n] <series> <file.csv>
 //	m4cli restore /backups/db-2026-08-08 ./db-restored
 //	m4cli verify /backups/db-2026-08-08
 //	m4> SELECT M4(*) FROM KOB WHERE time >= 0 AND time < 2000000000000 GROUP BY SPANS(10)
@@ -15,14 +16,17 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"m4lsm/internal/buildinfo"
+	"m4lsm/internal/csvio"
 	"m4lsm/internal/lsm"
 	"m4lsm/internal/m4ql"
 )
@@ -93,6 +97,8 @@ func runSubcommand(dir string, args []string) error {
 		}
 		fmt.Printf("verify: ok, %d files\n", len(man.Files))
 		return nil
+	case "load":
+		return runLoad(dir, args[1:])
 	case "scrub":
 		if len(args) != 1 {
 			return fmt.Errorf("usage: m4cli -dir <db> scrub")
@@ -114,7 +120,66 @@ func runSubcommand(dir string, args []string) error {
 		}
 		return nil
 	}
-	return fmt.Errorf("unknown subcommand %q (backup, restore, verify, scrub)", args[0])
+	return fmt.Errorf("unknown subcommand %q (backup, restore, verify, scrub, load)", args[0])
+}
+
+// runLoad bulk-ingests a CSV file (time,value rows; header tolerated) into
+// one series through the engine's batched WriteBatch path, chunking the
+// file so the bounded ingest queues see a steady stream of group-committed
+// batches instead of one giant record.
+func runLoad(dir string, args []string) error {
+	fs := flag.NewFlagSet("load", flag.ContinueOnError)
+	sync := fs.Bool("sync", false, "fsync the WAL before acknowledging each batch")
+	batch := fs.Int("batch", 4096, "points per WriteBatch entry")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: m4cli -dir <db> load [-sync] [-batch n] <series> <file.csv>")
+	}
+	if *batch < 1 {
+		return fmt.Errorf("-batch must be positive")
+	}
+	seriesID, path := fs.Arg(0), fs.Arg(1)
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	data, err := csvio.Read(f, true)
+	if err != nil {
+		return fmt.Errorf("read %s: %w", path, err)
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("%s: no points", path)
+	}
+	engine, err := lsm.Open(lsm.Options{Dir: dir, SyncWAL: *sync})
+	if err != nil {
+		return err
+	}
+	defer engine.Close()
+	start := time.Now()
+	loaded := 0
+	for loaded < len(data) {
+		n := *batch
+		if rest := len(data) - loaded; rest < n {
+			n = rest
+		}
+		err := engine.WriteBatch(lsm.BatchEntry{SeriesID: seriesID, Points: data[loaded : loaded+n]})
+		if errors.Is(err, lsm.ErrIngestBackpressure) {
+			continue // bounded queues are draining; same batch, next try
+		}
+		if err != nil {
+			return fmt.Errorf("load after %d points: %w", loaded, err)
+		}
+		loaded += n
+		fmt.Printf("\rload: %d/%d points", loaded, len(data))
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("\rload: %d points -> %s in %s (%.0f points/s)\n",
+		loaded, seriesID, elapsed.Round(time.Millisecond),
+		float64(loaded)/elapsed.Seconds())
+	return nil
 }
 
 func repl(engine *lsm.Engine, in io.Reader, out io.Writer) {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -101,5 +103,51 @@ func TestSubcommands(t *testing.T) {
 	}
 	if err := runSubcommand(dir, []string{"backup"}); err == nil {
 		t.Fatal("backup without dest accepted")
+	}
+}
+
+// TestLoadSubcommand bulk-ingests a CSV through the batched WriteBatch path
+// and checks the points landed (small -batch forces several batches).
+func TestLoadSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	csv := t.TempDir() + "/data.csv"
+	var b bytes.Buffer
+	b.WriteString("time,value\n")
+	const n = 100
+	for i := 0; i < n; i++ {
+		b.WriteString(strconv.Itoa(i*5) + "," + strconv.Itoa(i%9) + "\n")
+	}
+	if err := os.WriteFile(csv, b.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSubcommand(dir, []string{"load", "-sync", "-batch", "16", "root.csv", csv}); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	e, err := lsm.Open(lsm.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	snap, err := e.Snapshot("root.csv", series.TimeRange{Start: -1 << 40, End: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range snap.Chunks {
+		data, err := c.Load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(data)
+	}
+	if total != n {
+		t.Fatalf("loaded %d points, want %d", total, n)
+	}
+	// Usage errors.
+	if err := runSubcommand(dir, []string{"load", "root.csv"}); err == nil {
+		t.Fatal("load without file accepted")
+	}
+	if err := runSubcommand(dir, []string{"load", "-batch", "0", "root.csv", csv}); err == nil {
+		t.Fatal("non-positive batch accepted")
 	}
 }

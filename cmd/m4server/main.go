@@ -6,6 +6,8 @@
 //	GET  /series                          stored series ids
 //	GET  /query?q=<m4ql>[&trace=1]        run an M4 query, JSON result
 //	POST /query {"query": "<m4ql>"}       same, query in the body
+//	POST /write                           batched ingestion; text body, one
+//	                                      "series t v" point per line
 //	GET  /render?series=&tqs=&tqe=&w=&h=  two-color PNG line chart; series
 //	                                      accepts a comma list or a prefix
 //	                                      wildcard ("root.*") overlaid on
@@ -68,6 +70,9 @@ func main() {
 		querySlots   = flag.Int("query-slots", 0, "max concurrently executing /query and /render requests (0 disables admission control)")
 		queryQueue   = flag.Int("query-queue", 16, "queued query-class requests beyond the running ones before shedding with 429")
 		queueWait    = flag.Duration("queue-wait", time.Second, "max time a queued request waits for a slot before 429 (negative sheds immediately)")
+		writeSlots   = flag.Int("write-slots", 0, "max concurrently executing /write requests on a gate of their own (0 disables write admission control)")
+		writeQueue   = flag.Int("write-queue", 16, "queued /write requests beyond the running ones before shedding with 429")
+		writeWait    = flag.Duration("write-queue-wait", time.Second, "max time a queued /write waits for a slot before 429 (negative sheds immediately)")
 		maxBody      = flag.Int64("max-body-bytes", 1<<20, "request body size bound; oversized bodies answer 400")
 		maxChunks    = flag.Int64("max-chunks-per-query", 0, "default cap on physical chunk loads per query (0 = unlimited)")
 		maxPoints    = flag.Int64("max-points-per-query", 0, "default cap on decoded points per query (0 = unlimited)")
@@ -76,6 +81,11 @@ func main() {
 
 		scrubEvery  = flag.Duration("scrub-interval", 0, "period of the background integrity scrubber (chunk CRCs, pyramid manifest, WAL segments; 0 disables — /admin/scrub still works on demand)")
 		walSegBytes = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = engine default)")
+		syncWAL     = flag.Bool("sync-wal", false, "fsync the WAL before acknowledging writes (group commit amortizes the sync across concurrent writers)")
+		walGroup    = flag.Int("wal-group-size", 0, "max records per WAL group commit (0 = engine default 128)")
+		ingestQueuePoints = flag.Int("ingest-queue-points", 0, "per-shard batched-ingest queue cap in points before backpressure (0 = engine default 65536)")
+		ingestQueueBytes  = flag.Int("ingest-queue-bytes", 0, "per-shard batched-ingest queue cap in payload bytes (0 = engine default 8MiB)")
+		ingestWait        = flag.Duration("ingest-enqueue-wait", 0, "max time a batch blocks on a full ingest queue before the retryable backpressure error (0 = engine default 2s; negative fails immediately)")
 
 		selfMetrics = flag.Duration("self-metrics-interval", time.Second, "period at which the metrics registry is sampled into root.sys.* series inside the engine (0 disables)")
 		eventLog    = flag.String("event-log", "", "JSONL file receiving one wide event per /query and /render ('' keeps the tail in memory only, served at /debug/events)")
@@ -98,7 +108,10 @@ func main() {
 
 	reg := obs.NewRegistry()
 	engine, err := lsm.Open(lsm.Options{Dir: *dir, Metrics: reg, NumShards: *shards, ReadRetries: *readRetries, DisablePyramid: !*pyramid,
-		ScrubInterval: *scrubEvery, WALSegmentBytes: *walSegBytes})
+		ScrubInterval: *scrubEvery, WALSegmentBytes: *walSegBytes,
+		SyncWAL: *syncWAL, WALGroupSize: *walGroup,
+		IngestQueuePoints: *ingestQueuePoints, IngestQueueBytes: *ingestQueueBytes,
+		IngestEnqueueWait: *ingestWait})
 	if err != nil {
 		logger.Error("open engine", "dir", *dir, "err", err)
 		os.Exit(1)
@@ -110,6 +123,9 @@ func main() {
 		QuerySlots:          *querySlots,
 		QueryQueueDepth:     *queryQueue,
 		QueryQueueWait:      *queueWait,
+		WriteSlots:          *writeSlots,
+		WriteQueueDepth:     *writeQueue,
+		WriteQueueWait:      *writeWait,
 		QueryTimeout:        *queryTimeout,
 		MaxChunksPerQuery:   *maxChunks,
 		MaxPointsPerQuery:   *maxPoints,

@@ -1,0 +1,35 @@
+package difftest
+
+import "testing"
+
+// TestDifferentialIngest is the batched-ingestion property test: twin
+// engines consume identical seeded workloads — one point by point through
+// Write, one in multi-series batches through WriteBatch (bounded queues,
+// group-committed WAL) — with deletes, flushes and close-and-reopen cycles
+// in lockstep, and every M4 query must agree bit-for-bit between the twins
+// and with the oracle. A failure prints the seed; reproduce one case with
+// difftest.RunIngestDiff(seed, dirA, dirB).
+func TestDifferentialIngest(t *testing.T) {
+	n := 150
+	if testing.Short() {
+		n = 40
+	}
+	var entries int64
+	for i := 0; i < n; i++ {
+		seed := int64(i + 1)
+		c, err := GenerateIngest(seed, t.TempDir(), t.TempDir())
+		if err != nil {
+			t.Fatalf("ingest mismatch at seed %d (reproduce: difftest.RunIngestDiff(%d, dirA, dirB)): %v", seed, seed, err)
+		}
+		err = c.Check()
+		c.Close()
+		if err != nil {
+			t.Fatalf("ingest mismatch at seed %d (reproduce: difftest.RunIngestDiff(%d, dirA, dirB)): %v", seed, seed, err)
+		}
+		entries += c.BatchEntries
+	}
+	if entries == 0 {
+		t.Fatal("no batch entries shipped across the whole ingest differential run; checks were vacuous")
+	}
+	t.Logf("shipped %d batch entries across %d twin cases", entries, n)
+}

@@ -1,0 +1,296 @@
+// Ingestion sweep: write throughput across concurrent writers × batch size
+// × WAL durability. Batch size 1 is the baseline point-by-point Write path;
+// larger batches go through Engine.WriteBatch (bounded per-shard queues,
+// append workers, group-committed WAL records). Every cell ingests the
+// identical deterministic point stream, so after each run the full-range M4
+// answer is cross-checked span by span against the cell's point-by-point
+// reference — a throughput number only counts if the batched path produced
+// the same database.
+//
+// The headline assertion is the batched path's reason to exist: with
+// SyncWAL on and 8 concurrent writers, WriteBatch must move at least 5x the
+// points/s of point-by-point Write. Point-by-point pays one group commit
+// per point (amortized only across the writers in flight); batches amortize
+// the encode, the shard lock, and the fsync across the whole batch.
+package exper
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"m4lsm/internal/difftest"
+	"m4lsm/internal/lsm"
+	"m4lsm/internal/m4"
+	"m4lsm/internal/m4lsm"
+	"m4lsm/internal/obs"
+	"m4lsm/internal/series"
+)
+
+// ingestWriters and ingestBatches define the sweep grid; batch 1 is the
+// Write baseline each larger batch is compared against.
+var (
+	ingestWriters = []int{1, 4, 8}
+	ingestBatches = []int{1, 64, 256}
+)
+
+// ingestSpeedupFloor is the in-sweep assertion: minimum batched-vs-point
+// throughput ratio at ingestSpeedupWriters concurrent writers with SyncWAL.
+const (
+	ingestSpeedupFloor   = 5.0
+	ingestSpeedupWriters = 8
+)
+
+// IngestMeasurement is one sweep cell: the best-of-Reps throughput of one
+// (writers, batch, SyncWAL) combination over the deterministic stream.
+type IngestMeasurement struct {
+	Writers int
+	Batch   int // points per WriteBatch call; 1 = point-by-point Write
+	SyncWAL bool
+	Points  int // total points ingested (writers × per-writer stream)
+
+	Elapsed      time.Duration // fastest rep
+	PointsPerSec float64
+	// WAL group-commit counters of the fastest rep: how many appends the
+	// leader batched per fsync'd group.
+	GroupCommits int64
+	GroupRecords int64
+	// Speedup vs the same (writers, SyncWAL) cell at batch 1; 1.0 for the
+	// baseline itself.
+	Speedup float64
+}
+
+// ingestPerWriter sizes the per-writer stream: durable cells pay a real
+// fsync cadence, so they run a quarter of the async stream. Scale is
+// relative to the default bench scale (0.01).
+func ingestPerWriter(cfg Config, syncWAL bool) int {
+	base := 16384
+	if syncWAL {
+		base = 4096
+	}
+	n := int(float64(base) * cfg.Scale * 100)
+	if n < 256 {
+		n = 256
+	}
+	return n
+}
+
+// RunIngest measures the ingestion grid. Within each (writers, SyncWAL)
+// group the batch-1 cell runs first and its M4 answer becomes the reference
+// every batched cell must reproduce exactly; the sweep fails on the first
+// divergence, on any ingest error, or if the durable 8-writer batched cells
+// miss the speedup floor. It finishes with seeded twin-engine differential
+// cases (difftest.RunIngestDiff) covering deletes, reopens and WAL replay
+// of batch-encoded records.
+func RunIngest(cfg Config) ([]IngestMeasurement, error) {
+	cfg = cfg.withDefaults()
+	var out []IngestMeasurement
+	for _, writers := range ingestWriters {
+		for _, syncWAL := range []bool{false, true} {
+			perWriter := ingestPerWriter(cfg, syncWAL)
+			var ref [][]m4.Aggregate
+			var baseline float64
+			for _, batch := range ingestBatches {
+				m := IngestMeasurement{
+					Writers: writers, Batch: batch, SyncWAL: syncWAL,
+					Points:  writers * perWriter,
+					Elapsed: time.Duration(1<<62 - 1),
+				}
+				var aggs [][]m4.Aggregate
+				for rep := 0; rep < cfg.Reps; rep++ {
+					dir, cleanup, err := tempDir(cfg, fmt.Sprintf("ingest-%d-%d-%v-%d", writers, batch, syncWAL, rep))
+					if err != nil {
+						return nil, err
+					}
+					elapsed, groups, records, a, err := runIngestCell(dir, writers, perWriter, batch, syncWAL)
+					cleanup()
+					if err != nil {
+						return nil, fmt.Errorf("writers=%d batch=%d sync=%v: %w", writers, batch, syncWAL, err)
+					}
+					if elapsed < m.Elapsed {
+						m.Elapsed, m.GroupCommits, m.GroupRecords = elapsed, groups, records
+					}
+					aggs = a
+				}
+				m.PointsPerSec = float64(m.Points) / m.Elapsed.Seconds()
+				if batch == 1 {
+					ref, baseline = aggs, m.PointsPerSec
+					m.Speedup = 1
+				} else {
+					m.Speedup = m.PointsPerSec / baseline
+					if err := ingestCrossCheck(ref, aggs); err != nil {
+						return nil, fmt.Errorf("writers=%d batch=%d sync=%v: %w", writers, batch, syncWAL, err)
+					}
+				}
+				out = append(out, m)
+			}
+		}
+	}
+	for _, m := range out {
+		if m.SyncWAL && m.Writers >= ingestSpeedupWriters && m.Batch == ingestBatches[len(ingestBatches)-1] &&
+			m.Speedup < ingestSpeedupFloor {
+			return nil, fmt.Errorf("writers=%d batch=%d SyncWAL: batched speedup %.1fx below the %.0fx floor",
+				m.Writers, m.Batch, m.Speedup, ingestSpeedupFloor)
+		}
+	}
+	// Twin-engine differential tail: batched ≡ point-by-point under deletes,
+	// flushes and close-and-reopen, three seeds.
+	for seed := int64(1); seed <= 3; seed++ {
+		dirA, cleanupA, err := tempDir(cfg, fmt.Sprintf("ingest-diff-a-%d", seed))
+		if err != nil {
+			return nil, err
+		}
+		dirB, cleanupB, err := tempDir(cfg, fmt.Sprintf("ingest-diff-b-%d", seed))
+		if err != nil {
+			cleanupA()
+			return nil, err
+		}
+		err = difftest.RunIngestDiff(seed, dirA, dirB)
+		cleanupA()
+		cleanupB()
+		if err != nil {
+			return nil, fmt.Errorf("ingest differential: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// runIngestCell ingests the deterministic stream into a fresh engine with
+// the given concurrency and batching, returning the wall time of the
+// ingest, the WAL group-commit counters, and the per-writer full-range M4
+// answers for the cross-check.
+func runIngestCell(dir string, writers, perWriter, batch int, syncWAL bool) (time.Duration, int64, int64, [][]m4.Aggregate, error) {
+	reg := obs.NewRegistry()
+	e, err := lsm.Open(lsm.Options{
+		Dir:       dir,
+		NumShards: 4,
+		SyncWAL:   syncWAL,
+		Metrics:   reg,
+	})
+	if err != nil {
+		return 0, 0, 0, nil, err
+	}
+	defer e.Close()
+
+	errs := make([]error, writers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = ingestStream(e, w, perWriter, batch)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, 0, 0, nil, err
+		}
+	}
+
+	snap := reg.Snapshot()
+	groups, _ := snap["lsm_wal_group_commits_total"].(float64)
+	records, _ := snap["lsm_wal_group_records_total"].(float64)
+
+	q := m4.Query{Tqs: 0, Tqe: int64(perWriter), W: 32}
+	aggs := make([][]m4.Aggregate, writers)
+	for w := 0; w < writers; w++ {
+		s, err := e.Snapshot(ingestSeriesID(w), q.Range())
+		if err != nil {
+			return 0, 0, 0, nil, err
+		}
+		a, err := m4lsm.Compute(s, q)
+		if err != nil {
+			return 0, 0, 0, nil, err
+		}
+		aggs[w] = a
+	}
+	return elapsed, int64(groups), int64(records), aggs, nil
+}
+
+func ingestSeriesID(w int) string { return fmt.Sprintf("ingest.w%d", w) }
+
+// ingestStream writes writer w's deterministic points: batch 1 goes point
+// by point through Write, larger batches through WriteBatch with a retry
+// loop on the typed backpressure error — exactly what a client is expected
+// to do.
+func ingestStream(e *lsm.Engine, w, perWriter, batch int) error {
+	id := ingestSeriesID(w)
+	// Injective value per (writer, t) so ties never make the M4 cross-check
+	// ambiguous.
+	value := func(t int) float64 { return float64((t*7919)%4096) + float64(w)/16 }
+	if batch == 1 {
+		for t := 0; t < perWriter; t++ {
+			if err := e.Write(id, series.Point{T: int64(t), V: value(t)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	pts := make([]series.Point, 0, batch)
+	for t := 0; t < perWriter; t++ {
+		pts = append(pts, series.Point{T: int64(t), V: value(t)})
+		if len(pts) == batch || t == perWriter-1 {
+			for {
+				err := e.WriteBatch(lsm.BatchEntry{SeriesID: id, Points: pts})
+				if errors.Is(err, lsm.ErrIngestBackpressure) {
+					continue
+				}
+				if err != nil {
+					return err
+				}
+				break
+			}
+			pts = pts[:0]
+		}
+	}
+	return nil
+}
+
+// ingestCrossCheck requires the batched cell's answers to equal the batch-1
+// reference span by span.
+func ingestCrossCheck(ref, got [][]m4.Aggregate) error {
+	if len(ref) != len(got) {
+		return fmt.Errorf("cross-check: %d series vs %d", len(got), len(ref))
+	}
+	for w := range ref {
+		if len(ref[w]) != len(got[w]) {
+			return fmt.Errorf("cross-check: writer %d span counts %d vs %d", w, len(got[w]), len(ref[w]))
+		}
+		for i := range ref[w] {
+			if !m4.Equivalent(got[w][i], ref[w][i]) {
+				return fmt.Errorf("cross-check: writer %d span %d: batched %v != point-by-point %v",
+					w, i, got[w][i], ref[w][i])
+			}
+		}
+	}
+	return nil
+}
+
+// IngestTitle names the sweep.
+func IngestTitle() string {
+	return "Ingestion: WriteBatch vs Write across writers × batch × SyncWAL"
+}
+
+// WriteIngest renders the sweep as an aligned text table, one block per
+// durability mode.
+func WriteIngest(w io.Writer, title string, ms []IngestMeasurement) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	for _, syncWAL := range []bool{false, true} {
+		fmt.Fprintf(w, "-- SyncWAL=%v --\n", syncWAL)
+		fmt.Fprintf(w, "%8s %6s %9s %12s %12s %8s %9s %10s\n",
+			"writers", "batch", "points", "elapsed", "points/s", "speedup", "walGroups", "walRecords")
+		for _, m := range ms {
+			if m.SyncWAL != syncWAL {
+				continue
+			}
+			fmt.Fprintf(w, "%8d %6d %9d %12s %12.0f %7.1fx %9d %10d\n",
+				m.Writers, m.Batch, m.Points, m.Elapsed.Round(time.Microsecond),
+				m.PointsPerSec, m.Speedup, m.GroupCommits, m.GroupRecords)
+		}
+	}
+}

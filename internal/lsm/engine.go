@@ -125,6 +125,20 @@ type Options struct {
 	// partial pass that resumes where it left off on the next run. The
 	// zero value scans everything.
 	ScrubLimits govern.Limits
+	// WALGroupSize bounds how many records one WAL group commit carries
+	// (leader/follower batching; see groupcommit.go). Concurrent writers
+	// share one fsync per group when SyncWAL is on. 0 means 128.
+	WALGroupSize int
+	// IngestQueuePoints / IngestQueueBytes cap each shard's batched-ingest
+	// queue (see ingest.go): a WriteBatch enqueue that would overflow
+	// either cap blocks up to IngestEnqueueWait and then fails with the
+	// retryable ErrIngestBackpressure. Defaults: 65536 points, 8 MiB.
+	IngestQueuePoints int
+	IngestQueueBytes  int
+	// IngestEnqueueWait bounds how long a WriteBatch blocks on a full
+	// shard queue before backpressure surfaces. 0 means 2s; negative
+	// fails immediately.
+	IngestEnqueueWait time.Duration
 }
 
 func (o *Options) withDefaults() Options {
@@ -184,8 +198,17 @@ type Engine struct {
 
 	// walMu serializes every mutation of the segmented WAL shared by all
 	// shards: appends, rotation, checkpointing and segment retirement.
-	walMu sync.Mutex
-	wal   *walog
+	// walCommit is the group-commit hand-off in front of it: writers
+	// enqueue records there and a single leader per group takes walMu
+	// (see groupcommit.go).
+	walMu     sync.Mutex
+	wal       *walog
+	walCommit walCommitter
+
+	// ing owns the bounded batched-ingest queues and their append
+	// workers (see ingest.go); workers take shard locks, so Close/Kill
+	// stop the ingester before lockAll.
+	ing *ingester
 
 	// mods is the shared delete sidecar; the ModLog is internally locked,
 	// and the pointer itself is atomic because Compact swaps in a fresh
@@ -303,6 +326,7 @@ func Open(opts Options) (*Engine, error) {
 		quarantined: make(map[chunkID]error),
 	}
 	e.nextVer.Store(1)
+	e.ing = newIngester(opts.NumShards)
 	e.shards = make([]*shard, opts.NumShards)
 	for i := range e.shards {
 		e.shards[i] = newShard()
@@ -407,6 +431,14 @@ func (e *Engine) registerMetrics(reg *obs.Registry) {
 	reg.CounterFunc("lsm_wal_rotations_total", walStat(func(w *walog) float64 { return float64(w.rotations) }))
 	reg.CounterFunc("lsm_wal_torn_truncations_total", walStat(func(w *walog) float64 { return float64(w.tornTruncated) }))
 	reg.GaugeFunc("lsm_wal_quarantined_segments", walStat(func(w *walog) float64 { return float64(w.quarantinedSeg) }))
+	reg.CounterFunc("lsm_wal_group_commits_total", func() float64 { return float64(e.walCommit.groups.Load()) })
+	reg.CounterFunc("lsm_wal_group_records_total", func() float64 { return float64(e.walCommit.records.Load()) })
+	reg.GaugeFunc("lsm_ingest_queue_points", func() float64 { return float64(e.ing.queuedPoints()) })
+	reg.GaugeFunc("lsm_ingest_queue_bytes", func() float64 { return float64(e.ing.queuedBytes()) })
+	reg.CounterFunc("lsm_ingest_batches_total", func() float64 { return float64(e.ing.batches.Load()) })
+	reg.CounterFunc("lsm_ingest_entries_total", func() float64 { return float64(e.ing.entries.Load()) })
+	reg.CounterFunc("lsm_ingest_points_total", func() float64 { return float64(e.ing.pointsIn.Load()) })
+	reg.CounterFunc("lsm_ingest_backpressure_total", func() float64 { return float64(e.ing.backpressure.Load()) })
 	reg.CounterFunc("scrub_runs_total", func() float64 { return float64(e.scrubRuns.Load()) })
 	reg.CounterFunc("scrub_chunks_checked_total", func() float64 { return float64(e.scrubChunks.Load()) })
 	reg.CounterFunc("scrub_quarantines_total", func() float64 { return float64(e.scrubQuarantines.Load()) })
@@ -629,10 +661,13 @@ func (e *Engine) Write(seriesID string, pts ...series.Point) error {
 			return e.classifyWrite(err)
 		}
 		if n > 0 {
+			// Classified like the flush above: ENOSPC while retiring WAL
+			// segments or persisting the pyramid manifest must flip the
+			// engine read-only, not surface as an anonymous I/O error.
 			if err := e.maybeRetireWAL(); err != nil {
-				return err
+				return e.classifyWrite(err)
 			}
-			return e.pyrMaybeSave()
+			return e.classifyWrite(e.pyrMaybeSave())
 		}
 	}
 	return nil
@@ -715,9 +750,9 @@ func (e *Engine) Flush() error {
 	}
 	if flushed.Load() > 0 {
 		if err := e.maybeRetireWAL(); err != nil {
-			return err
+			return e.classifyWrite(err)
 		}
-		return e.pyrMaybeSave()
+		return e.classifyWrite(e.pyrMaybeSave())
 	}
 	return nil
 }
@@ -1058,9 +1093,12 @@ func (e *Engine) HasSeries(seriesID string) bool {
 
 // Close flushes every shard's memtable and releases all file handles.
 func (e *Engine) Close() error {
-	// The scrubber takes shard locks during a pass, so it must be fully
-	// stopped before lockAll — stopping it under the locks would deadlock.
+	// The scrubber and ingest workers take shard locks, so both must be
+	// fully stopped before lockAll — stopping them under the locks would
+	// deadlock. stopIngest(true) drains queued batches first, so every
+	// batch accepted before Close is flushed like a direct Write.
 	e.stopScrubber()
+	e.stopIngest(true)
 	e.lockAll()
 	defer e.unlockAll()
 	if e.closed.Load() {
@@ -1105,6 +1143,7 @@ func (e *Engine) Close() error {
 // pair it with a fresh Open over the same directory.
 func (e *Engine) Kill() {
 	e.stopScrubber()
+	e.stopIngest(false)
 	e.lockAll()
 	defer e.unlockAll()
 	if e.closed.Load() {

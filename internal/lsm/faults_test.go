@@ -395,7 +395,7 @@ func TestStepHookSiteNames(t *testing.T) {
 	if err := e.Close(); err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"wal.append", "wal.appended", "flush.create:000000.seq.tsf",
+	want := []string{"wal.append", "wal.group", "wal.appended", "flush.create:000000.seq.tsf",
 		"flush.chunk:000000.seq.tsf", "flush.footer:000000.seq.tsf",
 		"flush.reopen:000000.seq.tsf", "pyramid.rebuild", "flush.walreset",
 		"wal.retire", "pyramid.save"}

@@ -1,0 +1,177 @@
+// Group commit for the segmented WAL. Every WAL append — point writes,
+// deletes, batched ingest — goes through a leader/follower committer
+// instead of taking walMu itself: a writer enqueues its encoded record and
+// either becomes the leader (no commit in progress) or waits for one. The
+// leader repeatedly claims up to Options.WALGroupSize pending records,
+// appends them all to the active segment under walMu, and issues ONE fsync
+// for the whole group when SyncWAL is on, so the dominant cost of durable
+// ingestion amortizes across every concurrent writer.
+//
+// The durability contract is unchanged from the direct-append code:
+//
+//   - A record is acknowledged (its waiter released without error) only
+//     after its group's sync has succeeded. Ack ⇒ synced.
+//   - An unacknowledged record may or may not survive a crash: the group's
+//     bytes can be in the OS cache or partially on disk when the machine
+//     dies. Replay keeps whatever whole records it finds — exactly the
+//     pre-existing semantics of a failed sync.
+//   - pendingMin watermarks and delete pins are claimed under walMu after
+//     the group's sync and before any waiter is released, while every
+//     waiter still holds its series' shard lock, so the PR-7 checkpoint /
+//     retirement invariants hold verbatim: a shard's flush checkpoint
+//     cannot slip between a record's claim and its memtable update.
+//
+// Waiting is bounded: the leader never blocks on a shard lock (lock order
+// is shard -> walMu, and the leader only takes walMu), so a follower waits
+// for at most ceil(pending/WALGroupSize) commit rounds ahead of it.
+package lsm
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"m4lsm/internal/tsfile"
+)
+
+// defaultWALGroupSize bounds how many records one group commit may carry
+// when Options.WALGroupSize is zero. Large enough to soak up a burst of
+// batched ingest workers, small enough that one group's fsync latency
+// stays bounded.
+const defaultWALGroupSize = 128
+
+// walReq is one record waiting for a group commit.
+type walReq struct {
+	payload []byte
+	shardIx int
+	pin     bool // delete record: pin the landing segment instead of claiming pendingMin
+
+	// Filled by the leader before done closes.
+	seq  uint64 // landing segment
+	err  error
+	done chan struct{}
+}
+
+// walCommitter is the leader/follower hand-off state. Its mutex only
+// guards the pending queue and the leader flag — never I/O.
+type walCommitter struct {
+	mu      sync.Mutex
+	pending []*walReq
+	leading bool
+
+	groups  atomic.Int64 // commit groups issued
+	records atomic.Int64 // records committed across all groups
+}
+
+// walGroupSize returns the bounded per-group record count.
+func (e *Engine) walGroupSize() int {
+	if n := e.opts.WALGroupSize; n > 0 {
+		return n
+	}
+	return defaultWALGroupSize
+}
+
+// walAppend appends one payload to the active segment via the group
+// committer, rotating as needed. For insert records (pin == false) the
+// writing shard's pendingMin is claimed; for delete records (pin == true)
+// the landing segment is pinned until walUnpin. Returns the landing
+// segment's seq. Callers hold the series' shard lock.
+func (e *Engine) walAppend(payload []byte, shardIx int, pin bool) (uint64, error) {
+	req := &walReq{payload: payload, shardIx: shardIx, pin: pin, done: make(chan struct{})}
+	e.walSubmit([]*walReq{req})
+	return req.seq, req.err
+}
+
+// walSubmit enqueues a set of records for group commit and blocks until
+// every one of them is resolved (acked or failed). If no leader is active
+// the caller becomes it and drives commits until the pending queue drains,
+// so there is always exactly one goroutine inside commitGroup.
+func (e *Engine) walSubmit(reqs []*walReq) {
+	if len(reqs) == 0 {
+		return
+	}
+	gc := &e.walCommit
+	gc.mu.Lock()
+	gc.pending = append(gc.pending, reqs...)
+	if gc.leading {
+		gc.mu.Unlock()
+	} else {
+		gc.leading = true
+		max := e.walGroupSize()
+		for {
+			var batch []*walReq
+			if len(gc.pending) <= max {
+				batch = gc.pending
+				gc.pending = nil
+			} else {
+				batch = append([]*walReq(nil), gc.pending[:max]...)
+				rest := append([]*walReq(nil), gc.pending[max:]...)
+				gc.pending = rest
+			}
+			gc.mu.Unlock()
+			e.commitGroup(batch)
+			gc.mu.Lock()
+			if len(gc.pending) == 0 {
+				gc.leading = false
+				break
+			}
+		}
+		gc.mu.Unlock()
+	}
+	for _, r := range reqs {
+		<-r.done
+	}
+}
+
+// commitGroup appends one batch of records to the active segment under
+// walMu, syncing once at the end when SyncWAL is on. Success claims every
+// record's pendingMin watermark or segment pin before releasing its
+// waiter. Failure fails the whole batch: none of its records is
+// acknowledged, none claims a watermark, and whatever bytes landed are
+// treated exactly like a torn, unacked tail (all-or-nothing per record on
+// replay — tsfile framing drops partial records).
+func (e *Engine) commitGroup(batch []*walReq) {
+	w := e.wal
+	e.walMu.Lock()
+	defer e.walMu.Unlock()
+	fail := func(err error) {
+		for _, r := range batch {
+			r.err = err
+			close(r.done)
+		}
+	}
+	// The group site fails the whole batch before any byte is written, so
+	// a crash here is all-or-nothing across the group.
+	if err := e.step("wal.group"); err != nil {
+		fail(err)
+		return
+	}
+	var err error
+	for _, r := range batch {
+		if w.active.Size() >= w.segBytes && w.active.Size() > tsfile.SegmentHeaderLen {
+			if err = e.walRotateLocked(); err != nil {
+				break
+			}
+		}
+		if err = w.active.Append(r.payload, false); err != nil {
+			break
+		}
+		r.seq = w.activeSeq
+	}
+	if err == nil && e.opts.SyncWAL {
+		err = w.active.Sync()
+	}
+	if err != nil {
+		fail(err)
+		return
+	}
+	e.walCommit.groups.Add(1)
+	e.walCommit.records.Add(int64(len(batch)))
+	for _, r := range batch {
+		if r.pin {
+			w.pins[r.seq]++
+		} else if w.pendingMin[r.shardIx] == 0 {
+			w.pendingMin[r.shardIx] = r.seq
+		}
+		close(r.done)
+	}
+}

@@ -1,0 +1,500 @@
+// Batched, backpressured ingestion: Engine.WriteBatch enqueues per-series
+// point slices onto bounded per-shard queues drained by append workers
+// (one per shard; a single sequential worker under a StepHook so fault
+// schedules stay deterministic). The caller blocks until every entry of
+// its batch is durable — ack still means "WAL group synced" — so the only
+// thing the queue buys is batching: a worker drains a whole run of items,
+// takes its shard lock once, and submits all their WAL records as ONE
+// group commit, amortizing both the lock round-trips and the fsync.
+//
+// Backpressure, never unbounded buffering: each shard's queue is capped in
+// both points and bytes. An enqueue that would overflow blocks for at most
+// Options.IngestEnqueueWait and then fails with ErrIngestBackpressure, a
+// typed retryable error the HTTP layer maps to 429. Nothing is ever
+// silently dropped — every entry is either acknowledged durable or its
+// batch's error says why not.
+//
+// Crash atomicity is per WAL record, i.e. per BatchEntry: a crashed batch
+// may recover any subset of its entries (each was its own record), but
+// never a partial entry. The torture matrix drives the two step sites here
+// (ingest.enqueue before anything is queued, ingest.drain before a worker
+// touches its shard) plus wal.group in the committer.
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"m4lsm/internal/series"
+)
+
+// ErrIngestBackpressure marks a WriteBatch rejected because a shard's
+// ingest queue stayed full past the enqueue deadline. The condition is
+// transient — workers are draining — so callers should back off and
+// retry; point writes are idempotent overwrites, so retrying a partially
+// enqueued batch is safe.
+var ErrIngestBackpressure = errors.New("lsm: ingest queue full (backpressure, retry)")
+
+// errEngineClosed is what queued-but-undrained entries fail with when the
+// engine shuts down underneath them.
+var errEngineClosed = errors.New("lsm: engine closed")
+
+// Default ingest-queue bounds (per shard).
+const (
+	defaultIngestQueuePoints = 1 << 16 // 64k points
+	defaultIngestQueueBytes  = 8 << 20 // 8 MiB of point payload
+	defaultIngestWait        = 2 * time.Second
+	// ingestDrainRun bounds how many queued items one worker round takes:
+	// enough to amortize the shard lock and share a group commit, small
+	// enough that one round's latency stays bounded.
+	ingestDrainRun = 64
+)
+
+// BatchEntry is one series' slice of a WriteBatch: it becomes exactly one
+// WAL record, the crash-atomicity unit of batched ingestion.
+type BatchEntry struct {
+	SeriesID string
+	Points   []series.Point
+}
+
+// batchResult joins one WriteBatch caller with the workers draining its
+// entries. The first error wins; done closes when the last entry resolves.
+type batchResult struct {
+	pending atomic.Int64
+	mu      sync.Mutex
+	err     error
+	done    chan struct{}
+}
+
+func (r *batchResult) fail(err error) {
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.mu.Unlock()
+}
+
+func (r *batchResult) finish(n int64) {
+	if r.pending.Add(-n) == 0 {
+		close(r.done)
+	}
+}
+
+// ingestItem is one queued BatchEntry.
+type ingestItem struct {
+	seriesID string
+	pts      series.Series
+	bytes    int
+	res      *batchResult
+}
+
+// ingester owns the per-shard bounded queues and the append workers. One
+// mutex guards every queue: queue operations are cheap (slice push/pop);
+// the expensive work — WAL group commit, memtable insert, flush — happens
+// outside it, so sharing one lock costs nothing and makes a sequential
+// single-worker mode (StepHook determinism) trivial.
+type ingester struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues [][]ingestItem // per shard
+	points []int          // queued points per shard
+	bytes  []int          // queued payload bytes per shard
+
+	closing bool // no new enqueues; workers drain what is queued, then exit
+	killed  bool // workers fail what is queued, then exit
+
+	started sync.Once
+	wg      sync.WaitGroup
+
+	// Lifetime counters, surfaced as metrics.
+	batches      atomic.Int64
+	entries      atomic.Int64
+	pointsIn     atomic.Int64
+	backpressure atomic.Int64
+	drainRounds  atomic.Int64
+}
+
+func newIngester(shards int) *ingester {
+	ing := &ingester{
+		queues: make([][]ingestItem, shards),
+		points: make([]int, shards),
+		bytes:  make([]int, shards),
+	}
+	ing.cond = sync.NewCond(&ing.mu)
+	return ing
+}
+
+// queuedPoints / queuedBytes report the current queue depth across all
+// shards, for the bounded-queue gauges.
+func (ing *ingester) queuedPoints() int {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	total := 0
+	for _, n := range ing.points {
+		total += n
+	}
+	return total
+}
+
+func (ing *ingester) queuedBytes() int {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	total := 0
+	for _, n := range ing.bytes {
+		total += n
+	}
+	return total
+}
+
+func (e *Engine) ingestQueuePointsCap() int {
+	if n := e.opts.IngestQueuePoints; n > 0 {
+		return n
+	}
+	return defaultIngestQueuePoints
+}
+
+func (e *Engine) ingestQueueBytesCap() int {
+	if n := e.opts.IngestQueueBytes; n > 0 {
+		return n
+	}
+	return defaultIngestQueueBytes
+}
+
+func (e *Engine) ingestWait() time.Duration {
+	if w := e.opts.IngestEnqueueWait; w != 0 {
+		if w < 0 {
+			return 0
+		}
+		return w
+	}
+	return defaultIngestWait
+}
+
+// startIngestWorkers launches the append workers on first use: one per
+// shard normally, a single worker walking every shard in index order when
+// a StepHook is installed (deterministic drain schedules, like
+// shardParallelism).
+func (e *Engine) startIngestWorkers() {
+	ing := e.ing
+	ing.started.Do(func() {
+		if e.opts.StepHook != nil {
+			ing.wg.Add(1)
+			go func() {
+				defer ing.wg.Done()
+				e.ingestWorker(-1)
+			}()
+			return
+		}
+		for i := range e.shards {
+			ing.wg.Add(1)
+			go func(ix int) {
+				defer ing.wg.Done()
+				e.ingestWorker(ix)
+			}(i)
+		}
+	})
+}
+
+// WriteBatch ingests several series' points through the bounded append
+// queues: entries are enqueued per shard (blocking up to
+// Options.IngestEnqueueWait when a queue is full, then failing with
+// ErrIngestBackpressure) and the call returns once every entry is durable
+// — the acknowledgment contract is identical to Write's, each entry
+// becoming one group-committed WAL record. On a partially enqueued batch
+// the call waits for the entries that did get in, then reports the
+// backpressure error; retrying the whole batch is safe because point
+// writes are idempotent overwrites.
+func (e *Engine) WriteBatch(entries ...BatchEntry) error {
+	total := 0
+	for _, ent := range entries {
+		if ent.SeriesID == "" {
+			return errors.New("lsm: empty series id")
+		}
+		for _, p := range ent.Points {
+			if math.IsNaN(p.V) {
+				return fmt.Errorf("lsm: NaN value at t=%d", p.T)
+			}
+		}
+		total += len(ent.Points)
+	}
+	if total == 0 {
+		return nil
+	}
+	if err := e.writable(); err != nil {
+		return err
+	}
+	if e.closed.Load() {
+		return errEngineClosed
+	}
+	// The enqueue site crashes BEFORE anything is queued: an injected kill
+	// here loses the whole batch, never half of it.
+	if err := e.step("ingest.enqueue"); err != nil {
+		return err
+	}
+	e.startIngestWorkers()
+	res := &batchResult{done: make(chan struct{})}
+	// The caller holds one reference of its own so a worker finishing the
+	// first entry cannot close done while later entries are still being
+	// enqueued.
+	res.pending.Store(1)
+	queued := int64(0)
+	var enqErr error
+	for _, ent := range entries {
+		if len(ent.Points) == 0 {
+			continue
+		}
+		_, shardIx := e.shardFor(ent.SeriesID)
+		item := ingestItem{
+			seriesID: ent.SeriesID,
+			pts:      append(series.Series(nil), ent.Points...),
+			bytes:    len(ent.Points) * 16, // 8-byte time + 8-byte value
+			res:      res,
+		}
+		res.pending.Add(1)
+		if err := e.ing.enqueue(shardIx, item, e.ingestQueuePointsCap(), e.ingestQueueBytesCap(), e.ingestWait()); err != nil {
+			res.pending.Add(-1)
+			enqErr = err
+			break
+		}
+		queued++
+	}
+	e.ing.batches.Add(1)
+	e.ing.entries.Add(queued)
+	e.ing.pointsIn.Add(int64(total))
+	// Release the caller's reference and wait for the queued entries even
+	// when a later entry hit backpressure: returning while entries are in
+	// flight would detach the caller from the bounded queue.
+	res.finish(1)
+	<-res.done
+	if enqErr != nil {
+		return enqErr
+	}
+	res.mu.Lock()
+	defer res.mu.Unlock()
+	return res.err
+}
+
+// enqueue adds one item to a shard's queue, blocking while the queue is
+// over either cap, up to wait. The caps are soft by one item: a queue
+// below cap accepts an item of any size (otherwise an entry larger than
+// the cap could never be ingested).
+func (ing *ingester) enqueue(shardIx int, item ingestItem, maxPoints, maxBytes int, wait time.Duration) error {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	if ing.closing || ing.killed {
+		return errEngineClosed
+	}
+	if ing.points[shardIx] >= maxPoints || ing.bytes[shardIx] >= maxBytes {
+		if wait <= 0 {
+			ing.backpressure.Add(1)
+			return fmt.Errorf("%w: shard %d holds %d points / %d bytes",
+				ErrIngestBackpressure, shardIx, ing.points[shardIx], ing.bytes[shardIx])
+		}
+		deadline := time.Now().Add(wait)
+		// sync.Cond has no timed wait; a timer broadcast bounds the block.
+		timer := time.AfterFunc(wait, ing.cond.Broadcast)
+		defer timer.Stop()
+		for ing.points[shardIx] >= maxPoints || ing.bytes[shardIx] >= maxBytes {
+			if ing.closing || ing.killed {
+				return errEngineClosed
+			}
+			if !time.Now().Before(deadline) {
+				ing.backpressure.Add(1)
+				return fmt.Errorf("%w: shard %d held %d points / %d bytes past %s",
+					ErrIngestBackpressure, shardIx, ing.points[shardIx], ing.bytes[shardIx], wait)
+			}
+			ing.cond.Wait()
+		}
+		if ing.closing || ing.killed {
+			return errEngineClosed
+		}
+	}
+	ing.queues[shardIx] = append(ing.queues[shardIx], item)
+	ing.points[shardIx] += len(item.pts)
+	ing.bytes[shardIx] += item.bytes
+	// Wake the shard's worker (and any writer whose timer fired).
+	ing.cond.Broadcast()
+	return nil
+}
+
+// take pops up to ingestDrainRun items from one shard's queue.
+func (ing *ingester) take(shardIx int) []ingestItem {
+	q := ing.queues[shardIx]
+	if len(q) == 0 {
+		return nil
+	}
+	n := len(q)
+	if n > ingestDrainRun {
+		n = ingestDrainRun
+	}
+	run := append([]ingestItem(nil), q[:n]...)
+	rest := append([]ingestItem(nil), q[n:]...)
+	ing.queues[shardIx] = rest
+	for _, it := range run {
+		ing.points[shardIx] -= len(it.pts)
+		ing.bytes[shardIx] -= it.bytes
+	}
+	return run
+}
+
+// ingestWorker drains queue shardIx until shutdown; shardIx -1 is the
+// sequential mode: one worker walking every shard in index order.
+func (e *Engine) ingestWorker(shardIx int) {
+	ing := e.ing
+	for {
+		ing.mu.Lock()
+		var run []ingestItem
+		ix := shardIx
+		if shardIx >= 0 {
+			run = ing.take(shardIx)
+		} else {
+			for i := range ing.queues {
+				if run = ing.take(i); run != nil {
+					ix = i
+					break
+				}
+			}
+		}
+		if run == nil {
+			if ing.closing || ing.killed {
+				ing.mu.Unlock()
+				return
+			}
+			ing.cond.Wait()
+			ing.mu.Unlock()
+			continue
+		}
+		killed := ing.killed
+		ing.mu.Unlock()
+		// Freed capacity: release writers blocked on a full queue.
+		ing.cond.Broadcast()
+		if killed {
+			failRun(run, errEngineClosed)
+			continue
+		}
+		ing.drainRounds.Add(1)
+		e.drainRun(ix, run)
+	}
+}
+
+// failRun resolves a run of items with one error.
+func failRun(run []ingestItem, err error) {
+	for _, it := range run {
+		it.res.fail(err)
+		it.res.finish(1)
+	}
+}
+
+// drainRun applies one run of queued items to their shard: all WAL records
+// submitted as one group commit under a single shard-lock acquisition,
+// then the memtable inserts, then at most one flush when the threshold is
+// crossed. Failures resolve every item in the run — with ErrCrash verbatim
+// for the torture harness, or classified (ENOSPC -> read-only) otherwise.
+func (e *Engine) drainRun(shardIx int, run []ingestItem) {
+	// The drain site crashes before the shard is touched: the run's
+	// records are not yet in the WAL, so the kill loses whole entries,
+	// never parts of one.
+	if err := e.step("ingest.drain"); err != nil {
+		failRun(run, err)
+		return
+	}
+	sh := e.shards[shardIx]
+	sh.mu.Lock()
+	if e.closed.Load() {
+		sh.mu.Unlock()
+		failRun(run, errEngineClosed)
+		return
+	}
+	if e.wal != nil {
+		reqs := make([]*walReq, len(run))
+		for i, it := range run {
+			reqs[i] = &walReq{
+				payload: encodeInsertSharded(shardIx, it.seriesID, it.pts),
+				shardIx: shardIx,
+				done:    make(chan struct{}),
+			}
+		}
+		e.walSubmit(reqs)
+		// One failed record fails its whole group (commitGroup is
+		// all-or-nothing per group), so checking the first error covers
+		// the run.
+		for _, r := range reqs {
+			if r.err != nil {
+				failRun(run, e.classifyWrite(r.err))
+				sh.mu.Unlock()
+				return
+			}
+		}
+		e.met.walAppends.Add(int64(len(reqs)))
+	}
+	flushNeeded := false
+	for _, it := range run {
+		e.pyrMarkStalePoints(it.seriesID, it.pts)
+		sh.mem[it.seriesID] = append(sh.mem[it.seriesID], it.pts...)
+		sh.memPts.Add(int64(len(it.pts)))
+		e.met.pointsWritten.Add(int64(len(it.pts)))
+		if len(sh.mem[it.seriesID]) >= e.opts.FlushThreshold {
+			flushNeeded = true
+		}
+	}
+	var err error
+	if flushNeeded {
+		var n int
+		n, err = e.flushShardLocked(sh)
+		if err == nil && n > 0 {
+			if err = e.maybeRetireWAL(); err == nil {
+				err = e.pyrMaybeSave()
+			}
+		}
+		err = e.classifyWrite(err)
+	}
+	sh.mu.Unlock()
+	if err != nil {
+		// The points are durable (WAL + memtable); only the flush failed.
+		// Report it like Write does: the caller sees a retryable error,
+		// the data is not lost.
+		failRun(run, err)
+		return
+	}
+	for _, it := range run {
+		it.res.finish(1)
+	}
+}
+
+// stopIngest shuts the ingest subsystem down. drain=true (Close) lets the
+// workers finish everything already queued; drain=false (Kill) fails the
+// queued items instead. Either way every worker has exited when this
+// returns, so callers may take all shard locks afterwards. Safe to call
+// when no worker was ever started, and idempotent.
+func (e *Engine) stopIngest(drain bool) {
+	ing := e.ing
+	ing.mu.Lock()
+	if drain {
+		ing.closing = true
+	} else {
+		ing.killed = true
+	}
+	ing.mu.Unlock()
+	ing.cond.Broadcast()
+	// Ensure the started.Do slot is burned so wg.Wait() covers a racing
+	// startIngestWorkers (its workers would see closing/killed and exit).
+	ing.started.Do(func() {})
+	ing.wg.Wait()
+	// Anything still queued (killed, or enqueued after the last worker
+	// exited) fails rather than dangling a waiter.
+	ing.mu.Lock()
+	var leftovers []ingestItem
+	for i := range ing.queues {
+		leftovers = append(leftovers, ing.queues[i]...)
+		ing.queues[i] = nil
+		ing.points[i] = 0
+		ing.bytes[i] = 0
+	}
+	ing.mu.Unlock()
+	failRun(leftovers, errEngineClosed)
+	ing.cond.Broadcast()
+}

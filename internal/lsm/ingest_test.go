@@ -1,0 +1,509 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"m4lsm/internal/m4"
+	"m4lsm/internal/m4lsm"
+	"m4lsm/internal/series"
+)
+
+// TestWriteBatchMatchesWrite ingests the same workload through WriteBatch
+// and through point-by-point Write into two engines and requires identical
+// query results, before and after a reopen (batched records replay like
+// direct ones).
+func TestWriteBatchMatchesWrite(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	opts := func(dir string) Options {
+		return Options{Dir: dir, FlushThreshold: 16, SyncWAL: true, NumShards: 3}
+	}
+	ea, err := Open(opts(dirA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := Open(opts(dirB))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	oracles := map[string]oracle{}
+	ids := []string{"s0", "s1", "s2", "s3"}
+	for _, id := range ids {
+		oracles[id] = oracle{}
+	}
+	for round := 0; round < 30; round++ {
+		var batch []BatchEntry
+		for _, id := range ids {
+			n := 1 + rng.Intn(6)
+			ps := make([]series.Point, n)
+			for j := range ps {
+				ps[j] = series.Point{T: rng.Int63n(1000), V: float64(rng.Intn(50))}
+			}
+			batch = append(batch, BatchEntry{SeriesID: id, Points: ps})
+			oracles[id].apply(tortureOp{kind: 'w', id: id, pts: ps})
+		}
+		if err := ea.WriteBatch(batch...); err != nil {
+			t.Fatalf("round %d: WriteBatch: %v", round, err)
+		}
+		for _, ent := range batch {
+			if err := eb.Write(ent.SeriesID, ent.Points...); err != nil {
+				t.Fatalf("round %d: Write: %v", round, err)
+			}
+		}
+	}
+
+	check := func(phase string, ea, eb *Engine) {
+		t.Helper()
+		full := series.TimeRange{Start: -1 << 40, End: 1 << 40}
+		for _, id := range ids {
+			sa, err := ea.Snapshot(id, full)
+			if err != nil {
+				t.Fatalf("%s: snapshot batched %s: %v", phase, id, err)
+			}
+			sb, err := eb.Snapshot(id, full)
+			if err != nil {
+				t.Fatalf("%s: snapshot direct %s: %v", phase, id, err)
+			}
+			got := materialize(t, sa, full)
+			ref := materialize(t, sb, full)
+			want := oracles[id].series(id)
+			if !seriesEqual(got, want) || !seriesEqual(ref, want) {
+				t.Fatalf("%s: series %s: batched %v, direct %v, want %v", phase, id, got, ref, want)
+			}
+		}
+	}
+	check("live", ea, eb)
+
+	if err := ea.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ea2, err := Open(opts(dirA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ea2.Close()
+	eb2, err := Open(opts(dirB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eb2.Close()
+	check("reopened", ea2, eb2)
+}
+
+func TestWriteBatchValidation(t *testing.T) {
+	e, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.WriteBatch(); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if err := e.WriteBatch(BatchEntry{SeriesID: "s"}); err != nil {
+		t.Fatalf("batch of empty entries: %v", err)
+	}
+	if err := e.WriteBatch(BatchEntry{Points: pts(1, 1)}); err == nil {
+		t.Fatal("empty series id accepted")
+	}
+	if err := e.WriteBatch(BatchEntry{SeriesID: "s", Points: []series.Point{{T: 1, V: math.NaN()}}}); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	// Nothing above may have reached the queues.
+	if n := e.ing.queuedPoints(); n != 0 {
+		t.Fatalf("queued points = %d after rejected batches", n)
+	}
+}
+
+// TestIngestBackpressureTyped fills a one-point queue while the single
+// drain worker is parked inside an injected step hook, and requires the
+// overflowing WriteBatch to fail fast with the typed retryable error — then
+// requires the parked batches to complete once the worker resumes.
+func TestIngestBackpressureTyped(t *testing.T) {
+	drainEntered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	hook := func(site string) error {
+		if site == "ingest.drain" {
+			once.Do(func() {
+				close(drainEntered)
+				<-release
+			})
+		}
+		return nil
+	}
+	e, err := Open(Options{
+		Dir: t.TempDir(), StepHook: hook,
+		IngestQueuePoints: 1, IngestEnqueueWait: -1, // fail-fast enqueue
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	errs := make(chan error, 2)
+	// Batch 1: taken by the worker, which then parks in the hook.
+	go func() { errs <- e.WriteBatch(BatchEntry{SeriesID: "a", Points: pts(1, 1)}) }()
+	<-drainEntered
+	// Batch 2: queue is empty again (batch 1 was taken), so this enqueues
+	// and brings the queue to its cap.
+	go func() { errs <- e.WriteBatch(BatchEntry{SeriesID: "b", Points: pts(2, 2)}) }()
+	waitFor(t, func() bool { return e.ing.queuedPoints() >= 1 })
+
+	// Batch 3 overflows: typed, immediate backpressure.
+	err = e.WriteBatch(BatchEntry{SeriesID: "c", Points: pts(3, 3)})
+	if !errors.Is(err, ErrIngestBackpressure) {
+		t.Fatalf("overflow: got %v, want ErrIngestBackpressure", err)
+	}
+	if e.ing.backpressure.Load() == 0 {
+		t.Fatal("backpressure counter did not move")
+	}
+
+	close(release)
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("parked batch %d: %v", i, err)
+		}
+	}
+	// The shed batch must not have left anything behind.
+	full := series.TimeRange{Start: -1 << 40, End: 1 << 40}
+	snap, err := e.Snapshot("c", full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := materialize(t, snap, full); len(got) != 0 {
+		t.Fatalf("shed batch leaked points: %v", got)
+	}
+}
+
+// TestIngestGoroutineLeak pins the Close contract: every append worker has
+// exited once Close returns.
+func TestIngestGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	e, err := Open(Options{Dir: t.TempDir(), NumShards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WriteBatch(BatchEntry{SeriesID: "s", Points: pts(1, 1, 2, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return runtime.NumGoroutine() <= before+2 })
+}
+
+// TestIngestCloseWhileEnqueueing races Close against a swarm of WriteBatch
+// callers: every call must return (success or a closed/backpressure error),
+// nothing may hang, and whatever was acknowledged must be durable.
+func TestIngestCloseWhileEnqueueing(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(Options{Dir: dir, FlushThreshold: 32, NumShards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 8
+	var acked [writers][]series.Point
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			id := fmt.Sprintf("s%d", w)
+			for i := 0; ; i++ {
+				ps := []series.Point{{T: int64(i * 2), V: float64(i)}}
+				err := e.WriteBatch(BatchEntry{SeriesID: id, Points: ps})
+				if err != nil {
+					if errors.Is(err, ErrIngestBackpressure) {
+						continue
+					}
+					return // engine closed underneath us: fine, stop
+				}
+				acked[w] = append(acked[w], ps...)
+			}
+		}(w)
+	}
+	close(start)
+	waitFor(t, func() bool { return e.ing.batches.Load() > 0 })
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	e2, err := Open(Options{Dir: dir, NumShards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	full := series.TimeRange{Start: -1 << 40, End: 1 << 40}
+	for w := 0; w < writers; w++ {
+		snap, err := e2.Snapshot(fmt.Sprintf("s%d", w), full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := materialize(t, snap, full)
+		if !seriesEqual(got, acked[w]) {
+			t.Fatalf("writer %d: recovered %d points, acked %d (%v vs %v)",
+				w, len(got), len(acked[w]), got, acked[w])
+		}
+	}
+}
+
+// TestIngestConcurrentHammer is the soak-gate stress: batched writers,
+// point writers and M4 readers racing on a sharded engine under -race, with
+// an exact oracle check after quiescing. (One goroutine owns each series,
+// so the oracles need no locking.)
+func TestIngestConcurrentHammer(t *testing.T) {
+	e, err := Open(Options{Dir: t.TempDir(), FlushThreshold: 24, NumShards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	const nWriters = 4
+	oracles := make([]oracle, 2*nWriters)
+	for i := range oracles {
+		oracles[i] = oracle{}
+	}
+	errCh := make(chan error, 2*nWriters+1)
+	var writers sync.WaitGroup
+	for w := 0; w < nWriters; w++ {
+		// A batched writer and a point writer per pair of series.
+		writers.Add(2)
+		go func(w int) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			id := fmt.Sprintf("batch%d", w)
+			for i := 0; i < 60; i++ {
+				n := 1 + rng.Intn(8)
+				ps := make([]series.Point, n)
+				for j := range ps {
+					ps[j] = series.Point{T: rng.Int63n(400), V: float64(rng.Intn(30))}
+				}
+				if err := e.WriteBatch(BatchEntry{SeriesID: id, Points: ps}); err != nil {
+					errCh <- err
+					return
+				}
+				oracles[w].apply(tortureOp{kind: 'w', id: id, pts: ps})
+			}
+		}(w)
+		go func(w int) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(int64(200 + w)))
+			id := fmt.Sprintf("point%d", w)
+			for i := 0; i < 60; i++ {
+				p := series.Point{T: rng.Int63n(400), V: float64(rng.Intn(30))}
+				if err := e.Write(id, p); err != nil {
+					errCh <- err
+					return
+				}
+				oracles[nWriters+w].apply(tortureOp{kind: 'w', id: id, pts: []series.Point{p}})
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			q := m4.Query{Tqs: 0, Tqe: 512, W: 8}
+			for _, id := range e.SeriesIDs() {
+				snap, err := e.Snapshot(id, q.Range())
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if _, err := m4lsm.Compute(snap, q); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	full := series.TimeRange{Start: -1 << 40, End: 1 << 40}
+	for i, o := range oracles {
+		id := fmt.Sprintf("batch%d", i)
+		if i >= nWriters {
+			id = fmt.Sprintf("point%d", i-nWriters)
+		}
+		snap, err := e.Snapshot(id, full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := materialize(t, snap, full)
+		if !seriesEqual(got, o.series(id)) {
+			t.Fatalf("series %s: got %v, want %v", id, got, o.series(id))
+		}
+	}
+}
+
+// TestWALGroupCommit pins the committer's batching semantics directly: one
+// walSubmit of N records is one group (one sync), every record is
+// acknowledged, and the claimed watermarks retire segments exactly like the
+// single-record path.
+func TestWALGroupCommit(t *testing.T) {
+	e, err := Open(Options{Dir: t.TempDir(), SyncWAL: true, FlushThreshold: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	g0, r0 := e.walCommit.groups.Load(), e.walCommit.records.Load()
+
+	const n = 10
+	sh := e.shards[0]
+	sh.mu.Lock()
+	reqs := make([]*walReq, n)
+	for i := range reqs {
+		reqs[i] = &walReq{
+			payload: encodeInsertSharded(0, "s", pts(int64(i), int64(i))),
+			done:    make(chan struct{}),
+		}
+	}
+	e.walSubmit(reqs)
+	sh.mu.Unlock()
+	for i, r := range reqs {
+		if r.err != nil {
+			t.Fatalf("record %d: %v", i, r.err)
+		}
+	}
+	if g := e.walCommit.groups.Load() - g0; g != 1 {
+		t.Fatalf("groups = %d, want 1 (one submit, one sync)", g)
+	}
+	if r := e.walCommit.records.Load() - r0; r != n {
+		t.Fatalf("records = %d, want %d", r, n)
+	}
+}
+
+// TestWALGroupCommitConcurrent drives many concurrent Write callers with
+// SyncWAL on and requires (a) full durability across a kill+reopen and (b)
+// fewer groups than records — i.e. commits actually amortized.
+func TestWALGroupCommitConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(Options{Dir: dir, SyncWAL: true, FlushThreshold: 1 << 20, NumShards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 25
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := fmt.Sprintf("s%d", w)
+			for i := 0; i < perWriter; i++ {
+				if err := e.Write(id, series.Point{T: int64(i), V: float64(w)}); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	records := e.walCommit.records.Load()
+	groups := e.walCommit.groups.Load()
+	if records != writers*perWriter {
+		t.Fatalf("records = %d, want %d", records, writers*perWriter)
+	}
+	if groups > records {
+		t.Fatalf("groups = %d > records = %d", groups, records)
+	}
+	e.Kill() // ack ⇒ synced: everything must survive an abrupt kill
+
+	e2, err := Open(Options{Dir: dir, NumShards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	full := series.TimeRange{Start: -1 << 40, End: 1 << 40}
+	for w := 0; w < writers; w++ {
+		snap, err := e2.Snapshot(fmt.Sprintf("s%d", w), full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(materialize(t, snap, full)); got != perWriter {
+			t.Fatalf("writer %d: %d points survived, want %d", w, got, perWriter)
+		}
+	}
+}
+
+// TestENOSPCRetireFlipsReadOnly is the regression for the classify bug:
+// ENOSPC surfacing from the post-flush maybeRetireWAL/pyrMaybeSave tail of
+// Write (and Flush) must flip the engine read-only with the typed error,
+// exactly like ENOSPC during the flush itself.
+func TestENOSPCRetireFlipsReadOnly(t *testing.T) {
+	for _, site := range []string{"wal.retire", "pyramid.save"} {
+		t.Run(site, func(t *testing.T) {
+			var diskFull atomic.Bool
+			hook := func(s string) error {
+				if diskFull.Load() && (s == site || s == "probe.space") {
+					return fmt.Errorf("injected: %w", syscall.ENOSPC)
+				}
+				return nil
+			}
+			e, err := Open(Options{Dir: t.TempDir(), FlushThreshold: 4,
+				StepHook: hook, SpaceProbeInterval: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+			diskFull.Store(true)
+			// Crossing the threshold auto-flushes inside Write; the flush
+			// succeeds and the post-flush tail hits the injected ENOSPC.
+			err = e.Write("s", pts(1, 1, 2, 2, 3, 3, 4, 4)...)
+			if !errors.Is(err, ErrReadOnly) {
+				t.Fatalf("write over full disk at %s: got %v, want ErrReadOnly", site, err)
+			}
+			if ro, _ := e.ReadOnly(); !ro {
+				t.Fatalf("engine not read-only after ENOSPC at %s", site)
+			}
+			diskFull.Store(false)
+		})
+	}
+}
+
+// waitFor polls cond (10ms cadence, 5s budget) — test-only helper.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

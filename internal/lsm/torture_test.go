@@ -26,10 +26,13 @@ import (
 // M4-LSM ≡ M4-UDF ≡ M4 over the recovered merge.
 
 type tortureOp struct {
-	kind       byte // 'w' write, 'd' delete, 'f' flush, 'b' online backup
+	kind       byte // 'w' write, 'g' batched write, 'd' delete, 'f' flush, 'b' online backup
 	id         string
 	pts        []series.Point
 	start, end int64
+	entries    []BatchEntry // kind 'g'; at most one entry per series so the
+	// per-series oracle check below stays exact (each entry is one WAL
+	// record, so a crashed batch may recover any subset of entries)
 }
 
 // tortureOps is a fixed workload: two series, out-of-order writes that split
@@ -52,8 +55,19 @@ func tortureOps() []tortureOp {
 		{kind: 'd', id: "b", start: 0, end: 10},
 		{kind: 'd', id: "a", start: 55, end: 65}, // covers flushed t=60 only
 		{kind: 'f'},
+		// Batched ingest through the bounded queues: ingest.enqueue,
+		// ingest.drain and wal.group join the crash matrix here. One entry
+		// per series — the atomicity unit — exercising both flushed-over
+		// and fresh timestamps.
+		{kind: 'g', entries: []BatchEntry{
+			{SeriesID: "a", Points: pts(95, 15, 105, 16)},
+			{SeriesID: "b", Points: pts(30, 54, 40, 55)},
+		}},
 		{kind: 'b'}, // online backup mid-workload; a crash must leave it rejectable
 		{kind: 'w', id: "a", pts: pts(100, 13, 110, 14)},
+		{kind: 'g', entries: []BatchEntry{
+			{SeriesID: "b", Points: pts(2, 56, 50, 57, 60, 58)},
+		}},
 	}
 }
 
@@ -69,6 +83,10 @@ func (o oracle) apply(op tortureOp) {
 		}
 		for _, p := range op.pts {
 			m[p.T] = p.V
+		}
+	case 'g':
+		for _, ent := range op.entries {
+			o.apply(tortureOp{kind: 'w', id: ent.SeriesID, pts: ent.Points})
 		}
 	case 'd':
 		for t := range o[op.id] {
@@ -104,6 +122,8 @@ func execOp(e *Engine, op tortureOp) error {
 	switch op.kind {
 	case 'w':
 		return e.Write(op.id, op.pts...)
+	case 'g':
+		return e.WriteBatch(op.entries...)
 	case 'd':
 		return e.Delete(op.id, op.start, op.end)
 	case 'b':
@@ -287,10 +307,10 @@ func TestTortureSitesCovered(t *testing.T) {
 	if err := e.Close(); err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"wal.append", "wal.appended", "mods.append", "flush.walreset",
-		"flush.create:", "flush.chunk:", "flush.footer:", "flush.reopen:",
-		"pyramid.rebuild", "pyramid.save", "wal.rotate", "wal.retire",
-		"backup.manifest"}
+	want := []string{"wal.append", "wal.group", "wal.appended", "mods.append",
+		"flush.walreset", "flush.create:", "flush.chunk:", "flush.footer:",
+		"flush.reopen:", "pyramid.rebuild", "pyramid.save", "wal.rotate",
+		"wal.retire", "backup.manifest", "ingest.enqueue", "ingest.drain"}
 	seen := inj.Sites()
 	for _, prefix := range want {
 		found := false

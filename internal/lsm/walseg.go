@@ -299,31 +299,6 @@ func (w *walog) totalBytes() int64 {
 
 // --- engine integration -------------------------------------------------
 
-// walAppend appends one payload to the active segment, rotating first when
-// the active segment is full. For insert records (pin == false) the
-// writing shard's pendingMin is claimed; for delete records (pin == true)
-// the landing segment is pinned until walUnpin. Returns the landing
-// segment's seq. Callers hold the series' shard lock; walMu is taken here.
-func (e *Engine) walAppend(payload []byte, shardIx int, pin bool) (uint64, error) {
-	w := e.wal
-	e.walMu.Lock()
-	defer e.walMu.Unlock()
-	if w.active.Size() >= w.segBytes && w.active.Size() > tsfile.SegmentHeaderLen {
-		if err := e.walRotateLocked(); err != nil {
-			return 0, err
-		}
-	}
-	if err := w.active.Append(payload, e.opts.SyncWAL); err != nil {
-		return 0, err
-	}
-	if pin {
-		w.pins[w.activeSeq]++
-	} else if w.pendingMin[shardIx] == 0 {
-		w.pendingMin[shardIx] = w.activeSeq
-	}
-	return w.activeSeq, nil
-}
-
 // walRotateLocked seals the active segment and starts the next one. The
 // seal fsyncs first: sealed segments must be fully durable so that a
 // parse failure in one can only ever mean corruption. Caller holds walMu.

@@ -28,6 +28,10 @@ type Event struct {
 	Warnings  int    `json:"warnings,omitempty"`
 	Error     string `json:"error,omitempty"`
 
+	// Ingestion attribution, for /write events.
+	PointsWritten int64 `json:"pointsWritten,omitempty"`
+	SeriesWritten int   `json:"seriesWritten,omitempty"`
+
 	// Budget spend: the query's physical cost counters (what a per-query
 	// govern budget charges against).
 	ChunksLoaded     int64 `json:"chunksLoaded,omitempty"`

@@ -55,6 +55,14 @@ type Config struct {
 	// slot is free).
 	QueryQueueWait time.Duration
 
+	// WriteSlots / WriteQueueDepth / WriteQueueWait are the same admission
+	// knobs for the /write ingestion endpoint, on a gate of its own so a
+	// write flood cannot starve queries of admission (and vice versa).
+	// WriteSlots 0 disables write admission control.
+	WriteSlots      int
+	WriteQueueDepth int
+	WriteQueueWait  time.Duration
+
 	// QueryTimeout is the default soft wall-clock budget per query-class
 	// request; a statement-level TIMEOUT clause overrides it. When the
 	// budget expires the query degrades to a partial result with warnings
@@ -96,9 +104,10 @@ type Handler struct {
 	log     *slog.Logger
 	start   time.Time
 
-	gate    *govern.Gate  // nil: admission control off
-	limits  govern.Limits // default per-query budget (zero: unbudgeted)
-	maxBody int64
+	gate      *govern.Gate  // query-class admission; nil: off
+	writeGate *govern.Gate  // /write admission; nil: off
+	limits    govern.Limits // default per-query budget (zero: unbudgeted)
+	maxBody   int64
 
 	events  *obs.EventLog    // wide-event query log (always on)
 	sampler *history.Sampler // nil: self-metrics off
@@ -134,6 +143,12 @@ func NewWith(e *lsm.Engine, cfg Config) *Handler {
 	} else if wait < 0 {
 		wait = 0
 	}
+	writeWait := cfg.WriteQueueWait
+	if writeWait == 0 {
+		writeWait = time.Second
+	} else if writeWait < 0 {
+		writeWait = 0
+	}
 	maxBody := cfg.MaxBodyBytes
 	if maxBody <= 0 {
 		maxBody = 1 << 20
@@ -146,6 +161,7 @@ func NewWith(e *lsm.Engine, cfg Config) *Handler {
 		log:           logger,
 		start:         time.Now(),
 		gate:          govern.NewGate(cfg.QuerySlots, cfg.QueryQueueDepth, wait),
+		writeGate:     govern.NewGate(cfg.WriteSlots, cfg.WriteQueueDepth, writeWait),
 		limits:        govern.Limits{MaxChunks: cfg.MaxChunksPerQuery, MaxPoints: cfg.MaxPointsPerQuery, Timeout: cfg.QueryTimeout},
 		maxBody:       maxBody,
 		renderPartial: reg.Counter("render_partial_total"),
@@ -153,6 +169,9 @@ func NewWith(e *lsm.Engine, cfg Config) *Handler {
 	reg.CounterFunc("http_shed_total", func() float64 { return float64(h.gate.Shed()) })
 	reg.GaugeFunc("http_query_inflight", func() float64 { return float64(h.gate.InFlight()) })
 	reg.GaugeFunc("http_query_waiting", func() float64 { return float64(h.gate.Waiting()) })
+	reg.CounterFunc("http_write_shed_total", func() float64 { return float64(h.writeGate.Shed()) })
+	reg.GaugeFunc("http_write_inflight", func() float64 { return float64(h.writeGate.InFlight()) })
+	reg.GaugeFunc("http_write_waiting", func() float64 { return float64(h.writeGate.Waiting()) })
 	buildinfo.Register(reg)
 
 	events, err := obs.NewEventLog(cfg.EventLogPath, cfg.EventLogBuffer, cfg.EventLogBuffer, logger)
@@ -186,6 +205,7 @@ func NewWith(e *lsm.Engine, cfg Config) *Handler {
 	h.handle("/series", h.series)
 	h.handle("/query", h.gated(h.query))
 	h.handle("/render", h.gated(h.render))
+	h.handle("/write", h.admitted(h.writeGate, h.write))
 	h.handle("/dashboard", h.dashboard)
 	h.handle("/metrics", h.metrics)
 	h.handle("/varz", h.varz)
@@ -215,12 +235,20 @@ func (h *Handler) Events() *obs.EventLog { return h.events }
 
 // gated wraps a query-class endpoint with admission control and the default
 // per-query budget. Introspection endpoints (health, metrics, slowlog) stay
-// ungated so operators can always see an overloaded server. Shed requests
-// answer 429 with Retry-After; a client that disconnects while queued gets
-// 503 and is not counted as shed.
+// ungated so operators can always see an overloaded server.
 func (h *Handler) gated(fn http.HandlerFunc) http.HandlerFunc {
+	return h.admitted(h.gate, func(w http.ResponseWriter, r *http.Request) {
+		fn(w, r.WithContext(govern.WithLimits(r.Context(), h.limits)))
+	})
+}
+
+// admitted wraps an endpoint with one gate's admission control (queries and
+// writes each have their own, so neither class can starve the other). Shed
+// requests answer 429 with Retry-After; a client that disconnects while
+// queued gets 503 and is not counted as shed.
+func (h *Handler) admitted(gate *govern.Gate, fn http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		release, err := h.gate.Acquire(r.Context())
+		release, err := gate.Acquire(r.Context())
 		if err != nil {
 			// Rejected before the endpoint ran: the endpoint cannot emit its
 			// wide event, so the gate does — every query-class request
@@ -246,7 +274,7 @@ func (h *Handler) gated(fn http.HandlerFunc) http.HandlerFunc {
 			return
 		}
 		defer release()
-		fn(w, r.WithContext(govern.WithLimits(r.Context(), h.limits)))
+		fn(w, r)
 	}
 }
 
@@ -263,6 +291,8 @@ func mapQueryError(err error) (code int, kind string) {
 		return http.StatusTooManyRequests, "overloaded"
 	case errors.Is(err, lsm.ErrReadOnly):
 		return http.StatusServiceUnavailable, "read-only"
+	case errors.Is(err, lsm.ErrIngestBackpressure):
+		return http.StatusTooManyRequests, "backpressure"
 	}
 	return 0, ""
 }
@@ -272,7 +302,7 @@ func mapQueryError(err error) (code int, kind string) {
 // read-only disk) carry a Retry-After hint.
 func writeMappedError(w http.ResponseWriter, code int, kind string, err error) {
 	w.Header().Set("X-M4-Error", kind)
-	if kind == "overloaded" || kind == "read-only" {
+	if kind == "overloaded" || kind == "read-only" || kind == "backpressure" {
 		w.Header().Set("Retry-After", "1")
 	}
 	httpError(w, code, err)
